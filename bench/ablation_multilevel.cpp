@@ -1,0 +1,89 @@
+// Multi-priority-level extension (the paper's future work, Sec 3.1): three
+// levels on YCSB+T (70% low / 20% medium / 10% high) at 350 txn/s. The
+// per-level p95 should be strictly ordered for the prioritizing systems.
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/client.h"
+#include "txn/topology.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+namespace {
+
+/// Runs one seed and returns per-level p95.
+std::map<int, double> RunLevels(const ExperimentConfig& config,
+                                const System& system, uint64_t seed) {
+  txn::Topology topo = txn::Topology::Spread(
+      config.num_partitions, config.num_replicas, config.matrix.num_sites());
+  txn::ClusterOptions copts = config.cluster;
+  copts.seed = seed;
+  txn::Cluster cluster(config.matrix, topo, copts);
+  auto engine = system.make(&cluster);
+
+  workload::YcsbTWorkload::Options wo;
+  wo.high_priority_fraction = 0.10;
+  wo.medium_priority_fraction = 0.20;
+  workload::YcsbTWorkload wl(wo);
+
+  RunStats stats;
+  Rng rng(seed);
+  std::vector<std::unique_ptr<Client>> clients;
+  uint32_t cid = 1;
+  double per_client =
+      config.input_rate_tps /
+      static_cast<double>(topo.num_sites() * config.clients_per_site);
+  for (int s = 0; s < topo.num_sites(); ++s) {
+    for (int k = 0; k < config.clients_per_site; ++k) {
+      Client::Options o;
+      o.rate_tps = per_client;
+      o.origin_site = s;
+      o.client_id = cid++;
+      o.stop_generating_at = config.duration;
+      o.measure_start = config.warmup;
+      o.measure_end = config.duration - config.cooldown;
+      clients.push_back(std::make_unique<Client>(
+          cluster.simulator(), engine.get(), &wl, o, rng.Fork(), &stats));
+      clients.back()->Start();
+    }
+  }
+  cluster.simulator()->RunUntil(config.duration + config.drain);
+
+  std::map<int, double> out;
+  for (auto& [level, lat] : stats.latencies_by_level_ms) {
+    out[level] = Percentile(lat, 0.95);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ExperimentConfig config = QuickConfig();
+  config.input_rate_tps = 350;
+
+  std::printf("=== Multi-level extension: per-level 95P latency, YCSB+T "
+              "70/20/10 @350 (ms) ===\n");
+  std::printf("%-16s %12s %12s %12s\n", "system", "low", "medium", "high");
+  for (SystemKind kind :
+       {SystemKind::kTwoPl, SystemKind::kTwoPlPreempt,
+        SystemKind::kCarouselBasic, SystemKind::kNattoRecsf}) {
+    System system = MakeSystem(kind);
+    std::map<int, std::vector<double>> per_level;
+    for (int r = 0; r < config.repeats; ++r) {
+      for (auto& [level, p95] :
+           RunLevels(config, system, config.seed + 1000ull * r)) {
+        per_level[level].push_back(p95);
+      }
+    }
+    std::printf("%-16s %12.1f %12.1f %12.1f\n", system.name.c_str(),
+                Aggregated(per_level[0]).mean, Aggregated(per_level[1]).mean,
+                Aggregated(per_level[2]).mean);
+    std::fflush(stdout);
+  }
+  return 0;
+}

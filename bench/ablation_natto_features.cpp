@@ -1,0 +1,112 @@
+// Ablation beyond the paper's figures: per-mechanism contribution at high
+// contention (YCSB+T, Zipf 0.95, 50 txn/s — the Fig 8(a) regime), plus the
+// internal mechanism counters that explain *why* each step helps.
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "harness/client.h"
+#include "natto/natto.h"
+#include "txn/topology.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::NattoOptions options;
+};
+
+std::unique_ptr<workload::Workload> MakeWorkload() {
+  workload::YcsbTWorkload::Options o;
+  o.zipf_theta = 0.95;
+  return std::make_unique<workload::YcsbTWorkload>(o);
+}
+
+/// Runs one seed with direct engine access and returns mechanism counters.
+core::NattoServer::Stats CounterRun(const ExperimentConfig& config,
+                                    const core::NattoOptions& options) {
+  txn::Topology topo = txn::Topology::Spread(
+      config.num_partitions, config.num_replicas, config.matrix.num_sites());
+  txn::ClusterOptions copts = config.cluster;
+  copts.seed = config.seed;
+  txn::Cluster cluster(config.matrix, topo, copts);
+  core::NattoEngine engine(&cluster, options);
+  auto wl = MakeWorkload();
+
+  RunStats stats;
+  Rng rng(9);
+  std::vector<std::unique_ptr<Client>> clients;
+  uint32_t cid = 1;
+  double per_client =
+      config.input_rate_tps /
+      static_cast<double>(topo.num_sites() * config.clients_per_site);
+  for (int s = 0; s < topo.num_sites(); ++s) {
+    for (int k = 0; k < config.clients_per_site; ++k) {
+      Client::Options o;
+      o.rate_tps = per_client;
+      o.origin_site = s;
+      o.client_id = cid++;
+      o.stop_generating_at = config.duration;
+      o.measure_start = config.warmup;
+      o.measure_end = config.duration - config.cooldown;
+      clients.push_back(std::make_unique<Client>(
+          cluster.simulator(), &engine, wl.get(), o, rng.Fork(), &stats));
+      clients.back()->Start();
+    }
+  }
+  cluster.simulator()->RunUntil(config.duration + config.drain);
+  return engine.TotalStats();
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Variant> variants = {
+      {"Natto-TS", core::NattoOptions::TsOnly()},
+      {"Natto-LECSF", core::NattoOptions::Lecsf()},
+      {"Natto-PA", core::NattoOptions::Pa()},
+      {"Natto-PA(no-est)",
+       [] {
+         core::NattoOptions o = core::NattoOptions::Pa();
+         o.pa_completion_estimate = false;
+         return o;
+       }()},
+      {"Natto-CP", core::NattoOptions::Cp()},
+      {"Natto-RECSF", core::NattoOptions::Recsf()},
+  };
+
+  std::printf("=== Natto feature ablation, YCSB+T zipf=0.95 @50 txn/s ===\n");
+  std::printf("%-17s %10s %10s %8s %8s %8s %6s %6s %8s %8s\n", "variant",
+              "p95hi(ms)", "p95lo(ms)", "PA", "PAsupp", "CP", "CPok",
+              "CPfail", "RECSF", "ordAbrt");
+
+  for (const Variant& v : variants) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = 50;
+
+    System system{SystemKind::kNattoRecsf, v.name,
+                  [opts = v.options](txn::Cluster* c) {
+                    return std::make_unique<core::NattoEngine>(c, opts);
+                  }};
+    ExperimentResult r = RunExperiment(config, system, MakeWorkload);
+    core::NattoServer::Stats stats = CounterRun(config, v.options);
+
+    std::printf(
+        "%-17s %10.1f %10.1f %8llu %8llu %8llu %6llu %6llu %8llu %8llu\n",
+        v.name, r.p95_high_ms.mean, r.p95_low_ms.mean,
+        static_cast<unsigned long long>(stats.priority_aborts),
+        static_cast<unsigned long long>(stats.pa_suppressed),
+        static_cast<unsigned long long>(stats.conditional_prepares),
+        static_cast<unsigned long long>(stats.cp_satisfied),
+        static_cast<unsigned long long>(stats.cp_failed),
+        static_cast<unsigned long long>(stats.recsf_forwards),
+        static_cast<unsigned long long>(stats.order_violation_aborts));
+    std::fflush(stdout);
+  }
+  return 0;
+}

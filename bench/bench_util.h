@@ -1,0 +1,51 @@
+#ifndef NATTO_BENCH_BENCH_UTIL_H_
+#define NATTO_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/systems.h"
+
+namespace natto::bench {
+
+/// Default experiment sizing for the figure benches. The paper runs 10
+/// repeats x 60 s with 10 s head/tail trim; that is ~20x the compute of this
+/// quick default. Set NATTO_REPEATS=10 NATTO_DURATION_S=60 to reproduce the
+/// paper's full setting.
+inline harness::ExperimentConfig QuickConfig() {
+  harness::ExperimentConfig config;
+  config.repeats = 2;
+  config.duration = Seconds(24);
+  config.warmup = Seconds(4);
+  config.cooldown = Seconds(4);
+  config.drain = Seconds(20);
+  harness::ApplyEnvOverrides(&config);
+  return config;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& x_label,
+                        const std::vector<harness::System>& systems) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-10s", x_label.c_str());
+  for (const auto& s : systems) std::printf(" %16s", s.name.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRowStart(double x) { std::printf("%-10.4g", x); }
+
+inline void PrintCell(const harness::Aggregate& a) {
+  std::printf(" %10.1f+-%4.0f", a.mean, a.ci95);
+}
+
+inline void PrintCellValue(double v) { std::printf(" %16.1f", v); }
+
+inline void EndRow() {
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace natto::bench
+
+#endif  // NATTO_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,58 @@
+// Reproduces Figure 10: SmallBank with only sendPayment transactions given
+// high priority; 95P high-priority latency *increase ratio* relative to the
+// 100 txn/s point, as load grows (Sec 5.4).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/smallbank.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = PrioritySystems();
+  std::vector<double> rates = {100, 1500};
+
+  workload::SmallBankWorkload::Options wopts;
+  wopts.priority_mode =
+      workload::SmallBankWorkload::PriorityMode::kSendPaymentHigh;
+  auto workload = [wopts]() {
+    return std::make_unique<workload::SmallBankWorkload>(wopts);
+  };
+
+  std::vector<std::vector<double>> p95(rates.size());
+  for (size_t i = 0; i < rates.size(); ++i) {
+    ExperimentConfig config = QuickConfig();
+    config.repeats = 1;  // wide rate sweep; single seed per point
+    config.duration = Seconds(10);
+    config.warmup = Seconds(2);
+    config.cooldown = Seconds(2);
+    config.input_rate_tps = rates[i];
+    Value initial = wopts.initial_balance;
+    config.default_value = [initial](Key) { return initial; };
+    for (const System& s : systems) {
+      p95[i].push_back(RunExperiment(config, s, workload).p95_high_ms.mean);
+    }
+  }
+
+  PrintHeader("Fig 10: 95P HIGH-priority (sendPayment) latency increase vs "
+              "the 100 txn/s point (%)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (size_t s = 0; s < systems.size(); ++s) {
+      double base = p95[0][s];
+      PrintCellValue(base > 0 ? (p95[i][s] - base) / base * 100.0 : 0);
+    }
+    EndRow();
+  }
+
+  PrintHeader("Fig 10 raw: 95P HIGH-priority latency (ms)", "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (size_t s = 0; s < systems.size(); ++s) PrintCellValue(p95[i][s]);
+    EndRow();
+  }
+  return 0;
+}

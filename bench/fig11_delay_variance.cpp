@@ -1,0 +1,35 @@
+// Reproduces Figure 11: 95P high-priority latency vs network delay variance
+// (Pareto-distributed delays with the Table 1 averages), YCSB+T at
+// 350 txn/s (Sec 5.5).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AzureSystems();
+  std::vector<double> variances = {0, 5, 15, 25, 40};  // percent
+
+  PrintHeader("Fig 11: 95P HIGH-priority latency vs delay variance, "
+              "YCSB+T @350 (ms)",
+              "var %", systems);
+  auto workload = []() {
+    return std::make_unique<workload::YcsbTWorkload>(
+        workload::YcsbTWorkload::Options{});
+  };
+  for (double var : variances) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = 350;
+    config.cluster.delay_variance_ratio = var / 100.0;
+    PrintRowStart(var);
+    for (const System& s : systems) {
+      PrintCell(RunExperiment(config, s, workload).p95_high_ms);
+    }
+    EndRow();
+  }
+  return 0;
+}

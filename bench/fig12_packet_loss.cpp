@@ -1,0 +1,47 @@
+// Reproduces Figure 12: 95P high-priority latency vs network packet loss,
+// YCSB+T at 100 txn/s on the emulated 1 Gbps local cluster (Sec 5.5).
+// Loss both delays individual messages (TCP retransmission timeouts) and
+// collapses effective link throughput (Mathis model), which is what
+// saturates the replication-heavy protocols first.
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AzureSystems();
+  std::vector<double> losses = {0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};  // percent
+
+  PrintHeader("Fig 12: 95P HIGH-priority latency vs packet loss, "
+              "YCSB+T @100 (ms)",
+              "loss %", systems);
+  auto workload = []() {
+    return std::make_unique<workload::YcsbTWorkload>(
+        workload::YcsbTWorkload::Options{});
+  };
+  for (double loss : losses) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = 100;
+    config.cluster.transport.packet_loss = loss / 100.0;
+    // 1 Gbps local cluster links (Sec 5.1).
+    config.cluster.transport.link_bandwidth_bytes_per_sec = 125e6;
+    config.cluster.transport.tcp_flows_per_link = 16;
+    PrintRowStart(loss);
+    std::vector<long long> failed;
+    for (const System& s : systems) {
+      harness::ExperimentResult r = RunExperiment(config, s, workload);
+      PrintCell(r.p95_high_ms);
+      failed.push_back(r.failed);
+    }
+    EndRow();
+    std::printf("  failed:  ");
+    for (long long f : failed) std::printf(" %16lld", f);
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Figure 14: peak committed throughput vs number of partitions.
+// Three simulated datacenters with 4/6/8 ms round trips, Retwis with a
+// uniform key distribution, and a server CPU model so that throughput is
+// bounded by message processing (Sec 5.6). Peak throughput is measured as
+// the best committed rate over a sweep of offered input rates.
+#include <algorithm>
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/retwis.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AzureSystems();
+  std::vector<int> partition_counts = {2, 4, 8};
+  std::vector<double> offered = {4000, 10000};
+
+  auto workload = []() {
+    workload::RetwisWorkload::Options o;
+    o.uniform_keys = true;
+    return std::make_unique<workload::RetwisWorkload>(o);
+  };
+
+  PrintHeader("Fig 14: peak committed throughput vs #partitions, Retwis "
+              "uniform (txn/s)",
+              "parts", systems);
+  for (int parts : partition_counts) {
+    PrintRowStart(parts);
+    for (const System& s : systems) {
+      double peak = 0;
+      for (double rate : offered) {
+        ExperimentConfig config = QuickConfig();
+        config.repeats = 1;
+        config.duration = Seconds(6);
+        config.warmup = Seconds(2);
+        config.cooldown = Seconds(2);
+        config.drain = Seconds(5);
+        config.matrix = net::LatencyMatrix::LocalTriangle();
+        config.num_partitions = parts;
+        config.input_rate_tps = rate;
+        // Server capacity: ~25 us of CPU per message (a gRPC-ish budget);
+        // this is what the leaders saturate on.
+        config.cluster.transport.node_cost_per_message = Micros(25);
+        ExperimentResult r = RunExperiment(config, s, workload);
+        peak = std::max(peak, r.goodput_total_tps.mean);
+        // Past saturation the committed rate stops growing; stop early.
+        if (r.goodput_total_tps.mean < 0.75 * rate) break;
+      }
+      PrintCellValue(peak);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 7 (c)/(d): 95P latency vs input rate with the Retwis
+// workload on the (simulated) Azure deployment (Sec 5.2.2).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/retwis.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AzureSystems();
+  std::vector<double> rates = {100, 500, 1000, 1500};
+
+  auto workload = []() {
+    return std::make_unique<workload::RetwisWorkload>(
+        workload::RetwisWorkload::Options{});
+  };
+
+  std::vector<std::vector<ExperimentResult>> results;
+  for (double rate : rates) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = rate;
+    std::vector<ExperimentResult> row;
+    for (const System& s : systems) {
+      row.push_back(RunExperiment(config, s, workload));
+    }
+    results.push_back(std::move(row));
+  }
+
+  PrintHeader("Fig 7(c): 95P latency, HIGH priority, Retwis (ms)", "txn/s",
+              systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(d): 95P latency, LOW priority, Retwis (ms)", "txn/s",
+              systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_low_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(d) x-axis: committed LOW-priority goodput (txn/s)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
+    EndRow();
+  }
+  return 0;
+}

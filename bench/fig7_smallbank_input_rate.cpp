@@ -1,0 +1,60 @@
+// Reproduces Figure 7 (e)/(f): 95P latency vs input rate with the SmallBank
+// workload (1M users, 1K hot, 90% hot traffic) on the (simulated) Azure
+// deployment (Sec 5.2.3).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/smallbank.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AzureSystems();
+  std::vector<double> rates = {500, 1000, 1500, 2000};
+
+  workload::SmallBankWorkload::Options wopts;
+  auto workload = [wopts]() {
+    return std::make_unique<workload::SmallBankWorkload>(wopts);
+  };
+
+  std::vector<std::vector<ExperimentResult>> results;
+  for (double rate : rates) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = rate;
+    // Accounts start with the workload's initial balance.
+    Value initial = wopts.initial_balance;
+    config.default_value = [initial](Key) { return initial; };
+    std::vector<ExperimentResult> row;
+    for (const System& s : systems) {
+      row.push_back(RunExperiment(config, s, workload));
+    }
+    results.push_back(std::move(row));
+  }
+
+  PrintHeader("Fig 7(e): 95P latency, HIGH priority, SmallBank (ms)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(f): 95P latency, LOW priority, SmallBank (ms)", "txn/s",
+              systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_low_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(f) x-axis: committed LOW-priority goodput (txn/s)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 7 (a)/(b): 95th-percentile latency of high- and
+// low-priority transactions vs transaction input rate, YCSB+T workload on
+// the emulated local cluster with the Azure delay matrix (Sec 5.2.1).
+// Every transaction is 6 read-modify-writes on Zipf(0.65) keys; 10% of
+// transactions are high priority.
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = AllSystems();
+  std::vector<double> rates = {50, 150, 250, 350};
+
+  auto workload = []() {
+    return std::make_unique<workload::YcsbTWorkload>(
+        workload::YcsbTWorkload::Options{});
+  };
+
+  std::vector<std::vector<ExperimentResult>> results;
+  for (double rate : rates) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = rate;
+    std::vector<ExperimentResult> row;
+    for (const System& s : systems) {
+      row.push_back(RunExperiment(config, s, workload));
+    }
+    results.push_back(std::move(row));
+  }
+
+  PrintHeader("Fig 7(a): 95P latency, HIGH priority, YCSB+T (ms)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(b): 95P latency, LOW priority, YCSB+T (ms)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_low_ms);
+    EndRow();
+  }
+
+  PrintHeader("Fig 7(b) x-axis: committed LOW-priority goodput (txn/s)",
+              "txn/s", systems);
+  for (size_t i = 0; i < rates.size(); ++i) {
+    PrintRowStart(rates[i]);
+    for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
+    EndRow();
+  }
+  return 0;
+}

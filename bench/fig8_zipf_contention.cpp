@@ -1,0 +1,69 @@
+// Reproduces Figure 8: 95P high-priority latency vs Zipfian coefficient
+// (contention), (a) YCSB+T at 50 txn/s on the local cluster and (b) Retwis
+// at 100 txn/s (Sec 5.3).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/retwis.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<double> thetas = {0.65, 0.75, 0.85, 0.95};
+
+  {
+    std::vector<System> systems = AllSystems();
+    std::vector<std::vector<ExperimentResult>> results;
+    for (double theta : thetas) {
+      ExperimentConfig config = QuickConfig();
+      config.input_rate_tps = 50;
+      auto workload = [theta]() {
+        workload::YcsbTWorkload::Options o;
+        o.zipf_theta = theta;
+        return std::make_unique<workload::YcsbTWorkload>(o);
+      };
+      std::vector<ExperimentResult> row;
+      for (const System& s : systems) {
+        row.push_back(RunExperiment(config, s, workload));
+      }
+      results.push_back(std::move(row));
+    }
+    PrintHeader("Fig 8(a): 95P HIGH-priority latency vs Zipf, YCSB+T @50 (ms)",
+                "zipf", systems);
+    for (size_t i = 0; i < thetas.size(); ++i) {
+      PrintRowStart(thetas[i]);
+      for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
+      EndRow();
+    }
+  }
+
+  {
+    std::vector<System> systems = AzureSystems();
+    std::vector<std::vector<ExperimentResult>> results;
+    for (double theta : thetas) {
+      ExperimentConfig config = QuickConfig();
+      config.input_rate_tps = 100;
+      auto workload = [theta]() {
+        workload::RetwisWorkload::Options o;
+        o.zipf_theta = theta;
+        return std::make_unique<workload::RetwisWorkload>(o);
+      };
+      std::vector<ExperimentResult> row;
+      for (const System& s : systems) {
+        row.push_back(RunExperiment(config, s, workload));
+      }
+      results.push_back(std::move(row));
+    }
+    PrintHeader("Fig 8(b): 95P HIGH-priority latency vs Zipf, Retwis @100 (ms)",
+                "zipf", systems);
+    for (size_t i = 0; i < thetas.size(); ++i) {
+      PrintRowStart(thetas[i]);
+      for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
+      EndRow();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Reproduces Figure 9: 95P high-priority latency vs the percentage of
+// high-priority transactions, YCSB+T at 350 txn/s (Sec 5.4).
+#include <memory>
+
+#include "bench_util.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+int main() {
+  std::vector<System> systems = PrioritySystems();
+  std::vector<double> percentages = {10, 20, 40, 60, 80, 100};
+
+  PrintHeader("Fig 9: 95P HIGH-priority latency vs high-priority %, "
+              "YCSB+T @350 (ms)",
+              "high %", systems);
+  for (double pct : percentages) {
+    ExperimentConfig config = QuickConfig();
+    config.input_rate_tps = 350;
+    auto workload = [pct]() {
+      workload::YcsbTWorkload::Options o;
+      o.high_priority_fraction = pct / 100.0;
+      return std::make_unique<workload::YcsbTWorkload>(o);
+    };
+    PrintRowStart(pct);
+    for (const System& s : systems) {
+      PrintCell(RunExperiment(config, s, workload).p95_high_ms);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Google-benchmark microbenchmarks of the substrate hot paths: the event
+// kernel, Zipf sampling, lock-table and prepared-set operations, and the
+// delay estimator. These bound how fast the simulation itself can run.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "net/delay_estimator.h"
+#include "sim/simulator.h"
+#include "store/lock_table.h"
+#include "store/prepared_set.h"
+#include "workload/zipf.h"
+
+namespace natto {
+namespace {
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.ScheduleAt(i, []() {});
+    }
+    s.Run();
+    benchmark::DoNotOptimize(s.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+void BM_SimulatorEventCascade(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+      if (++count < 1000) s.ScheduleAfter(1, chain);
+    };
+    s.ScheduleAfter(1, chain);
+    s.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventCascade);
+
+void BM_ZipfNext(benchmark::State& state) {
+  workload::ZipfGenerator z(1'000'000, 0.65);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfNext);
+
+void BM_ZipfConstruct(benchmark::State& state) {
+  for (auto _ : state) {
+    workload::ZipfGenerator z(static_cast<uint64_t>(state.range(0)), 0.65);
+    benchmark::DoNotOptimize(z.n());
+  }
+}
+BENCHMARK(BM_ZipfConstruct)->Arg(1000)->Arg(100000)->Arg(1000000);
+
+void BM_LockTableAcquireRelease(benchmark::State& state) {
+  store::LockTable lt;
+  TxnId txn = 1;
+  for (auto _ : state) {
+    lt.Acquire(7, txn, store::LockMode::kExclusive, 0, 0, nullptr);
+    lt.Release(7, txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_LockTableAcquireRelease);
+
+void BM_LockTableContended(benchmark::State& state) {
+  for (auto _ : state) {
+    store::LockTable lt;
+    for (TxnId t = 1; t <= 64; ++t) {
+      lt.Acquire(7, t, store::LockMode::kExclusive, static_cast<int>(t % 2),
+                 static_cast<SimTime>(t), []() {});
+    }
+    for (TxnId t = 1; t <= 64; ++t) lt.ReleaseAll(t);
+    benchmark::DoNotOptimize(lt.num_locked_keys());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_LockTableContended);
+
+void BM_PreparedSetConflictCheck(benchmark::State& state) {
+  store::PreparedSet ps;
+  std::vector<Key> keys = {1, 2, 3, 4, 5, 6};
+  for (TxnId t = 1; t <= 32; ++t) {
+    ps.Add(t, {t * 10, t * 10 + 1}, {t * 10 + 2});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps.HasConflict(keys, keys));
+  }
+}
+BENCHMARK(BM_PreparedSetConflictCheck);
+
+void BM_DelayEstimator(benchmark::State& state) {
+  net::DelayEstimator est(Seconds(1), 0.95);
+  SimTime now = 0;
+  Rng rng(3);
+  for (auto _ : state) {
+    now += Millis(10);
+    est.AddSample(now, Millis(rng.UniformInt(30, 40)));
+    benchmark::DoNotOptimize(est.Estimate(now));
+  }
+}
+BENCHMARK(BM_DelayEstimator);
+
+}  // namespace
+}  // namespace natto
+
+BENCHMARK_MAIN();

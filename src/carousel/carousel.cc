@@ -1,0 +1,605 @@
+#include "carousel/carousel.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::carousel {
+
+namespace {
+
+/// Keys of `keys` living on `partition`.
+std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
+                           const txn::Topology& topology) {
+  std::vector<Key> out;
+  for (Key k : keys) {
+    if (topology.PartitionOfKey(k) == partition) out.push_back(k);
+  }
+  return out;
+}
+
+std::vector<std::pair<Key, Value>> LocalWrites(
+    const std::vector<std::pair<Key, Value>>& writes, int partition,
+    const txn::Topology& topology) {
+  std::vector<std::pair<Key, Value>> out;
+  for (const auto& [k, v] : writes) {
+    if (topology.PartitionOfKey(k) == partition) out.emplace_back(k, v);
+  }
+  return out;
+}
+
+uint64_t NextPayloadId() {
+  static uint64_t next = 1;
+  return next++;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CarouselServer (basic-path partition leader)
+// ---------------------------------------------------------------------------
+
+CarouselServer::CarouselServer(CarouselEngine* engine, int partition, int site,
+                               sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine),
+      partition_(partition),
+      kv_(engine->cluster()->options().default_value) {}
+
+void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  std::vector<Key> reads = LocalKeys(txn.read_set, partition_, topo);
+  std::vector<Key> writes = LocalKeys(txn.write_set, partition_, topo);
+
+  TxnId id = txn.id;
+  net::NodeId coord = txn.coordinator;
+  int partition = partition_;
+
+  if (finished_.contains(id) || prepared_.HasConflict(reads, writes)) {
+    // OCC conflict (or the txn already aborted): vote no. No read results.
+    auto* co = engine_->coordinator_by_node(coord);
+    SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false);
+    });
+    return;
+  }
+
+  prepared_.Add(id, reads, writes);
+
+  // Serve reads to the client right away (transaction processing overlaps
+  // 2PC and replication).
+  std::vector<txn::ReadResult> results;
+  results.reserve(reads.size());
+  for (Key k : reads) {
+    store::VersionedValue v = kv_.Get(k);
+    results.push_back(txn::ReadResult{k, v.value, v.version});
+  }
+  auto* gw = engine_->gateway_by_node(txn.client);
+  SendTo(txn.client, WireKvBytes(results.size()),
+         [gw, id, partition, results]() {
+           gw->HandleReadResults(id, partition, results);
+         });
+
+  // Replicate the prepare record; vote once durable.
+  auto* co = engine_->coordinator_by_node(coord);
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), [this, co, coord, id, partition]() {
+        SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+          co->HandleVote(id, partition, /*replica=*/0, /*ok=*/true);
+        });
+      });
+  if (!s.ok()) {
+    prepared_.Remove(id);
+    SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false);
+    });
+  }
+}
+
+void CarouselServer::HandleCommit(TxnId id,
+                                  std::vector<std::pair<Key, Value>> writes) {
+  if (finished_.contains(id)) return;
+  // Replicate the write data, then apply and release the footprint. Results
+  // become visible to other transactions only after replication (this is
+  // exactly the wait Natto's LECSF removes).
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), [this, id, writes = std::move(writes)]() {
+        for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
+        prepared_.Remove(id);
+        finished_.insert(id);
+      });
+  NATTO_CHECK(s.ok()) << "leader lost during fault-free run";
+}
+
+void CarouselServer::HandleAbort(TxnId id) {
+  prepared_.Remove(id);
+  finished_.insert(id);
+}
+
+// ---------------------------------------------------------------------------
+// CarouselFastReplica (fast-path replica)
+// ---------------------------------------------------------------------------
+
+CarouselFastReplica::CarouselFastReplica(CarouselEngine* engine, int partition,
+                                         int replica, int site,
+                                         sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine),
+      partition_(partition),
+      replica_(replica),
+      kv_(engine->cluster()->options().default_value) {}
+
+void CarouselFastReplica::HandleReadPrepare(const WireTxn& txn) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  std::vector<Key> reads = LocalKeys(txn.read_set, partition_, topo);
+  std::vector<Key> writes = LocalKeys(txn.write_set, partition_, topo);
+
+  TxnId id = txn.id;
+  auto* co = engine_->coordinator_by_node(txn.coordinator);
+  int partition = partition_;
+  int replica = replica_;
+
+  bool ok = !finished_.contains(id) && !prepared_.HasConflict(reads, writes);
+  if (ok) prepared_.Add(id, reads, writes);
+  // Each replica serves reads from its (possibly stale) local state even
+  // when its prepare vote is no — the client needs round 1 to complete so
+  // the slow-path fallback can validate the read versions at the leader.
+  std::vector<txn::ReadResult> results;
+  std::vector<std::pair<Key, uint64_t>> versions;
+  results.reserve(reads.size());
+  versions.reserve(reads.size());
+  for (Key k : reads) {
+    store::VersionedValue v = kv_.Get(k);
+    results.push_back(txn::ReadResult{k, v.value, v.version});
+    versions.emplace_back(k, v.version);
+  }
+  auto* gw = engine_->gateway_by_node(txn.client);
+  SendTo(txn.client, WireKvBytes(results.size()),
+         [gw, id, partition, results]() {
+           gw->HandleReadResults(id, partition, results);
+         });
+  SendTo(txn.coordinator, kMessageHeaderBytes + versions.size() * 8,
+         [co, id, partition, replica, ok, versions]() {
+           co->HandleVote(id, partition, replica, ok, versions);
+         });
+}
+
+void CarouselFastReplica::HandleSlowPrepare(
+    TxnId id, net::NodeId coordinator,
+    std::vector<std::pair<Key, uint64_t>> read_versions,
+    std::vector<Key> read_keys, std::vector<Key> write_keys) {
+  NATTO_DCHECK(replica_ == 0) << "slow path is arbitrated by the leader";
+  auto* co = engine_->coordinator_by_node(coordinator);
+  int partition = partition_;
+  auto vote = [this, co, coordinator, id, partition](bool ok) {
+    SendTo(coordinator, kMessageHeaderBytes, [co, id, partition, ok]() {
+      co->HandleSlowVote(id, partition, ok);
+    });
+  };
+
+  if (finished_.contains(id)) {
+    vote(false);
+    return;
+  }
+  // The client's reads came from a possibly stale replica: validate them
+  // against the leader's committed state. This must happen even when the
+  // leader itself fast-prepared the transaction — the leader's own reads
+  // may have been fresher than the (first-reply) reads the client used.
+  for (const auto& [k, version] : read_versions) {
+    if (kv_.Get(k).version > version) {
+      vote(false);
+      return;
+    }
+  }
+  if (prepared_.Contains(id)) {
+    // Already prepared here by the fast round; versions checked above.
+    vote(true);
+    return;
+  }
+  if (prepared_.HasConflict(read_keys, write_keys)) {
+    vote(false);
+    return;
+  }
+  prepared_.Add(id, read_keys, write_keys);
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), [vote]() { vote(true); });
+  NATTO_CHECK(s.ok());
+}
+
+void CarouselFastReplica::HandleCommit(
+    TxnId id, std::vector<std::pair<Key, Value>> writes) {
+  if (finished_.contains(id)) return;
+  // All replicas hold the prepare; the commit applies directly.
+  for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
+  prepared_.Remove(id);
+  finished_.insert(id);
+}
+
+void CarouselFastReplica::HandleAbort(TxnId id) {
+  prepared_.Remove(id);
+  finished_.insert(id);
+}
+
+// ---------------------------------------------------------------------------
+// CarouselCoordinator
+// ---------------------------------------------------------------------------
+
+CarouselCoordinator::CarouselCoordinator(CarouselEngine* engine, int site,
+                                         sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void CarouselCoordinator::HandleBegin(const WireTxn& txn,
+                                      std::vector<int> participants) {
+  if (decided_.contains(txn.id)) return;
+  TxnState& st = txns_[txn.id];
+  st.txn = txn;
+  st.begun = true;
+  st.participants = std::move(participants);
+  MaybeDecide(txn.id);
+}
+
+void CarouselCoordinator::HandleVote(
+    TxnId id, int partition, int replica, bool ok,
+    std::vector<std::pair<Key, uint64_t>> versions) {
+  (void)replica;
+  if (decided_.contains(id)) return;
+  // Votes can overtake the Begin message under jitter: create state lazily.
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  if (ok) {
+    st.ok_votes[partition] += 1;
+    if (engine_->options().fast_path) {
+      // The fast path requires a *matching* quorum: all replicas must have
+      // served the same versions, or some read was stale.
+      auto fv = st.fast_versions.find(partition);
+      if (fv == st.fast_versions.end()) {
+        st.fast_versions[partition] = std::move(versions);
+      } else if (fv->second != versions) {
+        st.version_mismatch.insert(partition);
+        MaybeStartSlowPath(id, partition);
+      }
+    }
+  } else if (engine_->options().fast_path) {
+    // Fast quorum failed for this partition: fall back to leader-arbitrated
+    // prepare instead of aborting outright.
+    st.fail_votes[partition] += 1;
+    MaybeStartSlowPath(id, partition);
+  } else {
+    st.any_fail = true;
+  }
+  MaybeDecide(id);
+}
+
+void CarouselCoordinator::MaybeStartSlowPath(TxnId id, int partition) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  if (!st.begun || !st.have_writes) return;  // versions arrive with round 2
+  if (st.slow_pending.contains(partition) || st.slow_ok.contains(partition)) {
+    return;
+  }
+  st.slow_pending.insert(partition);
+  const txn::Topology& topo = engine_->cluster()->topology();
+  std::vector<Key> read_keys = LocalKeys(st.txn.read_set, partition, topo);
+  std::vector<Key> write_keys = LocalKeys(st.txn.write_set, partition, topo);
+  std::vector<std::pair<Key, uint64_t>> versions;
+  for (const auto& [k, v] : st.read_versions) {
+    if (topo.PartitionOfKey(k) == partition) versions.emplace_back(k, v);
+  }
+  auto* leader = engine_->fast_replica(partition, 0);
+  SendTo(leader->id(), WireKeysBytes(read_keys.size() + write_keys.size()),
+         [leader, id, coord = this->id(), versions, read_keys, write_keys]() {
+           leader->HandleSlowPrepare(id, coord, versions, read_keys,
+                                     write_keys);
+         });
+}
+
+void CarouselCoordinator::HandleSlowVote(TxnId id, int partition, bool ok) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  st.slow_pending.erase(partition);
+  if (ok) {
+    st.slow_ok.insert(partition);
+  } else {
+    st.any_fail = true;
+  }
+  MaybeDecide(id);
+}
+
+void CarouselCoordinator::HandleCommitRequest(
+    TxnId id, std::vector<std::pair<Key, Value>> writes,
+    std::vector<std::pair<Key, uint64_t>> read_versions, bool user_abort) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  st.have_writes = true;
+  st.user_abort = user_abort;
+  st.writes = std::move(writes);
+  st.read_versions = std::move(read_versions);
+  if (user_abort) {
+    MaybeDecide(id);
+    return;
+  }
+  if (engine_->options().fast_path) {
+    for (const auto& [p, fails] : st.fail_votes) {
+      if (fails > 0) MaybeStartSlowPath(id, p);
+    }
+    for (int p : st.version_mismatch) MaybeStartSlowPath(id, p);
+  }
+  if (st.writes.empty()) {
+    st.own_replicated = true;
+  } else {
+    // Make the write data fault tolerant at the coordinator first.
+    int local_partition =
+        engine_->cluster()->topology().PartitionLedAt(site());
+    NATTO_CHECK(local_partition >= 0);
+    Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
+        NextPayloadId(), [this, id]() {
+          auto it2 = txns_.find(id);
+          if (it2 == txns_.end()) return;
+          it2->second.own_replicated = true;
+          MaybeDecide(id);
+        });
+    NATTO_CHECK(s.ok());
+  }
+  MaybeDecide(id);
+}
+
+void CarouselCoordinator::MaybeDecide(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  if (!st.begun) return;  // need the client/participant info first
+  if (st.user_abort) {
+    Decide(id, /*commit=*/false, "user abort");
+    return;
+  }
+  if (st.any_fail) {
+    Decide(id, /*commit=*/false, "prepare conflict");
+    return;
+  }
+  if (st.participants.empty() || !st.have_writes || !st.own_replicated) return;
+  if (engine_->options().fast_path) {
+    int full = engine_->cluster()->topology().num_replicas();
+    for (int p : st.participants) {
+      bool fast_ok = st.ok_votes.contains(p) && st.ok_votes[p] == full &&
+                     !st.version_mismatch.contains(p);
+      if (!fast_ok && !st.slow_ok.contains(p)) return;
+    }
+  } else {
+    for (int p : st.participants) {
+      auto v = st.ok_votes.find(p);
+      if (v == st.ok_votes.end() || v->second < 1) return;
+    }
+  }
+  Decide(id, /*commit=*/true, "");
+}
+
+void CarouselCoordinator::Decide(TxnId id, bool commit,
+                                 const std::string& reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState st = std::move(it->second);
+  txns_.erase(it);
+  decided_.insert(id);
+
+  const txn::Topology& topo = engine_->cluster()->topology();
+
+  // Notify the client (transaction completion point).
+  auto* gw = engine_->gateway_by_node(st.txn.client);
+  txn::TxnOutcome outcome =
+      commit ? txn::TxnOutcome::kCommitted
+             : (st.user_abort ? txn::TxnOutcome::kUserAborted
+                              : txn::TxnOutcome::kAborted);
+  SendTo(st.txn.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
+    gw->HandleDecision(id, outcome, reason);
+  });
+
+  // Asynchronously commit/abort at the participants.
+  for (int p : st.participants) {
+    if (engine_->options().fast_path) {
+      for (int r = 0; r < topo.num_replicas(); ++r) {
+        auto* rep = engine_->fast_replica(p, r);
+        if (commit) {
+          auto writes = LocalWrites(st.writes, p, topo);
+          SendTo(rep->id(), WireKvBytes(writes.size()),
+                 [rep, id, writes]() { rep->HandleCommit(id, writes); });
+        } else {
+          SendTo(rep->id(), kMessageHeaderBytes,
+                 [rep, id]() { rep->HandleAbort(id); });
+        }
+      }
+    } else {
+      auto* srv = engine_->server(p);
+      if (commit) {
+        auto writes = LocalWrites(st.writes, p, topo);
+        SendTo(srv->id(), WireKvBytes(writes.size()),
+               [srv, id, writes]() { srv->HandleCommit(id, writes); });
+      } else {
+        SendTo(srv->id(), kMessageHeaderBytes,
+               [srv, id]() { srv->HandleAbort(id); });
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CarouselGateway (client library)
+// ---------------------------------------------------------------------------
+
+CarouselGateway::CarouselGateway(CarouselEngine* engine, int site,
+                                 sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void CarouselGateway::StartTxn(const txn::TxnRequest& request,
+                               txn::TxnCallback done) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  auto* coord = engine_->coordinator_at(site());
+
+  WireTxn w;
+  w.id = request.id;
+  w.priority = request.priority;
+  w.read_set = request.read_set;
+  w.write_set = request.write_set;
+  w.coordinator = coord->id();
+  w.client = id();
+
+  std::vector<int> participants =
+      topo.Participants(request.read_set, request.write_set);
+
+  ClientTxn st;
+  st.request = request;
+  st.done = std::move(done);
+  st.awaiting.insert(participants.begin(), participants.end());
+  txns_[request.id] = std::move(st);
+
+  SendTo(coord->id(),
+         WireKeysBytes(request.read_set.size() + request.write_set.size()),
+         [coord, w, participants]() { coord->HandleBegin(w, participants); });
+
+  size_t rp_bytes =
+      WireKeysBytes(request.read_set.size() + request.write_set.size());
+  for (int p : participants) {
+    if (engine_->options().fast_path) {
+      for (int r = 0; r < topo.num_replicas(); ++r) {
+        auto* rep = engine_->fast_replica(p, r);
+        SendTo(rep->id(), rp_bytes, [rep, w]() { rep->HandleReadPrepare(w); });
+      }
+    } else {
+      auto* srv = engine_->server(p);
+      SendTo(srv->id(), rp_bytes, [srv, w]() { srv->HandleReadPrepare(w); });
+    }
+  }
+}
+
+void CarouselGateway::HandleReadResults(TxnId id, int partition,
+                                        std::vector<txn::ReadResult> reads) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;  // already decided
+  ClientTxn& st = it->second;
+  if (st.awaiting.erase(partition) == 0) return;  // duplicate (fast path)
+  for (const txn::ReadResult& r : reads) st.reads[r.key] = r;
+  MaybeFinishRound1(id);
+}
+
+void CarouselGateway::MaybeFinishRound1(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  if (!st.awaiting.empty() || st.sent_round2) return;
+  st.sent_round2 = true;
+
+  // Reads ordered as declared in the request.
+  std::vector<txn::ReadResult> ordered;
+  ordered.reserve(st.request.read_set.size());
+  for (Key k : st.request.read_set) {
+    auto r = st.reads.find(k);
+    NATTO_CHECK(r != st.reads.end()) << "missing read result for key " << k;
+    ordered.push_back(r->second);
+  }
+
+  txn::WriteDecision d = st.request.compute_writes(ordered);
+  auto* coord = engine_->coordinator_at(site());
+  if (d.user_abort) {
+    SendTo(coord->id(), kMessageHeaderBytes, [coord, id]() {
+      coord->HandleCommitRequest(id, {}, {}, /*user_abort=*/true);
+    });
+    return;
+  }
+  st.writes = d.writes;
+  // Versions of the reads the writes were computed from; the fast path's
+  // slow fallback validates them at the partition leader.
+  std::vector<std::pair<Key, uint64_t>> versions;
+  versions.reserve(ordered.size());
+  for (const txn::ReadResult& r : ordered) {
+    versions.emplace_back(r.key, r.version);
+  }
+  SendTo(coord->id(), WireKvBytes(d.writes.size()) + versions.size() * 8,
+         [coord, id, writes = std::move(d.writes), versions]() {
+           coord->HandleCommitRequest(id, writes, versions,
+                                      /*user_abort=*/false);
+         });
+}
+
+void CarouselGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
+                                     std::string reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn st = std::move(it->second);
+  txns_.erase(it);
+
+  txn::TxnResult result;
+  result.outcome = outcome;
+  result.abort_reason = std::move(reason);
+  if (outcome == txn::TxnOutcome::kCommitted) {
+    for (Key k : st.request.read_set) {
+      auto r = st.reads.find(k);
+      if (r != st.reads.end()) result.reads.push_back(r->second);
+    }
+    result.writes = st.writes;
+  }
+  st.done(result);
+}
+
+// ---------------------------------------------------------------------------
+// CarouselEngine
+// ---------------------------------------------------------------------------
+
+CarouselEngine::CarouselEngine(txn::Cluster* cluster, CarouselOptions options)
+    : cluster_(cluster), options_(options) {
+  const txn::Topology& topo = cluster_->topology();
+  for (int p = 0; p < topo.num_partitions(); ++p) {
+    servers_.push_back(std::make_unique<CarouselServer>(
+        this, p, topo.LeaderSite(p), cluster_->MakeClock()));
+  }
+  if (options_.fast_path) {
+    fast_replicas_.resize(topo.num_partitions());
+    for (int p = 0; p < topo.num_partitions(); ++p) {
+      for (int r = 0; r < topo.num_replicas(); ++r) {
+        fast_replicas_[p].push_back(std::make_unique<CarouselFastReplica>(
+            this, p, r, topo.ReplicaSites(p)[r], cluster_->MakeClock()));
+      }
+    }
+  }
+  int num_sites = topo.num_sites();
+  for (int s = 0; s < num_sites; ++s) {
+    coordinators_.push_back(std::make_unique<CarouselCoordinator>(
+        this, cluster_->CoordinatorSite(s), cluster_->MakeClock()));
+    gateways_.push_back(
+        std::make_unique<CarouselGateway>(this, s, cluster_->MakeClock()));
+  }
+  // Node-id indexed lookup for message closures.
+  for (auto& c : coordinators_) coord_by_node_[c->id()] = c.get();
+  for (auto& g : gateways_) gateway_by_node_[g->id()] = g.get();
+}
+
+void CarouselEngine::Execute(const txn::TxnRequest& request,
+                             txn::TxnCallback done) {
+  NATTO_CHECK(request.origin_site >= 0 &&
+              request.origin_site < static_cast<int>(gateways_.size()));
+  gateways_[request.origin_site]->StartTxn(request, std::move(done));
+}
+
+Value CarouselEngine::DebugValue(Key key) {
+  int p = cluster_->topology().PartitionOfKey(key);
+  if (options_.fast_path) return fast_replicas_[p][0]->kv()->Get(key).value;
+  return servers_[p]->kv()->Get(key).value;
+}
+
+CarouselCoordinator* CarouselEngine::coordinator_by_node(net::NodeId node) {
+  auto it = coord_by_node_.find(node);
+  NATTO_CHECK(it != coord_by_node_.end());
+  return it->second;
+}
+
+CarouselGateway* CarouselEngine::gateway_by_node(net::NodeId node) {
+  auto it = gateway_by_node_.find(node);
+  NATTO_CHECK(it != gateway_by_node_.end());
+  return it->second;
+}
+
+}  // namespace natto::carousel

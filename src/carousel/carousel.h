@@ -1,0 +1,244 @@
+#ifndef NATTO_CAROUSEL_CAROUSEL_H_
+#define NATTO_CAROUSEL_CAROUSEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/node.h"
+#include "store/kv_store.h"
+#include "store/prepared_set.h"
+#include "txn/cluster.h"
+#include "txn/transaction.h"
+
+namespace natto::carousel {
+
+/// Engine configuration: Carousel Basic (leader-driven, overlapping
+/// transaction processing with 2PC and replication) or Carousel Fast
+/// (read-and-prepare sent to every replica; commits in one WAN round trip
+/// when all replicas of every participant vote yes).
+struct CarouselOptions {
+  bool fast_path = false;
+};
+
+/// Wire form of a read-and-prepare request (what the client broadcasts).
+struct WireTxn {
+  TxnId id = 0;
+  txn::Priority priority = txn::Priority::kLow;
+  std::vector<Key> read_set;   // full transaction read set
+  std::vector<Key> write_set;  // full transaction write set
+  net::NodeId coordinator = -1;
+  net::NodeId client = -1;
+};
+
+class CarouselEngine;
+class CarouselGateway;
+class CarouselCoordinator;
+
+/// Partition leader for the basic protocol: serves reads with OCC, prepares
+/// via Raft, applies committed writes after replicating them.
+class CarouselServer : public net::Node {
+ public:
+  CarouselServer(CarouselEngine* engine, int partition, int site,
+                 sim::NodeClock clock);
+
+  void HandleReadPrepare(const WireTxn& txn);
+  void HandleCommit(TxnId id, std::vector<std::pair<Key, Value>> writes);
+  void HandleAbort(TxnId id);
+
+  store::KvStore* kv() { return &kv_; }
+  const store::PreparedSet& prepared() const { return prepared_; }
+  int partition() const { return partition_; }
+
+ private:
+  friend class CarouselEngine;
+
+  CarouselEngine* engine_;
+  int partition_;
+  store::KvStore kv_;
+  store::PreparedSet prepared_;
+  std::unordered_set<TxnId> finished_;  // tombstones for late arrivals
+};
+
+/// One replica in the fast path: validates and votes independently; applies
+/// writes when the coordinator commits. The leader replica (index 0)
+/// additionally arbitrates the slow path when the fast quorum fails.
+class CarouselFastReplica : public net::Node {
+ public:
+  CarouselFastReplica(CarouselEngine* engine, int partition, int replica,
+                      int site, sim::NodeClock clock);
+
+  void HandleReadPrepare(const WireTxn& txn);
+
+  /// Slow-path fallback (leader only): validates the client's reads against
+  /// the leader's state, prepares with OCC and replicates the prepare
+  /// record; votes ok/fail to the coordinator.
+  void HandleSlowPrepare(TxnId id, net::NodeId coordinator,
+                         std::vector<std::pair<Key, uint64_t>> read_versions,
+                         std::vector<Key> read_keys,
+                         std::vector<Key> write_keys);
+
+  void HandleCommit(TxnId id, std::vector<std::pair<Key, Value>> writes);
+  void HandleAbort(TxnId id);
+
+  store::KvStore* kv() { return &kv_; }
+
+ private:
+  CarouselEngine* engine_;
+  int partition_;
+  int replica_;
+  store::KvStore kv_;
+  store::PreparedSet prepared_;
+  std::unordered_set<TxnId> finished_;
+};
+
+/// 2PC coordinator colocated with the clients of one datacenter; replicates
+/// write data through the local partition's Raft group before committing.
+class CarouselCoordinator : public net::Node {
+ public:
+  CarouselCoordinator(CarouselEngine* engine, int site, sim::NodeClock clock);
+
+  /// Registers the transaction (participants, client) ahead of votes.
+  void HandleBegin(const WireTxn& txn, std::vector<int> participants);
+
+  /// Prepare vote from a participant (basic: leader; fast: one replica).
+  /// Fast-path OK votes carry the replica's versions of the transaction's
+  /// read keys: the fast path only holds if every replica reports the same
+  /// versions (otherwise some replica served a stale read and the slow path
+  /// must re-validate at the leader).
+  void HandleVote(TxnId id, int partition, int replica, bool ok,
+                  std::vector<std::pair<Key, uint64_t>> versions = {});
+
+  /// Client's round-2 message: write values (plus the versions of the reads
+  /// they were computed from, used by the fast path's slow fallback), or a
+  /// user abort.
+  void HandleCommitRequest(TxnId id,
+                           std::vector<std::pair<Key, Value>> writes,
+                           std::vector<std::pair<Key, uint64_t>> read_versions,
+                           bool user_abort);
+
+  /// Outcome of a slow-path fallback prepare at a partition leader.
+  void HandleSlowVote(TxnId id, int partition, bool ok);
+
+ private:
+  friend class CarouselEngine;
+
+  struct TxnState {
+    WireTxn txn;
+    /// Messages (votes) can overtake HandleBegin under network jitter;
+    /// state is created lazily and no decision is made until begun.
+    bool begun = false;
+    std::vector<int> participants;
+    // Basic path: set of partitions that voted ok. Fast path: per-partition
+    // count of ok replica votes.
+    std::unordered_map<int, int> ok_votes;
+    // Fast path: partitions whose fast quorum failed (>=1 replica said no),
+    // and their slow-path state.
+    std::unordered_map<int, int> fail_votes;
+    std::unordered_map<int, std::vector<std::pair<Key, uint64_t>>>
+        fast_versions;
+    std::unordered_set<int> version_mismatch;
+    std::unordered_set<int> slow_pending;
+    std::unordered_set<int> slow_ok;
+    bool any_fail = false;  // basic path, or slow-path refusal
+    bool have_writes = false;
+    bool own_replicated = false;
+    bool user_abort = false;
+    bool decided = false;
+    std::vector<std::pair<Key, Value>> writes;
+    std::vector<std::pair<Key, uint64_t>> read_versions;
+  };
+
+  void MaybeStartSlowPath(TxnId id, int partition);
+  void MaybeDecide(TxnId id);
+  void Decide(TxnId id, bool commit, const std::string& reason);
+
+  CarouselEngine* engine_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  std::unordered_set<TxnId> decided_;  // ignore late messages
+};
+
+/// Client-side library instance for one datacenter: issues read-and-prepare
+/// rounds, gathers reads, runs the client's write computation, and reports
+/// the outcome.
+class CarouselGateway : public net::Node {
+ public:
+  CarouselGateway(CarouselEngine* engine, int site, sim::NodeClock clock);
+
+  void StartTxn(const txn::TxnRequest& request, txn::TxnCallback done);
+
+  void HandleReadResults(TxnId id, int partition,
+                         std::vector<txn::ReadResult> reads);
+  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
+
+ private:
+  friend class CarouselEngine;
+
+  struct ClientTxn {
+    txn::TxnRequest request;
+    txn::TxnCallback done;
+    std::unordered_set<int> awaiting;  // partitions with pending reads
+    std::unordered_map<Key, txn::ReadResult> reads;
+    std::vector<std::pair<Key, Value>> writes;
+    bool sent_round2 = false;
+  };
+
+  void MaybeFinishRound1(TxnId id);
+
+  CarouselEngine* engine_;
+  std::unordered_map<TxnId, ClientTxn> txns_;
+};
+
+/// Carousel (SIGMOD'18), the substrate Natto builds on and one of the
+/// paper's baselines. Implements the basic protocol and the fast protocol.
+class CarouselEngine : public txn::TxnEngine {
+ public:
+  CarouselEngine(txn::Cluster* cluster, CarouselOptions options);
+
+  void Execute(const txn::TxnRequest& request, txn::TxnCallback done) override;
+  std::string name() const override {
+    return options_.fast_path ? "Carousel Fast" : "Carousel Basic";
+  }
+
+  txn::Cluster* cluster() { return cluster_; }
+  const CarouselOptions& options() const { return options_; }
+
+  CarouselServer* server(int partition) { return servers_[partition].get(); }
+  CarouselFastReplica* fast_replica(int partition, int replica) {
+    return fast_replicas_[partition][replica].get();
+  }
+  CarouselCoordinator* coordinator_at(int site) {
+    return coordinators_[site].get();
+  }
+  CarouselGateway* gateway_at(int site) { return gateways_[site].get(); }
+
+  /// Test hook: committed value at the partition leader (fast path: replica
+  /// 0).
+  Value DebugValue(Key key) override;
+
+  /// Node-id lookups used by message closures.
+  CarouselCoordinator* coordinator_by_node(net::NodeId node);
+  CarouselGateway* gateway_by_node(net::NodeId node);
+
+ private:
+  friend class CarouselServer;
+  friend class CarouselFastReplica;
+  friend class CarouselCoordinator;
+  friend class CarouselGateway;
+
+  txn::Cluster* cluster_;
+  CarouselOptions options_;
+  std::vector<std::unique_ptr<CarouselServer>> servers_;  // basic path
+  std::vector<std::vector<std::unique_ptr<CarouselFastReplica>>>
+      fast_replicas_;  // fast path
+  std::vector<std::unique_ptr<CarouselCoordinator>> coordinators_;  // per site
+  std::vector<std::unique_ptr<CarouselGateway>> gateways_;          // per site
+  std::unordered_map<net::NodeId, CarouselCoordinator*> coord_by_node_;
+  std::unordered_map<net::NodeId, CarouselGateway*> gateway_by_node_;
+};
+
+}  // namespace natto::carousel
+
+#endif  // NATTO_CAROUSEL_CAROUSEL_H_

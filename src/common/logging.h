@@ -1,0 +1,81 @@
+#ifndef NATTO_COMMON_LOGGING_H_
+#define NATTO_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace natto {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so simulations stay quiet unless a test or tool opts in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() {
+    FatalCheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace natto
+
+#define NATTO_LOG(level)                                              \
+  ::natto::internal_logging::LogMessage(::natto::LogLevel::k##level, \
+                                        __FILE__, __LINE__)
+
+/// Fatal assertion, always on. Streams an optional explanation:
+///   NATTO_CHECK(a < b) << "details";
+#define NATTO_CHECK(expr)                                             \
+  if (expr) {                                                         \
+  } else                                                              \
+    ::natto::internal_logging::CheckMessage(__FILE__, __LINE__, #expr)
+
+#ifdef NDEBUG
+#define NATTO_DCHECK(expr) NATTO_CHECK(true || (expr))
+#else
+#define NATTO_DCHECK(expr) NATTO_CHECK(expr)
+#endif
+
+#endif  // NATTO_COMMON_LOGGING_H_

@@ -1,0 +1,71 @@
+#ifndef NATTO_COMMON_RNG_H_
+#define NATTO_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace natto {
+
+/// Deterministic random source. Every component that needs randomness owns an
+/// `Rng` seeded from the experiment seed so that runs are exactly
+/// reproducible; nothing in the library calls global random state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Exponentially distributed value with the given rate (events per unit
+  /// time); used for open-loop Poisson arrival processes.
+  double Exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Pareto-distributed value with scale `xm > 0` and shape `alpha > 0`.
+  /// Mean exists for alpha > 1 and equals alpha * xm / (alpha - 1).
+  double Pareto(double xm, double alpha) {
+    double u = UniformDouble();
+    // Guard against u == 0 which would produce infinity.
+    if (u < 1e-12) u = 1e-12;
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Normally distributed value.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Derives an independent child generator; useful for giving each actor
+  /// its own stream from one experiment seed.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace natto
+
+#endif  // NATTO_COMMON_RNG_H_

@@ -1,0 +1,48 @@
+#ifndef NATTO_COMMON_TYPES_H_
+#define NATTO_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace natto {
+
+/// Keys and values are fixed-size records in the paper (64 bytes each); the
+/// simulation carries their identity/content as integers and accounts for
+/// the 64-byte wire size in the transport layer.
+using Key = uint64_t;
+using Value = int64_t;
+
+/// Wire size of one key or one value (paper Sec 5.1).
+inline constexpr size_t kKeyBytes = 64;
+inline constexpr size_t kValueBytes = 64;
+/// Fixed per-message header overhead we charge on the wire.
+inline constexpr size_t kMessageHeaderBytes = 64;
+
+/// Globally unique transaction id: (client id << 32) | per-client sequence
+/// number (Sec 3.1). The integer order doubles as the deterministic
+/// tie-break for equal timestamps.
+using TxnId = uint64_t;
+
+inline constexpr TxnId MakeTxnId(uint32_t client_id, uint32_t seq) {
+  return (static_cast<uint64_t>(client_id) << 32) | seq;
+}
+inline constexpr uint32_t TxnIdClient(TxnId id) {
+  return static_cast<uint32_t>(id >> 32);
+}
+inline constexpr uint32_t TxnIdSeq(TxnId id) {
+  return static_cast<uint32_t>(id & 0xffffffffull);
+}
+
+/// Wire size of a message carrying `n` keys.
+inline constexpr size_t WireKeysBytes(size_t n) {
+  return kMessageHeaderBytes + n * kKeyBytes;
+}
+
+/// Wire size of a message carrying `n` key-value pairs.
+inline constexpr size_t WireKvBytes(size_t n) {
+  return kMessageHeaderBytes + n * (kKeyBytes + kValueBytes);
+}
+
+}  // namespace natto
+
+#endif  // NATTO_COMMON_TYPES_H_

@@ -1,0 +1,85 @@
+#include "harness/client.h"
+
+#include <utility>
+
+#include "common/types.h"
+
+namespace natto::harness {
+
+Client::Client(sim::Simulator* simulator, txn::TxnEngine* engine,
+               workload::Workload* workload, Options options, Rng rng,
+               RunStats* stats)
+    : simulator_(simulator),
+      engine_(engine),
+      workload_(workload),
+      options_(options),
+      rng_(std::move(rng)),
+      stats_(stats) {}
+
+void Client::Start() { ScheduleNext(); }
+
+void Client::ScheduleNext() {
+  double gap_sec = rng_.Exponential(options_.rate_tps);
+  auto gap = static_cast<SimDuration>(gap_sec * 1e6);
+  simulator_->ScheduleAfter(gap, [this]() {
+    if (simulator_->Now() >= options_.stop_generating_at) return;
+    BeginTransaction();
+    ScheduleNext();
+  });
+}
+
+void Client::BeginTransaction() {
+  txn::TxnRequest req = workload_->Next(rng_);
+  req.origin_site = options_.origin_site;
+  txn::Priority original = req.priority;
+  Attempt(std::move(req), simulator_->Now(), /*attempt=*/1, original);
+}
+
+void Client::Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
+                     txn::Priority original_priority) {
+  request.id = MakeTxnId(options_.client_id, next_seq_++);
+  engine_->Execute(request, [this, request, first_start, attempt,
+                             original_priority](const txn::TxnResult& result) {
+    bool in_window = first_start >= options_.measure_start &&
+                     first_start < options_.measure_end;
+    switch (result.outcome) {
+      case txn::TxnOutcome::kCommitted: {
+        if (in_window) {
+          double latency_ms =
+              ToMillis(simulator_->Now() - first_start);
+          if (txn::IsPrioritized(original_priority)) {
+            stats_->latencies_high_ms.push_back(latency_ms);
+            ++stats_->committed_high;
+          } else {
+            stats_->latencies_low_ms.push_back(latency_ms);
+            ++stats_->committed_low;
+          }
+          stats_->latencies_by_level_ms[txn::PriorityLevel(original_priority)]
+              .push_back(latency_ms);
+        }
+        return;
+      }
+      case txn::TxnOutcome::kUserAborted: {
+        if (in_window) ++stats_->user_aborted;
+        return;
+      }
+      case txn::TxnOutcome::kAborted: {
+        if (in_window) ++stats_->aborted_attempts;
+        if (attempt >= options_.max_attempts) {
+          if (in_window) ++stats_->failed;
+          return;
+        }
+        txn::TxnRequest retry = request;
+        if (options_.promote_after_aborts > 0 &&
+            attempt >= options_.promote_after_aborts) {
+          retry.priority = txn::Priority::kHigh;
+        }
+        Attempt(std::move(retry), first_start, attempt + 1,
+                original_priority);
+        return;
+      }
+    }
+  });
+}
+
+}  // namespace natto::harness

@@ -1,0 +1,62 @@
+#ifndef NATTO_HARNESS_CLIENT_H_
+#define NATTO_HARNESS_CLIENT_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "harness/stats.h"
+#include "sim/simulator.h"
+#include "txn/transaction.h"
+#include "workload/workload.h"
+
+namespace natto::harness {
+
+/// Open-loop workload client: submits new transactions following a Poisson
+/// process at its share of the aggregate input rate and retries aborted
+/// transactions immediately (Sec 5.1). Retried transactions do not count
+/// toward the input rate; a transaction that cannot commit within
+/// `max_attempts` is recorded as failed; committed latency includes retries.
+class Client {
+ public:
+  struct Options {
+    double rate_tps = 10;  // this client's share of the input rate
+    int origin_site = 0;
+    uint32_t client_id = 0;
+    SimTime stop_generating_at = 0;
+    /// Measurement window [start, end): transactions *starting* inside it
+    /// contribute to the statistics.
+    SimTime measure_start = 0;
+    SimTime measure_end = 0;
+    int max_attempts = 100;
+    /// Starvation-avoidance extension (Sec 3.3.1 future work): promote a
+    /// low-priority transaction to high after this many aborts (0 = off).
+    int promote_after_aborts = 0;
+  };
+
+  Client(sim::Simulator* simulator, txn::TxnEngine* engine,
+         workload::Workload* workload, Options options, Rng rng,
+         RunStats* stats);
+
+  /// Schedules the first arrival.
+  void Start();
+
+  uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  void ScheduleNext();
+  void BeginTransaction();
+  void Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
+               txn::Priority original_priority);
+
+  sim::Simulator* simulator_;
+  txn::TxnEngine* engine_;
+  workload::Workload* workload_;
+  Options options_;
+  Rng rng_;
+  RunStats* stats_;
+  uint32_t next_seq_ = 1;
+};
+
+}  // namespace natto::harness
+
+#endif  // NATTO_HARNESS_CLIENT_H_

@@ -1,0 +1,111 @@
+#include "harness/experiment.h"
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "harness/client.h"
+#include "txn/topology.h"
+
+namespace natto::harness {
+
+RunStats RunOnce(const ExperimentConfig& config, const System& system,
+                 const WorkloadFactory& workload_factory, uint64_t seed) {
+  txn::Topology topology = txn::Topology::Spread(
+      config.num_partitions, config.num_replicas, config.matrix.num_sites());
+  txn::ClusterOptions copts = config.cluster;
+  copts.seed = seed;
+  copts.default_value = config.default_value;
+  txn::Cluster cluster(config.matrix, topology, copts);
+
+  std::unique_ptr<txn::TxnEngine> engine = system.make(&cluster);
+  std::unique_ptr<workload::Workload> workload = workload_factory();
+
+  RunStats stats;
+  SimTime measure_start = config.warmup;
+  SimTime measure_end = config.duration - config.cooldown;
+  NATTO_CHECK(measure_end > measure_start);
+  stats.measured_seconds = ToSeconds(measure_end - measure_start);
+
+  int num_sites = topology.num_sites();
+  int total_clients = num_sites * config.clients_per_site;
+  double per_client_rate =
+      config.input_rate_tps / static_cast<double>(total_clients);
+
+  Rng client_seed_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<std::unique_ptr<Client>> clients;
+  uint32_t client_id = 1;
+  for (int s = 0; s < num_sites; ++s) {
+    for (int c = 0; c < config.clients_per_site; ++c) {
+      Client::Options opts;
+      opts.rate_tps = per_client_rate;
+      opts.origin_site = s;
+      opts.client_id = client_id++;
+      opts.stop_generating_at = config.duration;
+      opts.measure_start = measure_start;
+      opts.measure_end = measure_end;
+      opts.max_attempts = config.max_attempts;
+      opts.promote_after_aborts = config.promote_after_aborts;
+      clients.push_back(std::make_unique<Client>(
+          cluster.simulator(), engine.get(), workload.get(), opts,
+          client_seed_rng.Fork(), &stats));
+      clients.back()->Start();
+    }
+  }
+
+  cluster.simulator()->RunUntil(config.duration + config.drain);
+  return stats;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const System& system,
+                               const WorkloadFactory& workload_factory) {
+  ExperimentResult result;
+  result.system = system.name;
+  std::vector<double> p95_high, p95_low, mean_high, mean_low, goodput_low,
+      goodput_total, abort_rate;
+  for (int r = 0; r < config.repeats; ++r) {
+    RunStats run =
+        RunOnce(config, system, workload_factory, config.seed + 1000ull * r);
+    p95_high.push_back(Percentile(run.latencies_high_ms, 0.95));
+    p95_low.push_back(Percentile(run.latencies_low_ms, 0.95));
+    mean_high.push_back(Mean(run.latencies_high_ms));
+    mean_low.push_back(Mean(run.latencies_low_ms));
+    goodput_low.push_back(run.GoodputLow());
+    goodput_total.push_back(run.GoodputTotal());
+    int64_t committed = run.committed_high + run.committed_low;
+    abort_rate.push_back(
+        committed > 0
+            ? static_cast<double>(run.aborted_attempts) /
+                  static_cast<double>(committed)
+            : 0);
+    result.failed += run.failed;
+  }
+  result.p95_high_ms = Aggregated(p95_high);
+  result.p95_low_ms = Aggregated(p95_low);
+  result.mean_high_ms = Aggregated(mean_high);
+  result.mean_low_ms = Aggregated(mean_low);
+  result.goodput_low_tps = Aggregated(goodput_low);
+  result.goodput_total_tps = Aggregated(goodput_total);
+  result.abort_rate = Aggregated(abort_rate);
+  return result;
+}
+
+void ApplyEnvOverrides(ExperimentConfig* config) {
+  if (const char* r = std::getenv("NATTO_REPEATS")) {
+    int v = std::atoi(r);
+    if (v > 0) config->repeats = v;
+  }
+  if (const char* d = std::getenv("NATTO_DURATION_S")) {
+    int v = std::atoi(d);
+    if (v >= 3) {
+      config->duration = Seconds(v);
+      // Keep the paper's proportions: trim 1/6th at each end.
+      config->warmup = Seconds(v) / 6;
+      config->cooldown = Seconds(v) / 6;
+    }
+  }
+}
+
+}  // namespace natto::harness

@@ -1,0 +1,73 @@
+#ifndef NATTO_HARNESS_EXPERIMENT_H_
+#define NATTO_HARNESS_EXPERIMENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/stats.h"
+#include "harness/systems.h"
+#include "net/latency_matrix.h"
+#include "txn/cluster.h"
+#include "workload/workload.h"
+
+namespace natto::harness {
+
+using WorkloadFactory = std::function<std::unique_ptr<workload::Workload>()>;
+
+/// One experiment point: a system x workload x load configuration, repeated
+/// `repeats` times with distinct seeds.
+struct ExperimentConfig {
+  net::LatencyMatrix matrix = net::LatencyMatrix::AzureFive();
+  int num_partitions = 5;  // paper default: 5 partitions x 3 replicas
+  int num_replicas = 3;
+  int clients_per_site = 2;  // paper: two client machines per datacenter
+
+  double input_rate_tps = 100;  // aggregate new-transaction rate
+
+  SimDuration duration = Seconds(60);
+  SimDuration warmup = Seconds(10);
+  SimDuration cooldown = Seconds(10);
+  SimDuration drain = Seconds(30);  // extra time for in-flight retries
+
+  int repeats = 10;
+  uint64_t seed = 42;
+  int max_attempts = 100;
+  int promote_after_aborts = 0;
+
+  txn::ClusterOptions cluster;  // transport/delay/skew knobs
+
+  /// Initial value of unwritten keys (workload-specific).
+  std::function<Value(Key)> default_value;
+};
+
+/// Aggregated output of one experiment point.
+struct ExperimentResult {
+  std::string system;
+  Aggregate p95_high_ms;
+  Aggregate p95_low_ms;
+  Aggregate mean_high_ms;
+  Aggregate mean_low_ms;
+  Aggregate goodput_low_tps;
+  Aggregate goodput_total_tps;
+  Aggregate abort_rate;  // aborted attempts per committed txn
+  int64_t failed = 0;    // total across repeats
+};
+
+/// Runs one run (single seed) and returns its stats. Exposed for tests.
+RunStats RunOnce(const ExperimentConfig& config, const System& system,
+                 const WorkloadFactory& workload_factory, uint64_t seed);
+
+/// Runs `config.repeats` runs and aggregates.
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const System& system,
+                               const WorkloadFactory& workload_factory);
+
+/// Reads NATTO_REPEATS / NATTO_DURATION_S env overrides so the benches can
+/// be dialed between quick mode and the paper's full 10x60s setting.
+void ApplyEnvOverrides(ExperimentConfig* config);
+
+}  // namespace natto::harness
+
+#endif  // NATTO_HARNESS_EXPERIMENT_H_

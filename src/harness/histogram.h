@@ -1,0 +1,48 @@
+#ifndef NATTO_HARNESS_HISTOGRAM_H_
+#define NATTO_HARNESS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace natto::harness {
+
+/// Log-bucketed latency histogram (HdrHistogram-style): fixed memory,
+/// ~4% relative error per bucket, mergeable across runs. Used by the CLI
+/// driver to show full latency distributions instead of single percentiles.
+class LatencyHistogram {
+ public:
+  /// Covers [min_ms, max_ms] with `buckets_per_decade` log buckets per 10x.
+  LatencyHistogram(double min_ms = 0.1, double max_ms = 600'000,
+                   int buckets_per_decade = 48);
+
+  void Record(double ms);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+
+  /// Quantile in (0, 1]; returns the representative value (geometric bucket
+  /// midpoint) of the bucket containing the quantile.
+  double Percentile(double q) const;
+
+  /// Multi-line ASCII rendering: one row per occupied bucket range with a
+  /// proportional bar, plus a summary line.
+  std::string ToAscii(int max_rows = 20) const;
+
+ private:
+  int BucketFor(double ms) const;
+  double BucketLow(int b) const;
+  double BucketHigh(int b) const;
+
+  double min_ms_;
+  double log_min_;
+  double bucket_width_log_;  // log10 width of one bucket
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace natto::harness
+
+#endif  // NATTO_HARNESS_HISTOGRAM_H_

@@ -1,0 +1,38 @@
+#include "harness/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace natto::harness {
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size()));
+  if (rank >= values.size()) rank = values.size() - 1;
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<long>(rank), values.end());
+  return values[rank];
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0;
+  double sum = 0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Aggregate Aggregated(const std::vector<double>& per_run_values) {
+  Aggregate a;
+  a.n = static_cast<int>(per_run_values.size());
+  if (a.n == 0) return a;
+  a.mean = Mean(per_run_values);
+  if (a.n > 1) {
+    double ss = 0;
+    for (double v : per_run_values) ss += (v - a.mean) * (v - a.mean);
+    double sd = std::sqrt(ss / static_cast<double>(a.n - 1));
+    a.ci95 = 1.96 * sd / std::sqrt(static_cast<double>(a.n));
+  }
+  return a;
+}
+
+}  // namespace natto::harness

@@ -1,0 +1,53 @@
+#ifndef NATTO_HARNESS_STATS_H_
+#define NATTO_HARNESS_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace natto::harness {
+
+/// Latencies and counters collected from one experiment run.
+struct RunStats {
+  std::vector<double> latencies_high_ms;  // committed prioritized txns
+  std::vector<double> latencies_low_ms;   // committed base-level txns
+  /// Finer-grained view for multi-level runs: latencies per priority level.
+  std::map<int, std::vector<double>> latencies_by_level_ms;
+  int64_t committed_high = 0;
+  int64_t committed_low = 0;
+  int64_t aborted_attempts = 0;  // system aborts (each retry counts once)
+  int64_t user_aborted = 0;
+  int64_t failed = 0;  // gave up after the retry limit
+  double measured_seconds = 0;
+
+  double GoodputLow() const {
+    return measured_seconds > 0 ? static_cast<double>(committed_low) /
+                                      measured_seconds
+                                : 0;
+  }
+  double GoodputTotal() const {
+    return measured_seconds > 0
+               ? static_cast<double>(committed_low + committed_high) /
+                     measured_seconds
+               : 0;
+  }
+};
+
+/// Nearest-rank percentile (q in (0, 1]); 0 for an empty sample.
+double Percentile(std::vector<double> values, double q);
+
+double Mean(const std::vector<double>& values);
+
+/// Aggregation of one metric across repeated runs: mean and the halfwidth of
+/// the 95% confidence interval (paper Sec 5.1: error bars over 10 repeats).
+struct Aggregate {
+  double mean = 0;
+  double ci95 = 0;
+  int n = 0;
+};
+
+Aggregate Aggregated(const std::vector<double>& per_run_values);
+
+}  // namespace natto::harness
+
+#endif  // NATTO_HARNESS_STATS_H_

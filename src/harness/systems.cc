@@ -1,0 +1,106 @@
+#include "harness/systems.h"
+
+#include "carousel/carousel.h"
+#include "common/logging.h"
+#include "natto/natto.h"
+#include "spanner/spanner.h"
+#include "tapir/tapir.h"
+
+namespace natto::harness {
+
+System MakeSystem(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kTwoPl:
+      return {kind, "2PL+2PC", [](txn::Cluster* c) {
+                return std::make_unique<spanner::SpannerEngine>(
+                    c, spanner::SpannerOptions{spanner::PreemptPolicy::kNone});
+              }};
+    case SystemKind::kTwoPlPreempt:
+      return {kind, "2PL+2PC(P)", [](txn::Cluster* c) {
+                return std::make_unique<spanner::SpannerEngine>(
+                    c,
+                    spanner::SpannerOptions{spanner::PreemptPolicy::kPreempt});
+              }};
+    case SystemKind::kTwoPlPow:
+      return {kind, "2PL+2PC(POW)", [](txn::Cluster* c) {
+                return std::make_unique<spanner::SpannerEngine>(
+                    c, spanner::SpannerOptions{
+                           spanner::PreemptPolicy::kPreemptOnWait});
+              }};
+    case SystemKind::kTapir:
+      return {kind, "TAPIR", [](txn::Cluster* c) {
+                return std::make_unique<tapir::TapirEngine>(c);
+              }};
+    case SystemKind::kCarouselBasic:
+      return {kind, "Carousel Basic", [](txn::Cluster* c) {
+                return std::make_unique<carousel::CarouselEngine>(
+                    c, carousel::CarouselOptions{/*fast_path=*/false});
+              }};
+    case SystemKind::kCarouselFast:
+      return {kind, "Carousel Fast", [](txn::Cluster* c) {
+                return std::make_unique<carousel::CarouselEngine>(
+                    c, carousel::CarouselOptions{/*fast_path=*/true});
+              }};
+    case SystemKind::kNattoTs:
+      return {kind, "Natto-TS", [](txn::Cluster* c) {
+                return std::make_unique<core::NattoEngine>(
+                    c, core::NattoOptions::TsOnly());
+              }};
+    case SystemKind::kNattoLecsf:
+      return {kind, "Natto-LECSF", [](txn::Cluster* c) {
+                return std::make_unique<core::NattoEngine>(
+                    c, core::NattoOptions::Lecsf());
+              }};
+    case SystemKind::kNattoPa:
+      return {kind, "Natto-PA", [](txn::Cluster* c) {
+                return std::make_unique<core::NattoEngine>(
+                    c, core::NattoOptions::Pa());
+              }};
+    case SystemKind::kNattoCp:
+      return {kind, "Natto-CP", [](txn::Cluster* c) {
+                return std::make_unique<core::NattoEngine>(
+                    c, core::NattoOptions::Cp());
+              }};
+    case SystemKind::kNattoRecsf:
+      return {kind, "Natto-RECSF", [](txn::Cluster* c) {
+                return std::make_unique<core::NattoEngine>(
+                    c, core::NattoOptions::Recsf());
+              }};
+  }
+  NATTO_CHECK(false) << "unknown system kind";
+  return {};
+}
+
+std::vector<System> AllSystems() {
+  return {MakeSystem(SystemKind::kTwoPl),
+          MakeSystem(SystemKind::kTwoPlPreempt),
+          MakeSystem(SystemKind::kTwoPlPow),
+          MakeSystem(SystemKind::kTapir),
+          MakeSystem(SystemKind::kCarouselBasic),
+          MakeSystem(SystemKind::kCarouselFast),
+          MakeSystem(SystemKind::kNattoTs),
+          MakeSystem(SystemKind::kNattoLecsf),
+          MakeSystem(SystemKind::kNattoPa),
+          MakeSystem(SystemKind::kNattoCp),
+          MakeSystem(SystemKind::kNattoRecsf)};
+}
+
+std::vector<System> AzureSystems() {
+  return {MakeSystem(SystemKind::kTwoPl),
+          MakeSystem(SystemKind::kTwoPlPreempt),
+          MakeSystem(SystemKind::kTwoPlPow),
+          MakeSystem(SystemKind::kTapir),
+          MakeSystem(SystemKind::kCarouselBasic),
+          MakeSystem(SystemKind::kCarouselFast),
+          MakeSystem(SystemKind::kNattoTs),
+          MakeSystem(SystemKind::kNattoRecsf)};
+}
+
+std::vector<System> PrioritySystems() {
+  return {MakeSystem(SystemKind::kTwoPl),
+          MakeSystem(SystemKind::kTwoPlPreempt),
+          MakeSystem(SystemKind::kTwoPlPow),
+          MakeSystem(SystemKind::kNattoRecsf)};
+}
+
+}  // namespace natto::harness

@@ -1,0 +1,50 @@
+#ifndef NATTO_HARNESS_SYSTEMS_H_
+#define NATTO_HARNESS_SYSTEMS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "txn/cluster.h"
+#include "txn/transaction.h"
+
+namespace natto::harness {
+
+/// Every system evaluated in the paper (Fig 7's legend).
+enum class SystemKind {
+  kTwoPl,
+  kTwoPlPreempt,
+  kTwoPlPow,
+  kTapir,
+  kCarouselBasic,
+  kCarouselFast,
+  kNattoTs,
+  kNattoLecsf,
+  kNattoPa,
+  kNattoCp,
+  kNattoRecsf,
+};
+
+using EngineFactory =
+    std::function<std::unique_ptr<txn::TxnEngine>(txn::Cluster*)>;
+
+/// A named system-under-test.
+struct System {
+  SystemKind kind;
+  std::string name;
+  EngineFactory make;
+};
+
+System MakeSystem(SystemKind kind);
+
+/// The full Fig 7(a) lineup, legend order.
+std::vector<System> AllSystems();
+
+/// The reduced lineups used by later figures.
+std::vector<System> AzureSystems();      // Fig 7(c-f): drops middle Natto ablations
+std::vector<System> PrioritySystems();   // Fig 9/10: 2PL variants + Natto-RECSF
+
+}  // namespace natto::harness
+
+#endif  // NATTO_HARNESS_SYSTEMS_H_

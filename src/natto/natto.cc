@@ -1,0 +1,1069 @@
+#include "natto/natto.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::core {
+
+namespace {
+
+std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
+                           const txn::Topology& topology) {
+  std::vector<Key> out;
+  for (Key k : keys) {
+    if (topology.PartitionOfKey(k) == partition) out.push_back(k);
+  }
+  return out;
+}
+
+uint64_t NextPayloadId() {
+  static uint64_t next = 2'000'000'000ull;
+  return next++;
+}
+
+bool Overlaps(const std::vector<Key>& a, const std::vector<Key>& b) {
+  for (Key x : a) {
+    for (Key y : b) {
+      if (x == y) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NattoOptions presets
+// ---------------------------------------------------------------------------
+
+NattoOptions NattoOptions::TsOnly() {
+  NattoOptions o;
+  o.lecsf = o.priority_abort = o.conditional_prepare = o.recsf = false;
+  return o;
+}
+
+NattoOptions NattoOptions::Lecsf() {
+  NattoOptions o = TsOnly();
+  o.lecsf = true;
+  return o;
+}
+
+NattoOptions NattoOptions::Pa() {
+  NattoOptions o = Lecsf();
+  o.priority_abort = true;
+  return o;
+}
+
+NattoOptions NattoOptions::Cp() {
+  NattoOptions o = Pa();
+  o.conditional_prepare = true;
+  return o;
+}
+
+NattoOptions NattoOptions::Recsf() {
+  NattoOptions o = Cp();
+  o.recsf = true;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// NattoServer
+// ---------------------------------------------------------------------------
+
+NattoServer::NattoServer(NattoEngine* engine, int partition, int site,
+                         sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine),
+      partition_(partition),
+      kv_(engine->cluster()->options().default_value) {}
+
+bool NattoServer::ConflictsLocal(const TxnState& a, const TxnState& b) const {
+  return Overlaps(a.local_writes, b.local_writes) ||
+         Overlaps(a.local_writes, b.local_reads) ||
+         Overlaps(a.local_reads, b.local_writes);
+}
+
+void NattoServer::HandleReadPrepare(const NattoWireTxn& txn) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  TxnState st;
+  st.txn = txn;
+  st.local_reads = LocalKeys(txn.read_set, partition_, topo);
+  st.local_writes = LocalKeys(txn.write_set, partition_, topo);
+
+  if (finished_.contains(txn.id)) {
+    NattoVote v;
+    v.id = txn.id;
+    v.partition = partition_;
+    v.ok = false;
+    v.reason = "transaction already finished here";
+    auto* co = engine_->coordinator_by_node(txn.coordinator);
+    SendTo(txn.coordinator, kMessageHeaderBytes, [co, v]() { co->HandleVote(v); });
+    return;
+  }
+  Enqueue(std::move(st));
+}
+
+void NattoServer::Enqueue(TxnState st) {
+  SimTime now = LocalNow();
+  const NattoWireTxn& w = st.txn;
+
+  // Late arrival: abort only if it violates timestamp order with an already
+  // prepared conflicting transaction that has a LARGER timestamp (Sec 2.2 /
+  // Sec 3.2).
+  if (now > w.ts) {
+    bool violated = false;
+    for (Key k : st.local_reads) {
+      auto it = key_order_ts_.find(k);
+      if (it != key_order_ts_.end() && it->second > w.ts) violated = true;
+    }
+    for (Key k : st.local_writes) {
+      auto it = key_order_ts_.find(k);
+      if (it != key_order_ts_.end() && it->second > w.ts) violated = true;
+    }
+    if (violated) {
+      ++stats_.order_violation_aborts;
+      finished_.insert(w.id);
+      NattoVote v;
+      v.id = w.id;
+      v.partition = partition_;
+      v.ok = false;
+      v.reason = "timestamp order violation (late arrival)";
+      auto* co = engine_->coordinator_by_node(w.coordinator);
+      SendTo(w.coordinator, kMessageHeaderBytes,
+             [co, v]() { co->HandleVote(v); });
+      return;
+    }
+  }
+
+  // Priority-abort pass (Sec 3.3.1), generalized to multiple levels: a
+  // strictly higher level preempts lower ones in both directions.
+  if (engine_->options().priority_abort) {
+    OrderKey my_key{w.ts, w.id};
+    int my_level = txn::PriorityLevel(w.priority);
+    if (my_level > 0) {
+      // Abort conflicting queued lower-level transactions ordered before us.
+      std::vector<OrderKey> victims;
+      for (const auto& [key, other] : queue_) {
+        if (key >= my_key) break;
+        if (txn::PriorityLevel(other.txn.priority) >= my_level) continue;
+        if (!ConflictsLocal(st, other)) continue;
+        if (engine_->options().pa_completion_estimate &&
+            LowWillFinishInTime(other, st)) {
+          ++stats_.pa_suppressed;
+          continue;
+        }
+        victims.push_back(key);
+      }
+      for (const OrderKey& key : victims) {
+        auto it = queue_.find(key);
+        if (it == queue_.end()) continue;
+        TxnState victim = std::move(it->second);
+        queue_.erase(it);
+        PriorityAbort(victim, "higher-priority arrival");
+      }
+    }
+    {
+      // A transaction ordered before a conflicting queued or waiting
+      // higher-level transaction is aborted on arrival.
+      auto blocked_by_higher = [&](const std::map<OrderKey, TxnState>& m) {
+        for (const auto& [key, other] : m) {
+          if (key <= my_key) continue;
+          if (txn::PriorityLevel(other.txn.priority) <= my_level) continue;
+          if (!ConflictsLocal(st, other)) continue;
+          if (engine_->options().pa_completion_estimate &&
+              LowWillFinishInTime(st, other)) {
+            ++stats_.pa_suppressed;
+            continue;
+          }
+          return true;
+        }
+        return false;
+      };
+      if (blocked_by_higher(queue_) || blocked_by_higher(waiting_)) {
+        PriorityAbort(st, "conflicting higher-priority pending");
+        return;
+      }
+    }
+  }
+
+  OrderKey key{w.ts, w.id};
+  queue_.emplace(key, std::move(st));
+  if (now >= w.ts) {
+    DrainReady();
+  } else {
+    AtLocalTime(w.ts, [this]() { DrainReady(); });
+  }
+}
+
+void NattoServer::DrainReady() {
+  while (!queue_.empty() && queue_.begin()->first.first <= LocalNow()) {
+    TxnState st = std::move(queue_.begin()->second);
+    queue_.erase(queue_.begin());
+    ProcessTxn(std::move(st));
+  }
+}
+
+void NattoServer::ProcessTxn(TxnState st) {
+  // Conflicts with waiting (already processed, lock-blocked) transactions.
+  bool conflicts_waiting = false;
+  for (const auto& [k, other] : waiting_) {
+    if (ConflictsLocal(st, other)) {
+      conflicts_waiting = true;
+      break;
+    }
+  }
+
+  if (!txn::IsPrioritized(st.txn.priority)) {
+    // Carousel-style OCC for base-level transactions.
+    if (conflicts_waiting ||
+        prepared_.HasConflict(st.local_reads, st.local_writes)) {
+      ++stats_.occ_aborts;
+      finished_.insert(st.txn.id);
+      NattoVote v;
+      v.id = st.txn.id;
+      v.partition = partition_;
+      v.ok = false;
+      v.reason = "OCC conflict";
+      auto* co = engine_->coordinator_by_node(st.txn.coordinator);
+      SendTo(st.txn.coordinator, kMessageHeaderBytes,
+             [co, v]() { co->HandleVote(v); });
+      return;
+    }
+    PrepareNow(std::move(st), /*conditional=*/false, 0);
+    return;
+  }
+
+  // High priority: locking-based. Wait (never abort) on conflicts.
+  if (conflicts_waiting) {
+    OrderKey key{st.txn.ts, st.txn.id};
+    waiting_.emplace(key, std::move(st));
+    return;
+  }
+  std::vector<TxnId> blockers =
+      prepared_.Conflicting(st.local_reads, st.local_writes);
+  if (blockers.empty()) {
+    PrepareNow(std::move(st), /*conditional=*/false, 0);
+    return;
+  }
+
+  // Conditional prepare (Sec 3.3.2): a single low-priority prepared blocker
+  // that another common participant is expected to priority-abort.
+  if (engine_->options().conditional_prepare && blockers.size() == 1) {
+    auto bit = prepared_txns_.find(blockers[0]);
+    if (bit != prepared_txns_.end() &&
+        txn::PriorityLevel(bit->second.txn.priority) <
+            txn::PriorityLevel(st.txn.priority) &&
+        !bit->second.conditional &&
+        EstimatePriorityAbortElsewhere(st, bit->second)) {
+      PrepareNow(std::move(st), /*conditional=*/true, blockers[0]);
+      return;
+    }
+  }
+
+  // Blocked: buffer in timestamp order; RECSF forwards the reads.
+  if (engine_->options().recsf && blockers.size() == 1) {
+    auto bit = prepared_txns_.find(blockers[0]);
+    if (bit != prepared_txns_.end()) {
+      ForwardReadsRemote(st, bit->second);
+    }
+  }
+  OrderKey key{st.txn.ts, st.txn.id};
+  waiting_.emplace(key, std::move(st));
+}
+
+void NattoServer::PrepareNow(TxnState st, bool conditional,
+                             TxnId condition_on) {
+  TxnId id = st.txn.id;
+  st.read_version += 1;
+  st.conditional = conditional;
+  st.condition_on = condition_on;
+
+  prepared_.Add(id, st.local_reads, st.local_writes);
+  for (Key k : st.local_reads) {
+    SimTime& t = key_order_ts_[k];
+    t = std::max(t, st.txn.ts);
+  }
+  for (Key k : st.local_writes) {
+    SimTime& t = key_order_ts_[k];
+    t = std::max(t, st.txn.ts);
+  }
+  if (conditional) ++stats_.conditional_prepares;
+
+  int version = st.read_version;
+  net::NodeId coord = st.txn.coordinator;
+  prepared_txns_[id] = std::move(st);
+
+  ServeReads(prepared_txns_[id]);
+
+  // Replicate the prepare record, then vote. The vote is built when the
+  // replication completes so it reflects the *current* conditional state:
+  // a condition may resolve (or fail) while the prepare is replicating.
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), [this, id, version, coord]() {
+        auto it = prepared_txns_.find(id);
+        if (it == prepared_txns_.end()) return;  // aborted or CP discarded
+        if (it->second.read_version != version) return;  // superseded
+        NattoVote vote;
+        vote.id = id;
+        vote.partition = partition_;
+        vote.ok = true;
+        vote.read_version = version;
+        vote.conditional = it->second.conditional;
+        vote.condition_on = it->second.condition_on;
+        auto* co = engine_->coordinator_by_node(coord);
+        SendTo(coord, kMessageHeaderBytes,
+               [co, vote]() { co->HandleVote(vote); });
+      });
+  NATTO_CHECK(s.ok());
+}
+
+void NattoServer::ServeReads(TxnState& st) {
+  std::vector<txn::ReadResult> results;
+  results.reserve(st.local_reads.size());
+  for (Key k : st.local_reads) {
+    store::VersionedValue v = kv_.Get(k);
+    results.push_back(txn::ReadResult{k, v.value, v.version});
+  }
+  auto* gw = engine_->gateway_by_node(st.txn.client);
+  TxnId id = st.txn.id;
+  int partition = partition_;
+  int version = st.read_version;
+  SendTo(st.txn.client, WireKvBytes(results.size()),
+         [gw, id, partition, version, results]() {
+           gw->HandleReadResults(id, partition, version, results);
+         });
+}
+
+void NattoServer::PriorityAbort(const TxnState& victim, const char* why) {
+  (void)why;
+  ++stats_.priority_aborts;
+  finished_.insert(victim.txn.id);
+  TxnId id = victim.txn.id;
+  auto* co = engine_->coordinator_by_node(victim.txn.coordinator);
+  SendTo(victim.txn.coordinator, kMessageHeaderBytes,
+         [co, id]() { co->HandlePriorityAbort(id); });
+}
+
+void NattoServer::HandleCommit(TxnId id,
+                               std::vector<std::pair<Key, Value>> writes) {
+  if (finished_.contains(id)) return;
+  auto it = prepared_txns_.find(id);
+  if (it == prepared_txns_.end()) return;
+
+  auto complete = [this, id](const std::vector<std::pair<Key, Value>>& w) {
+    for (const auto& [k, v] : w) kv_.Apply(k, v, id);
+    prepared_.Remove(id);
+    prepared_txns_.erase(id);
+    finished_.insert(id);
+    ResolveConditions(id, /*low_aborted=*/false);
+    RescanWaiting();
+  };
+
+  if (engine_->options().lecsf) {
+    // LECSF (Sec 3.4): the commit is already fault tolerant at the
+    // coordinator, so make the writes visible before replicating them.
+    complete(writes);
+    Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+        NextPayloadId(), []() {});
+    NATTO_CHECK(s.ok());
+  } else {
+    Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+        NextPayloadId(),
+        [complete, writes = std::move(writes)]() { complete(writes); });
+    NATTO_CHECK(s.ok());
+  }
+}
+
+void NattoServer::HandleAbort(TxnId id) {
+  if (finished_.contains(id)) return;
+  finished_.insert(id);
+  // Remove from whichever stage it reached.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first.second == id) {
+      queue_.erase(it);
+      break;
+    }
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->first.second == id) {
+      waiting_.erase(it);
+      break;
+    }
+  }
+  if (prepared_txns_.contains(id)) {
+    prepared_.Remove(id);
+    prepared_txns_.erase(id);
+  }
+  ResolveConditions(id, /*low_aborted=*/true);
+  RescanWaiting();
+}
+
+void NattoServer::ResolveConditions(TxnId low, bool low_aborted) {
+  std::vector<TxnId> conditioned;
+  for (auto& [id, st] : prepared_txns_) {
+    if (st.conditional && st.condition_on == low) conditioned.push_back(id);
+  }
+  for (TxnId id : conditioned) {
+    TxnState& st = prepared_txns_[id];
+    net::NodeId coord = st.txn.coordinator;
+    int partition = partition_;
+    if (low_aborted) {
+      // Condition satisfied: the conditional prepare becomes firm.
+      ++stats_.cp_satisfied;
+      st.conditional = false;
+      st.condition_on = 0;
+      auto* co = engine_->coordinator_by_node(coord);
+      SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+        co->HandleConditionResolved(id, partition, /*satisfied=*/true);
+      });
+    } else {
+      // Condition failed: discard the conditional prepare and re-run the
+      // normal path (the blocker just committed, so the retry will read its
+      // writes once applied).
+      ++stats_.cp_failed;
+      TxnState moved = std::move(st);
+      prepared_.Remove(id);
+      prepared_txns_.erase(id);
+      moved.conditional = false;
+      moved.condition_on = 0;
+      auto* co = engine_->coordinator_by_node(coord);
+      SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+        co->HandleConditionResolved(id, partition, /*satisfied=*/false);
+      });
+      OrderKey key{moved.txn.ts, moved.txn.id};
+      waiting_.emplace(key, std::move(moved));
+    }
+  }
+}
+
+void NattoServer::RescanWaiting() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+      TxnState& st = it->second;
+      // Blocked by an earlier waiting transaction?
+      bool blocked = false;
+      for (auto jt = waiting_.begin(); jt != it; ++jt) {
+        if (ConflictsLocal(st, jt->second)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (blocked) continue;
+      if (prepared_.HasConflict(st.local_reads, st.local_writes)) continue;
+      TxnState ready = std::move(st);
+      waiting_.erase(it);
+      PrepareNow(std::move(ready), /*conditional=*/false, 0);
+      progress = true;
+      break;  // iterators invalidated; restart scan
+    }
+  }
+}
+
+bool NattoServer::LowWillFinishInTime(const TxnState& low,
+                                      const TxnState& high) const {
+  // Expected time at which the low-priority transaction's commit reaches
+  // this server, estimated from measured mean delays (Sec 3.3.1).
+  const txn::Topology& topo = engine_->cluster()->topology();
+  int coord_site = low.txn.coordinator_site;
+  SimDuration votes_done = 0;
+  for (const auto& [p, est] : low.txn.est_arrivals) {
+    SimDuration repl = engine_->MajorityReplicationDelay(p);
+    SimDuration to_coord =
+        engine_->MeanOneWay(topo.LeaderSite(p), coord_site);
+    votes_done = std::max(votes_done, repl + to_coord);
+  }
+  int coord_partition = topo.PartitionLedAt(coord_site);
+  SimDuration coord_repl =
+      coord_partition >= 0 ? engine_->MajorityReplicationDelay(coord_partition)
+                           : 0;
+  SimDuration decision = std::max(votes_done, coord_repl);
+  SimDuration commit_here =
+      decision + engine_->MeanOneWay(coord_site, site());
+  return low.txn.ts + commit_here < high.txn.ts;
+}
+
+bool NattoServer::EstimatePriorityAbortElsewhere(const TxnState& high,
+                                                 const TxnState& low) const {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  for (const auto& [p, high_arrival] : high.txn.est_arrivals) {
+    if (p == partition_) continue;
+    // Do both transactions touch partition p with a real conflict there?
+    std::vector<Key> hr = LocalKeys(high.txn.read_set, p, topo);
+    std::vector<Key> hw = LocalKeys(high.txn.write_set, p, topo);
+    std::vector<Key> lr = LocalKeys(low.txn.read_set, p, topo);
+    std::vector<Key> lw = LocalKeys(low.txn.write_set, p, topo);
+    bool conflict = Overlaps(hw, lw) || Overlaps(hw, lr) || Overlaps(hr, lw);
+    if (!conflict) continue;
+    // The other server priority-aborts `low` if `high` arrives while `low`
+    // is still queued there, i.e. before low's execution timestamp.
+    if (high_arrival < low.txn.ts) {
+      if (engine_->options().pa_completion_estimate &&
+          LowWillFinishInTime(low, high)) {
+        continue;  // that server will suppress the priority abort
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void NattoServer::ForwardReadsRemote(const TxnState& high,
+                                     const TxnState& blocker) {
+  ++stats_.recsf_forwards;
+  // Keys the blocker will overwrite are served by the blocker's coordinator
+  // as soon as it commits; the rest are unaffected by the blocker and can be
+  // read here immediately.
+  std::vector<Key> covered;
+  std::vector<Key> rest;
+  for (Key k : high.local_reads) {
+    if (std::find(blocker.local_writes.begin(), blocker.local_writes.end(),
+                  k) != blocker.local_writes.end()) {
+      covered.push_back(k);
+    } else {
+      rest.push_back(k);
+    }
+  }
+  int version = high.read_version + 1;  // version the upcoming prepare uses
+  TxnId reader = high.txn.id;
+  int partition = partition_;
+
+  if (!covered.empty()) {
+    auto* co = engine_->coordinator_by_node(blocker.txn.coordinator);
+    TxnId writer = blocker.txn.id;
+    net::NodeId client = high.txn.client;
+    SendTo(blocker.txn.coordinator, WireKeysBytes(covered.size()),
+           [co, writer, reader, partition, covered, version, client]() {
+             co->HandleRecsfRead(writer, reader, partition, covered, version,
+                                 client);
+           });
+  }
+  if (!rest.empty()) {
+    std::vector<txn::ReadResult> results;
+    results.reserve(rest.size());
+    for (Key k : rest) {
+      store::VersionedValue v = kv_.Get(k);
+      results.push_back(txn::ReadResult{k, v.value, v.version});
+    }
+    auto* gw = engine_->gateway_by_node(high.txn.client);
+    SendTo(high.txn.client, WireKvBytes(results.size()),
+           [gw, reader, partition, version, results]() {
+             gw->HandleReadResults(reader, partition, version, results);
+           });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NattoCoordinator
+// ---------------------------------------------------------------------------
+
+NattoCoordinator::NattoCoordinator(NattoEngine* engine, int site,
+                                   sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void NattoCoordinator::HandleBegin(const NattoWireTxn& txn,
+                                   std::vector<int> participants) {
+  if (decided_.contains(txn.id)) return;
+  TxnState& st = txns_[txn.id];
+  st.txn = txn;
+  st.begun = true;
+  st.participants = std::move(participants);
+  if (st.priority_aborted) {
+    Decide(txn.id, /*commit=*/false, "priority abort");
+    return;
+  }
+  if (st.failed) {
+    Decide(txn.id, /*commit=*/false, st.failed_reason);
+    return;
+  }
+  MaybeDecide(txn.id);
+}
+
+void NattoCoordinator::HandleVote(const NattoVote& vote) {
+  if (decided_.contains(vote.id)) return;
+  // Votes can overtake the Begin message under jitter: create state lazily.
+  auto it = txns_.try_emplace(vote.id).first;
+  TxnState& st = it->second;
+  if (!vote.ok) {
+    st.failed = true;
+    st.failed_reason = vote.reason;
+    if (st.begun) Decide(vote.id, /*commit=*/false, vote.reason);
+    return;
+  }
+  VoteState& vs = st.votes[vote.partition];
+  vs.have = true;
+  vs.ok = true;
+  vs.version = vote.read_version;
+  vs.conditional = vote.conditional;
+  vs.condition_failed = false;
+  MaybeDecide(vote.id);
+}
+
+void NattoCoordinator::HandleConditionResolved(TxnId id, int partition,
+                                               bool satisfied) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  VoteState& vs = st.votes[partition];
+  if (satisfied) {
+    vs.conditional = false;
+  } else {
+    // Discard the conditional vote; the server re-runs the normal path and
+    // will vote again with a fresh read version.
+    vs.have = false;
+    vs.ok = false;
+    vs.conditional = false;
+  }
+  MaybeDecide(id);
+}
+
+void NattoCoordinator::HandlePriorityAbort(TxnId id) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  if (!it->second.begun) {
+    it->second.priority_aborted = true;
+    return;
+  }
+  Decide(id, /*commit=*/false, "priority abort");
+}
+
+void NattoCoordinator::HandleRound2(TxnId id,
+                                    std::vector<std::pair<Key, Value>> writes,
+                                    std::vector<std::pair<int, int>> versions,
+                                    bool user_abort) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  if (user_abort) {
+    st.user_abort = true;
+    if (st.begun) Decide(id, /*commit=*/false, "user abort");
+    return;
+  }
+  st.have_writes = true;
+  st.writes = std::move(writes);
+  st.round2_versions.clear();
+  for (const auto& [p, v] : versions) st.round2_versions[p] = v;
+  int generation = ++st.round2_generation;
+  if (st.writes.empty()) {
+    st.replicated_version = generation;
+    MaybeDecide(id);
+    return;
+  }
+  int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
+  NATTO_CHECK(local_partition >= 0);
+  Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
+      NextPayloadId(), [this, id, generation]() {
+        auto it2 = txns_.find(id);
+        if (it2 == txns_.end()) return;
+        if (generation >= it2->second.replicated_version) {
+          it2->second.replicated_version = generation;
+        }
+        MaybeDecide(id);
+      });
+  NATTO_CHECK(s.ok());
+}
+
+void NattoCoordinator::MaybeDecide(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  if (!st.begun) return;
+  if (st.user_abort) {
+    Decide(id, /*commit=*/false, "user abort");
+    return;
+  }
+  if (st.participants.empty() || !st.have_writes) return;
+  if (st.replicated_version < st.round2_generation) return;
+  for (int p : st.participants) {
+    auto v = st.votes.find(p);
+    if (v == st.votes.end() || !v->second.have || !v->second.ok) return;
+    if (v->second.conditional) return;  // condition unresolved
+    auto rv = st.round2_versions.find(p);
+    if (rv == st.round2_versions.end() || rv->second != v->second.version) {
+      return;  // client's writes were computed from superseded reads
+    }
+  }
+  Decide(id, /*commit=*/true, "");
+}
+
+void NattoCoordinator::Decide(TxnId id, bool commit,
+                              const std::string& reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState st = std::move(it->second);
+  txns_.erase(it);
+  decided_.insert(id);
+
+  const txn::Topology& topo = engine_->cluster()->topology();
+
+  auto* gw = engine_->gateway_by_node(st.txn.client);
+  txn::TxnOutcome outcome =
+      commit ? txn::TxnOutcome::kCommitted
+             : (st.user_abort ? txn::TxnOutcome::kUserAborted
+                              : txn::TxnOutcome::kAborted);
+  SendTo(st.txn.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
+    gw->HandleDecision(id, outcome, reason);
+  });
+
+  for (int p : st.participants) {
+    auto* srv = engine_->server(p);
+    if (commit) {
+      std::vector<std::pair<Key, Value>> local;
+      for (const auto& [k, v] : st.writes) {
+        if (topo.PartitionOfKey(k) == p) local.emplace_back(k, v);
+      }
+      SendTo(srv->id(), WireKvBytes(local.size()),
+             [srv, id, local]() { srv->HandleCommit(id, local); });
+    } else {
+      SendTo(srv->id(), kMessageHeaderBytes,
+             [srv, id]() { srv->HandleAbort(id); });
+    }
+  }
+
+  if (commit) {
+    // Keep committed write data available for RECSF readers.
+    committed_writes_[id] = st.writes;
+    auto pending = recsf_waiting_.find(id);
+    if (pending != recsf_waiting_.end()) {
+      for (const PendingRecsf& r : pending->second) ServeRecsf(r, st.writes);
+      recsf_waiting_.erase(pending);
+    }
+    // Bound the cache: drop the entry once it can no longer be useful.
+    TxnId done_id = id;
+    After(Seconds(10), [this, done_id]() { committed_writes_.erase(done_id); });
+  } else {
+    recsf_waiting_.erase(id);
+  }
+}
+
+void NattoCoordinator::HandleRecsfRead(TxnId writer, TxnId reader,
+                                       int partition, std::vector<Key> keys,
+                                       int read_version, net::NodeId client) {
+  auto cw = committed_writes_.find(writer);
+  if (cw != committed_writes_.end()) {
+    ServeRecsf(PendingRecsf{reader, partition, std::move(keys), read_version,
+                            client},
+               cw->second);
+    return;
+  }
+  if (txns_.contains(writer)) {
+    recsf_waiting_[writer].push_back(PendingRecsf{
+        reader, partition, std::move(keys), read_version, client});
+  }
+  // Writer already aborted: the reader's normal path will serve the reads.
+}
+
+void NattoCoordinator::ServeRecsf(
+    const PendingRecsf& req, const std::vector<std::pair<Key, Value>>& writes) {
+  std::vector<txn::ReadResult> results;
+  for (Key k : req.keys) {
+    for (const auto& [wk, wv] : writes) {
+      if (wk == k) {
+        // Version is synthetic: RECSF readers match on read_version, not on
+        // storage versions.
+        results.push_back(txn::ReadResult{k, wv, 0});
+        break;
+      }
+    }
+  }
+  auto* gw = engine_->gateway_by_node(req.client);
+  TxnId reader = req.reader;
+  int partition = req.partition;
+  int version = req.read_version;
+  SendTo(req.client, WireKvBytes(results.size()),
+         [gw, reader, partition, version, results]() {
+           gw->HandleReadResults(reader, partition, version, results);
+         });
+}
+
+// ---------------------------------------------------------------------------
+// NattoGateway
+// ---------------------------------------------------------------------------
+
+NattoGateway::NattoGateway(NattoEngine* engine, int site, sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void NattoGateway::RefreshEstimates() {
+  refresh_running_ = true;
+  auto* proxy = engine_->proxy_at(site());
+  // Fetch the proxy's current estimates with a local round trip.
+  SendTo(proxy->id(), kMessageHeaderBytes, [this, proxy]() {
+    const txn::Topology& topo = engine_->cluster()->topology();
+    std::vector<std::pair<int, SimDuration>> ests;
+    for (int p = 0; p < topo.num_partitions(); ++p) {
+      if (proxy->HasEstimate(p)) {
+        ests.emplace_back(p, proxy->EstimateDelayTo(p));
+      }
+    }
+    proxy->SendTo(
+        this->id(), kMessageHeaderBytes + ests.size() * 16, [this, ests]() {
+          for (const auto& [p, d] : ests) cached_estimates_[p] = d;
+        });
+  });
+  After(engine_->options().estimate_refresh, [this]() { RefreshEstimates(); });
+}
+
+SimDuration NattoGateway::EstimatedOneWay(int partition) const {
+  auto it = cached_estimates_.find(partition);
+  if (it != cached_estimates_.end()) return it->second;
+  // Cold start (before the first proxy fetch): fall back to the matrix
+  // average; the harness warms proxies up before measurement anyway.
+  return engine_->MeanOneWay(
+      site(), engine_->cluster()->topology().LeaderSite(partition));
+}
+
+bool NattoGateway::AdmitPrioritized() {
+  double quota = engine_->options().high_priority_quota_tps;
+  if (quota <= 0) return true;
+  // Token bucket: refill at the quota rate, burst capacity of one second.
+  SimTime now = TrueNow();
+  quota_tokens_ = std::min(
+      quota, quota_tokens_ + quota * ToSeconds(now - quota_last_refill_));
+  quota_last_refill_ = now;
+  if (quota_tokens_ >= 1.0) {
+    quota_tokens_ -= 1.0;
+    return true;
+  }
+  ++quota_demotions_;
+  return false;
+}
+
+void NattoGateway::StartTxn(const txn::TxnRequest& request,
+                            txn::TxnCallback done) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  auto* coord = engine_->coordinator_at(site());
+
+  std::vector<int> participants =
+      topo.Participants(request.read_set, request.write_set);
+
+  NattoWireTxn w;
+  w.id = request.id;
+  w.priority = request.priority;
+  if (txn::IsPrioritized(w.priority) && !AdmitPrioritized()) {
+    // Over the datacenter's priority quota: process at base priority
+    // (Sec 3.2's shared-environment policy).
+    w.priority = txn::Priority::kLow;
+  }
+  w.read_set = request.read_set;
+  w.write_set = request.write_set;
+  w.coordinator = coord->id();
+  w.client = id();
+  w.coordinator_site = coord->site();
+
+  SimTime now = LocalNow();
+  SimDuration max_est = 0;
+  for (int p : participants) {
+    SimDuration est = EstimatedOneWay(p);
+    w.est_arrivals.emplace_back(p, now + est);
+    max_est = std::max(max_est, est);
+  }
+  w.ts = now + max_est + engine_->options().extra_ts_slack;
+
+  ClientTxn st;
+  st.request = request;
+  st.done = std::move(done);
+  st.participants = participants;
+  txns_[request.id] = std::move(st);
+
+  SendTo(coord->id(),
+         WireKeysBytes(request.read_set.size() + request.write_set.size()),
+         [coord, w, participants]() { coord->HandleBegin(w, participants); });
+
+  size_t rp_bytes =
+      WireKeysBytes(request.read_set.size() + request.write_set.size()) +
+      participants.size() * 16;  // piggybacked arrival estimates
+  for (int p : participants) {
+    auto* srv = engine_->server(p);
+    SendTo(srv->id(), rp_bytes, [srv, w]() { srv->HandleReadPrepare(w); });
+  }
+}
+
+void NattoGateway::HandleReadResults(TxnId id, int partition, int read_version,
+                                     std::vector<txn::ReadResult> reads) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  PartitionReads& pr = st.reads[partition];
+  if (read_version < pr.version) return;  // stale
+  if (read_version > pr.version) {
+    pr.version = read_version;
+    pr.reads.clear();
+  }
+  for (const txn::ReadResult& r : reads) pr.reads[r.key] = r;
+  MaybeSendRound2(id);
+}
+
+void NattoGateway::MaybeSendRound2(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  const txn::Topology& topo = engine_->cluster()->topology();
+
+  // All participants must have delivered a complete read set (possibly
+  // empty) for some version.
+  std::vector<txn::ReadResult> ordered;
+  std::vector<std::pair<int, int>> versions;
+  for (int p : st.participants) {
+    auto pr = st.reads.find(p);
+    if (pr == st.reads.end() || pr->second.version < 1) return;
+    for (Key k : st.request.read_set) {
+      if (topo.PartitionOfKey(k) != p) continue;
+      if (!pr->second.reads.contains(k)) return;  // partial (RECSF half)
+    }
+    versions.emplace_back(p, pr->second.version);
+  }
+  for (Key k : st.request.read_set) {
+    ordered.push_back(st.reads[topo.PartitionOfKey(k)].reads[k]);
+  }
+
+  // Skip if nothing changed since the last send.
+  int generation = 0;
+  for (const auto& [p, v] : versions) generation += v;
+  if (generation <= st.round2_sent_generation) return;
+  st.round2_sent_generation = generation;
+
+  txn::WriteDecision d = st.request.compute_writes(ordered);
+  auto* coord = engine_->coordinator_at(site());
+  if (d.user_abort) {
+    SendTo(coord->id(), kMessageHeaderBytes, [coord, id]() {
+      coord->HandleRound2(id, {}, {}, /*user_abort=*/true);
+    });
+    return;
+  }
+  st.writes = d.writes;
+  SendTo(coord->id(), WireKvBytes(d.writes.size()),
+         [coord, id, writes = std::move(d.writes), versions]() {
+           coord->HandleRound2(id, writes, versions, /*user_abort=*/false);
+         });
+}
+
+void NattoGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
+                                  std::string reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn st = std::move(it->second);
+  txns_.erase(it);
+
+  txn::TxnResult result;
+  result.outcome = outcome;
+  result.abort_reason = std::move(reason);
+  if (outcome == txn::TxnOutcome::kCommitted) {
+    const txn::Topology& topo = engine_->cluster()->topology();
+    for (Key k : st.request.read_set) {
+      auto pr = st.reads.find(topo.PartitionOfKey(k));
+      if (pr != st.reads.end()) {
+        auto r = pr->second.reads.find(k);
+        if (r != pr->second.reads.end()) result.reads.push_back(r->second);
+      }
+    }
+    result.writes = st.writes;
+  }
+  st.done(result);
+}
+
+// ---------------------------------------------------------------------------
+// NattoEngine
+// ---------------------------------------------------------------------------
+
+NattoEngine::NattoEngine(txn::Cluster* cluster, NattoOptions options)
+    : cluster_(cluster), options_(options) {
+  const txn::Topology& topo = cluster_->topology();
+  for (int p = 0; p < topo.num_partitions(); ++p) {
+    servers_.push_back(std::make_unique<NattoServer>(
+        this, p, topo.LeaderSite(p), cluster_->MakeClock()));
+  }
+  for (int s = 0; s < topo.num_sites(); ++s) {
+    net::Prober::Options po;
+    po.probe_interval = options_.probe_interval;
+    po.quantile = options_.estimate_quantile;
+    proxies_.push_back(std::make_unique<net::Prober>(
+        cluster_->transport(), s, cluster_->MakeClock(), po));
+    for (int p = 0; p < topo.num_partitions(); ++p) {
+      proxies_.back()->AddTarget(p, servers_[p].get());
+    }
+    proxies_.back()->Start();
+    coordinators_.push_back(std::make_unique<NattoCoordinator>(
+        this, cluster_->CoordinatorSite(s), cluster_->MakeClock()));
+    gateways_.push_back(
+        std::make_unique<NattoGateway>(this, s, cluster_->MakeClock()));
+    gateways_.back()->RefreshEstimates();
+  }
+  for (auto& c : coordinators_) coord_by_node_[c->id()] = c.get();
+  for (auto& g : gateways_) gateway_by_node_[g->id()] = g.get();
+}
+
+void NattoEngine::Execute(const txn::TxnRequest& request,
+                          txn::TxnCallback done) {
+  NATTO_CHECK(request.origin_site >= 0 &&
+              request.origin_site < static_cast<int>(gateways_.size()));
+  gateways_[request.origin_site]->StartTxn(request, std::move(done));
+}
+
+std::string NattoEngine::name() const {
+  if (options_.recsf) return "Natto-RECSF";
+  if (options_.conditional_prepare) return "Natto-CP";
+  if (options_.priority_abort) return "Natto-PA";
+  if (options_.lecsf) return "Natto-LECSF";
+  return "Natto-TS";
+}
+
+NattoCoordinator* NattoEngine::coordinator_by_node(net::NodeId node) {
+  auto it = coord_by_node_.find(node);
+  NATTO_CHECK(it != coord_by_node_.end());
+  return it->second;
+}
+
+NattoGateway* NattoEngine::gateway_by_node(net::NodeId node) {
+  auto it = gateway_by_node_.find(node);
+  NATTO_CHECK(it != gateway_by_node_.end());
+  return it->second;
+}
+
+SimDuration NattoEngine::MeanOneWay(int site_a, int site_b) const {
+  return cluster_->matrix().OneWay(site_a, site_b);
+}
+
+SimDuration NattoEngine::MajorityReplicationDelay(int partition) const {
+  const txn::Topology& topo = cluster_->topology();
+  const net::LatencyMatrix& m = cluster_->matrix();
+  const std::vector<int>& sites = topo.ReplicaSites(partition);
+  int leader = sites[0];
+  std::vector<SimDuration> rtts;
+  for (size_t r = 1; r < sites.size(); ++r) {
+    rtts.push_back(m.Rtt(leader, sites[r]));
+  }
+  if (rtts.empty()) return 0;
+  std::sort(rtts.begin(), rtts.end());
+  // Majority = leader + floor(n/2) followers; the slowest of those followers
+  // gates commitment.
+  size_t needed = sites.size() / 2;  // followers needed beyond the leader
+  return rtts[needed - 1];
+}
+
+Value NattoEngine::DebugValue(Key key) {
+  int p = cluster_->topology().PartitionOfKey(key);
+  return servers_[p]->kv()->Get(key).value;
+}
+
+NattoServer::Stats NattoEngine::TotalStats() const {
+  NattoServer::Stats total;
+  for (const auto& s : servers_) {
+    const NattoServer::Stats& st = s->stats();
+    total.priority_aborts += st.priority_aborts;
+    total.pa_suppressed += st.pa_suppressed;
+    total.conditional_prepares += st.conditional_prepares;
+    total.cp_satisfied += st.cp_satisfied;
+    total.cp_failed += st.cp_failed;
+    total.order_violation_aborts += st.order_violation_aborts;
+    total.occ_aborts += st.occ_aborts;
+    total.recsf_forwards += st.recsf_forwards;
+  }
+  return total;
+}
+
+}  // namespace natto::core

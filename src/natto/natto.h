@@ -1,0 +1,354 @@
+#ifndef NATTO_NATTO_NATTO_H_
+#define NATTO_NATTO_NATTO_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/node.h"
+#include "net/prober.h"
+#include "store/kv_store.h"
+#include "store/prepared_set.h"
+#include "txn/cluster.h"
+#include "txn/transaction.h"
+
+namespace natto::core {
+
+/// Which of Natto's mechanisms are enabled. The presets mirror the paper's
+/// ablation: TS ⊂ LECSF ⊂ PA ⊂ CP ⊂ RECSF (Sec 5.1).
+struct NattoOptions {
+  bool lecsf = true;               // local early committed state forwarding
+  bool priority_abort = true;      // PA
+  bool conditional_prepare = true; // CP
+  bool recsf = true;               // remote ECSF
+
+  /// PA refinement (Sec 3.3.1): skip aborting a low-priority transaction
+  /// when it should complete before the high-priority one executes.
+  bool pa_completion_estimate = true;
+
+  /// Safety margin added to every transaction timestamp.
+  SimDuration extra_ts_slack = 0;
+
+  /// Client-side delay-estimate refresh period (paper: 100 ms).
+  SimDuration estimate_refresh = Millis(100);
+
+  /// Proxy probe period (paper: 10 ms).
+  SimDuration probe_interval = Millis(10);
+
+  /// Delay-estimator quantile (paper: p95 to avoid underestimating arrival
+  /// times). The estimator ablation bench lowers this toward the mean.
+  double estimate_quantile = 0.95;
+
+  /// Shared-environment mode (Sec 3.2): per-datacenter token-bucket quota of
+  /// prioritized transactions per second enforced by the trusted gateway;
+  /// over-quota transactions are processed at low priority. 0 = unlimited
+  /// (the paper's trusted-application default).
+  double high_priority_quota_tps = 0.0;
+
+  static NattoOptions TsOnly();
+  static NattoOptions Lecsf();
+  static NattoOptions Pa();
+  static NattoOptions Cp();
+  static NattoOptions Recsf();
+};
+
+/// Wire form of a Natto read-and-prepare request. Beyond Carousel, it
+/// carries the execution timestamp and the estimated arrival time at every
+/// participant (used by conditional prepare, Sec 3.3.2).
+struct NattoWireTxn {
+  TxnId id = 0;
+  txn::Priority priority = txn::Priority::kLow;
+  std::vector<Key> read_set;
+  std::vector<Key> write_set;
+  SimTime ts = 0;  // execution timestamp (estimated arrival at furthest)
+  std::vector<std::pair<int, SimTime>> est_arrivals;  // partition -> est
+  net::NodeId coordinator = -1;
+  net::NodeId client = -1;
+  int coordinator_site = 0;
+};
+
+class NattoEngine;
+
+/// A prepare vote sent to the coordinator.
+struct NattoVote {
+  TxnId id = 0;
+  int partition = 0;
+  bool ok = false;
+  int read_version = 0;          // matches the reads the client was served
+  bool conditional = false;      // conditional prepare (Sec 3.3.2)
+  TxnId condition_on = 0;        // ...on this txn being priority-aborted
+  std::string reason;
+};
+
+/// Natto partition leader: timestamp-ordered transaction queue, OCC for
+/// low-priority transactions, lock-style waiting for high-priority ones,
+/// priority abort, conditional prepare and ECSF.
+class NattoServer : public net::Node {
+ public:
+  NattoServer(NattoEngine* engine, int partition, int site,
+              sim::NodeClock clock);
+
+  void HandleReadPrepare(const NattoWireTxn& txn);
+  void HandleCommit(TxnId id, std::vector<std::pair<Key, Value>> writes);
+  void HandleAbort(TxnId id);
+
+  store::KvStore* kv() { return &kv_; }
+  const store::PreparedSet& prepared() const { return prepared_; }
+  size_t queue_size() const { return queue_.size(); }
+  size_t waiting_size() const { return waiting_.size(); }
+
+  /// Counters for tests and the ablation benches.
+  struct Stats {
+    uint64_t priority_aborts = 0;
+    uint64_t pa_suppressed = 0;       // completion-estimate suppressions
+    uint64_t conditional_prepares = 0;
+    uint64_t cp_satisfied = 0;
+    uint64_t cp_failed = 0;
+    uint64_t order_violation_aborts = 0;
+    uint64_t occ_aborts = 0;
+    uint64_t recsf_forwards = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  friend class NattoEngine;
+
+  struct TxnState {
+    NattoWireTxn txn;
+    std::vector<Key> local_reads;
+    std::vector<Key> local_writes;
+    int read_version = 0;
+    // Conditional prepare bookkeeping.
+    bool conditional = false;
+    TxnId condition_on = 0;
+  };
+
+  using OrderKey = std::pair<SimTime, TxnId>;
+
+  bool ConflictsLocal(const TxnState& a, const TxnState& b) const;
+
+  /// Inserts into the queue, runs the priority-abort pass and the
+  /// late-arrival ordering check, and schedules processing.
+  void Enqueue(TxnState st);
+
+  /// Processes ready queue-head transactions in timestamp order.
+  void DrainReady();
+  void ProcessTxn(TxnState st);
+
+  void PrepareNow(TxnState st, bool conditional, TxnId condition_on);
+  void ServeReads(TxnState& st);
+
+  /// Priority-aborts a queued low-priority transaction.
+  void PriorityAbort(const TxnState& victim, const char* why);
+
+  /// Re-examines waiting high-priority transactions after a completion.
+  void RescanWaiting();
+
+  /// Resolution of conditional prepares conditioned on `low` (which just
+  /// committed or aborted at this server).
+  void ResolveConditions(TxnId low, bool low_aborted);
+
+  /// Sec 3.3.1 refinement: expected completion time of `low` as seen here.
+  bool LowWillFinishInTime(const TxnState& low, const TxnState& high) const;
+
+  /// Sec 3.3.2: estimate whether another common participant priority-aborts
+  /// `low` because of `high`.
+  bool EstimatePriorityAbortElsewhere(const TxnState& high,
+                                      const TxnState& low) const;
+
+  /// RECSF (Sec 3.4): forward the blocked high-priority transaction's reads
+  /// to the blocker's coordinator.
+  void ForwardReadsRemote(const TxnState& high, const TxnState& blocker);
+
+  NattoEngine* engine_;
+  int partition_;
+  store::KvStore kv_;
+  store::PreparedSet prepared_;
+
+  std::map<OrderKey, TxnState> queue_;    // received, not yet processed
+  std::map<OrderKey, TxnState> waiting_;  // processed high-pri, blocked
+  std::unordered_map<TxnId, TxnState> prepared_txns_;
+  std::unordered_set<TxnId> finished_;
+  /// Largest prepare timestamp per key (late-arrival ordering checks).
+  std::unordered_map<Key, SimTime> key_order_ts_;
+
+  Stats stats_;
+};
+
+/// Natto transaction coordinator: Carousel-style 2PC with conditional-vote
+/// resolution and RECSF read serving.
+class NattoCoordinator : public net::Node {
+ public:
+  NattoCoordinator(NattoEngine* engine, int site, sim::NodeClock clock);
+
+  void HandleBegin(const NattoWireTxn& txn, std::vector<int> participants);
+  void HandleVote(const NattoVote& vote);
+  void HandleConditionResolved(TxnId id, int partition, bool satisfied);
+  void HandlePriorityAbort(TxnId id);
+  /// Round 2 from the client; `versions` echoes the read versions the
+  /// writes were computed from.
+  void HandleRound2(TxnId id, std::vector<std::pair<Key, Value>> writes,
+                    std::vector<std::pair<int, int>> versions,
+                    bool user_abort);
+  /// RECSF: serve `keys` (written by committed txn `writer`) to `client`.
+  void HandleRecsfRead(TxnId writer, TxnId reader, int partition,
+                       std::vector<Key> keys, int read_version,
+                       net::NodeId client);
+
+ private:
+  friend class NattoEngine;
+
+  struct VoteState {
+    bool have = false;
+    bool ok = false;
+    int version = 0;
+    bool conditional = false;
+    bool condition_failed = false;
+    std::string reason;
+  };
+
+  struct TxnState {
+    NattoWireTxn txn;
+    /// Messages can overtake HandleBegin under network jitter; state is
+    /// created lazily and no decision is made until begun.
+    bool begun = false;
+    bool failed = false;            // a vote refused before Begin arrived
+    std::string failed_reason;
+    bool priority_aborted = false;  // PA notice arrived before Begin
+    std::vector<int> participants;
+    std::unordered_map<int, VoteState> votes;
+    bool have_writes = false;
+    bool user_abort = false;
+    std::vector<std::pair<Key, Value>> writes;
+    std::unordered_map<int, int> round2_versions;
+    int replicated_version = -1;  // round2 generation made durable
+    int round2_generation = 0;
+  };
+
+  struct PendingRecsf {
+    TxnId reader;
+    int partition;
+    std::vector<Key> keys;
+    int read_version;
+    net::NodeId client;
+  };
+
+  void MaybeDecide(TxnId id);
+  void Decide(TxnId id, bool commit, const std::string& reason);
+  void ServeRecsf(const PendingRecsf& req,
+                  const std::vector<std::pair<Key, Value>>& writes);
+
+  NattoEngine* engine_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  /// Committed write data kept briefly for RECSF requests.
+  std::unordered_map<TxnId, std::vector<std::pair<Key, Value>>> committed_writes_;
+  std::unordered_map<TxnId, std::vector<PendingRecsf>> recsf_waiting_;
+  std::unordered_set<TxnId> decided_;
+};
+
+/// Client library for one datacenter: fetches delay estimates from the local
+/// proxy, assigns execution timestamps, and runs the interactive 2FI rounds
+/// (including re-execution when a conditional prepare fails).
+class NattoGateway : public net::Node {
+ public:
+  NattoGateway(NattoEngine* engine, int site, sim::NodeClock clock);
+
+  void StartTxn(const txn::TxnRequest& request, txn::TxnCallback done);
+  void HandleReadResults(TxnId id, int partition, int read_version,
+                         std::vector<txn::ReadResult> reads);
+  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
+
+  /// Periodic estimate refresh from the proxy.
+  void RefreshEstimates();
+
+  SimDuration EstimatedOneWay(int partition) const;
+
+  /// Prioritized transactions demoted to low priority by the quota.
+  uint64_t quota_demotions() const { return quota_demotions_; }
+
+ private:
+  friend class NattoEngine;
+
+  struct PartitionReads {
+    int version = -1;
+    std::unordered_map<Key, txn::ReadResult> reads;
+  };
+
+  struct ClientTxn {
+    txn::TxnRequest request;
+    txn::TxnCallback done;
+    std::vector<int> participants;
+    std::unordered_map<int, PartitionReads> reads;
+    std::vector<std::pair<Key, Value>> writes;
+    int round2_sent_generation = 0;
+  };
+
+  void MaybeSendRound2(TxnId id);
+
+  /// Token-bucket admission for the high-priority quota; returns false when
+  /// the transaction must be demoted.
+  bool AdmitPrioritized();
+
+  NattoEngine* engine_;
+  std::unordered_map<TxnId, ClientTxn> txns_;
+  std::unordered_map<int, SimDuration> cached_estimates_;  // partition -> ow
+  bool refresh_running_ = false;
+  double quota_tokens_ = 0;
+  SimTime quota_last_refill_ = 0;
+  uint64_t quota_demotions_ = 0;
+};
+
+/// Natto (SIGMOD'22): geo-distributed transaction processing with
+/// timestamp-based prioritization. The paper's primary contribution.
+class NattoEngine : public txn::TxnEngine {
+ public:
+  NattoEngine(txn::Cluster* cluster, NattoOptions options);
+
+  void Execute(const txn::TxnRequest& request, txn::TxnCallback done) override;
+  std::string name() const override;
+
+  txn::Cluster* cluster() { return cluster_; }
+  const NattoOptions& options() const { return options_; }
+
+  NattoServer* server(int partition) { return servers_[partition].get(); }
+  NattoCoordinator* coordinator_at(int site) {
+    return coordinators_[site].get();
+  }
+  NattoGateway* gateway_at(int site) { return gateways_[site].get(); }
+  net::Prober* proxy_at(int site) { return proxies_[site].get(); }
+  NattoCoordinator* coordinator_by_node(net::NodeId node);
+  NattoGateway* gateway_by_node(net::NodeId node);
+  NattoServer* server_by_txn_partition(int partition) {
+    return servers_[partition].get();
+  }
+
+  /// Mean one-way delay between sites as measured server-side (completion
+  /// estimates, Sec 3.3.1). Backed by the latency matrix averages, which is
+  /// what a server-side prober converges to.
+  SimDuration MeanOneWay(int site_a, int site_b) const;
+
+  /// One replication round at `site`'s local group (majority RTT).
+  SimDuration MajorityReplicationDelay(int partition) const;
+
+  Value DebugValue(Key key) override;
+
+  /// Aggregated server stats.
+  NattoServer::Stats TotalStats() const;
+
+ private:
+  txn::Cluster* cluster_;
+  NattoOptions options_;
+  std::vector<std::unique_ptr<NattoServer>> servers_;
+  std::vector<std::unique_ptr<net::Prober>> proxies_;
+  std::vector<std::unique_ptr<NattoCoordinator>> coordinators_;
+  std::vector<std::unique_ptr<NattoGateway>> gateways_;
+  std::unordered_map<net::NodeId, NattoCoordinator*> coord_by_node_;
+  std::unordered_map<net::NodeId, NattoGateway*> gateway_by_node_;
+};
+
+}  // namespace natto::core
+
+#endif  // NATTO_NATTO_NATTO_H_

@@ -1,0 +1,54 @@
+#include "net/delay_estimator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace natto::net {
+
+DelayEstimator::DelayEstimator(SimDuration window, double quantile)
+    : window_(window), quantile_(quantile) {
+  NATTO_CHECK(window_ > 0);
+  NATTO_CHECK(quantile_ > 0.0 && quantile_ <= 1.0);
+}
+
+void DelayEstimator::AddSample(SimTime now, SimDuration delay) {
+  Evict(now);
+  samples_.emplace_back(now, delay);
+}
+
+void DelayEstimator::Evict(SimTime now) const {
+  SimTime cutoff = now - window_;
+  while (!samples_.empty() && samples_.front().first <= cutoff) {
+    samples_.pop_front();
+  }
+}
+
+bool DelayEstimator::HasSamples(SimTime now) const {
+  Evict(now);
+  return !samples_.empty();
+}
+
+SimDuration DelayEstimator::Estimate(SimTime now) const {
+  Evict(now);
+  if (samples_.empty()) return 0;
+  std::vector<SimDuration> values;
+  values.reserve(samples_.size());
+  for (const auto& [t, d] : samples_) values.push_back(d);
+  // Index of the quantile element (nearest-rank method).
+  size_t rank = static_cast<size_t>(quantile_ * static_cast<double>(values.size()));
+  if (rank >= values.size()) rank = values.size() - 1;
+  std::nth_element(values.begin(), values.begin() + rank, values.end());
+  return values[rank];
+}
+
+SimDuration DelayEstimator::MeanEstimate(SimTime now) const {
+  Evict(now);
+  if (samples_.empty()) return 0;
+  long double sum = 0;
+  for (const auto& [t, d] : samples_) sum += static_cast<long double>(d);
+  return static_cast<SimDuration>(sum / static_cast<long double>(samples_.size()));
+}
+
+}  // namespace natto::net

@@ -1,0 +1,50 @@
+#ifndef NATTO_NET_DELAY_ESTIMATOR_H_
+#define NATTO_NET_DELAY_ESTIMATOR_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/sim_time.h"
+
+namespace natto::net {
+
+/// Domino-style one-way delay estimator: keeps delay samples from a sliding
+/// time window and reports a high percentile (default p95) so that arrival
+/// times are rarely underestimated (Sec 2.2).
+///
+/// Samples are measured as (server local receive time - client local send
+/// time), so they deliberately include relative clock skew: a timestamp
+/// computed from the estimate is directly comparable to the *server's*
+/// clock.
+class DelayEstimator {
+ public:
+  explicit DelayEstimator(SimDuration window = Seconds(1),
+                          double quantile = 0.95);
+
+  /// Records a delay sample observed at local time `now`.
+  void AddSample(SimTime now, SimDuration delay);
+
+  bool HasSamples(SimTime now) const;
+
+  /// The configured quantile of samples in (now - window, now]. Requires at
+  /// least one in-window sample (check HasSamples()); returns 0 otherwise.
+  SimDuration Estimate(SimTime now) const;
+
+  /// Mean of in-window samples (used by the ablation estimator bench).
+  SimDuration MeanEstimate(SimTime now) const;
+
+  size_t sample_count() const { return samples_.size(); }
+
+ private:
+  void Evict(SimTime now) const;
+
+  SimDuration window_;
+  double quantile_;
+  // Mutable so the const query methods can drop expired samples lazily.
+  mutable std::deque<std::pair<SimTime, SimDuration>> samples_;
+};
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_DELAY_ESTIMATOR_H_

@@ -1,0 +1,80 @@
+#include "net/delay_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace natto::net {
+
+SimDuration ConstantDelayModel::Sample(SimDuration mean, Rng& rng) {
+  (void)rng;
+  return mean;
+}
+
+UniformJitterDelayModel::UniformJitterDelayModel(double jitter_fraction)
+    : jitter_(jitter_fraction) {
+  NATTO_CHECK(jitter_ >= 0.0 && jitter_ < 1.0);
+}
+
+SimDuration UniformJitterDelayModel::Sample(SimDuration mean, Rng& rng) {
+  if (jitter_ == 0.0 || mean == 0) return mean;
+  double factor = rng.UniformDouble(1.0 - jitter_, 1.0 + jitter_);
+  return static_cast<SimDuration>(static_cast<double>(mean) * factor);
+}
+
+namespace {
+
+// For Pareto(xm, alpha) with alpha > 2:
+//   mean   = alpha * xm / (alpha - 1)
+//   stddev = xm / (alpha - 1) * sqrt(alpha / (alpha - 2))
+// so the coefficient of variation cv = stddev / mean = sqrt(alpha/(alpha-2)) / alpha,
+// which decreases monotonically in alpha. Solve cv(alpha) == target by bisection.
+double CvForAlpha(double alpha) {
+  return std::sqrt(alpha / (alpha - 2.0)) / alpha;
+}
+
+double SolveAlphaForCv(double cv) {
+  NATTO_CHECK(cv > 0.0) << "variance ratio must be positive";
+  double lo = 2.0 + 1e-9;  // cv -> infinity
+  double hi = 1e9;         // cv -> ~0
+  // cv(lo) is enormous; if the target exceeds it (never in practice for
+  // ratios <= a few hundred percent) clamp to lo.
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (CvForAlpha(mid) > cv) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+ParetoDelayModel::ParetoDelayModel(double variance_ratio)
+    : variance_ratio_(variance_ratio),
+      alpha_(variance_ratio > 0 ? SolveAlphaForCv(variance_ratio) : 0.0) {
+  NATTO_CHECK(variance_ratio >= 0.0);
+}
+
+SimDuration ParetoDelayModel::Sample(SimDuration mean, Rng& rng) {
+  if (variance_ratio_ == 0.0 || mean == 0) return mean;
+  double xm = static_cast<double>(mean) * (alpha_ - 1.0) / alpha_;
+  double d = rng.Pareto(xm, alpha_);
+  return static_cast<SimDuration>(d);
+}
+
+std::unique_ptr<DelayModel> MakeConstantDelay() {
+  return std::make_unique<ConstantDelayModel>();
+}
+
+std::unique_ptr<DelayModel> MakeUniformJitterDelay(double jitter_fraction) {
+  return std::make_unique<UniformJitterDelayModel>(jitter_fraction);
+}
+
+std::unique_ptr<DelayModel> MakeParetoDelay(double variance_ratio) {
+  return std::make_unique<ParetoDelayModel>(variance_ratio);
+}
+
+}  // namespace natto::net

@@ -1,0 +1,68 @@
+#ifndef NATTO_NET_DELAY_MODEL_H_
+#define NATTO_NET_DELAY_MODEL_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace natto::net {
+
+/// Samples the one-way delay of a single message given the link's average
+/// one-way delay. Implementations model the paper's network conditions:
+/// stable private-WAN delays (constant), emulated variance (Pareto, Sec 5.5),
+/// and general jitter (hybrid cloud, Fig 13).
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Returns the sampled one-way delay for a message on a link whose average
+  /// one-way delay is `mean`. Must be >= 0.
+  virtual SimDuration Sample(SimDuration mean, Rng& rng) = 0;
+};
+
+/// Delay is exactly the link average; models the paper's observation that
+/// private-WAN delays between Azure datacenters have ~0.1% variance.
+class ConstantDelayModel : public DelayModel {
+ public:
+  SimDuration Sample(SimDuration mean, Rng& rng) override;
+};
+
+/// Delay uniformly distributed in [mean*(1-jitter), mean*(1+jitter)].
+class UniformJitterDelayModel : public DelayModel {
+ public:
+  /// `jitter_fraction` in [0, 1), e.g. 0.05 for +-5%.
+  explicit UniformJitterDelayModel(double jitter_fraction);
+
+  SimDuration Sample(SimDuration mean, Rng& rng) override;
+
+ private:
+  double jitter_;
+};
+
+/// Pareto-distributed delay with the link's average as the distribution mean
+/// and a target coefficient of variation (stddev / mean), matching the
+/// Sec 5.5 netem emulation. `variance_ratio` is the paper's "network delay
+/// variance" axis (0.05 == 5%).
+class ParetoDelayModel : public DelayModel {
+ public:
+  explicit ParetoDelayModel(double variance_ratio);
+
+  SimDuration Sample(SimDuration mean, Rng& rng) override;
+
+  /// Pareto shape parameter solved so that stddev/mean == variance_ratio.
+  double alpha() const { return alpha_; }
+
+ private:
+  double variance_ratio_;
+  double alpha_;  // > 2 so that the variance exists
+};
+
+/// Factory helpers so experiment configs can be described by value.
+std::unique_ptr<DelayModel> MakeConstantDelay();
+std::unique_ptr<DelayModel> MakeUniformJitterDelay(double jitter_fraction);
+std::unique_ptr<DelayModel> MakeParetoDelay(double variance_ratio);
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_DELAY_MODEL_H_

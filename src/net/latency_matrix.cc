@@ -1,0 +1,67 @@
+#include "net/latency_matrix.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::net {
+
+LatencyMatrix::LatencyMatrix(std::vector<std::string> site_names,
+                             SimDuration local_rtt)
+    : names_(std::move(site_names)), local_rtt_(local_rtt) {
+  NATTO_CHECK(!names_.empty());
+  rtt_.assign(names_.size(), std::vector<SimDuration>(names_.size(), 0));
+}
+
+void LatencyMatrix::SetRtt(int a, int b, SimDuration rtt) {
+  NATTO_CHECK(a >= 0 && a < num_sites() && b >= 0 && b < num_sites());
+  NATTO_CHECK(rtt >= 0);
+  rtt_[a][b] = rtt;
+  rtt_[b][a] = rtt;
+}
+
+SimDuration LatencyMatrix::Rtt(int a, int b) const {
+  NATTO_DCHECK(a >= 0 && a < num_sites() && b >= 0 && b < num_sites());
+  if (a == b) return local_rtt_;
+  return rtt_[a][b];
+}
+
+SimDuration LatencyMatrix::OneWay(int a, int b) const { return Rtt(a, b) / 2; }
+
+LatencyMatrix LatencyMatrix::AzureFive() {
+  LatencyMatrix m({"VA", "WA", "PR", "NSW", "SG"});
+  // Paper Table 1 (ms): average network round-trip delays on Azure.
+  m.SetRtt(0, 1, Millis(67));   // VA-WA
+  m.SetRtt(0, 2, Millis(80));   // VA-PR
+  m.SetRtt(0, 3, Millis(196));  // VA-NSW
+  m.SetRtt(0, 4, Millis(214));  // VA-SG
+  m.SetRtt(1, 2, Millis(136));  // WA-PR
+  m.SetRtt(1, 3, Millis(175));  // WA-NSW
+  m.SetRtt(1, 4, Millis(163));  // WA-SG
+  m.SetRtt(2, 3, Millis(234));  // PR-NSW
+  m.SetRtt(2, 4, Millis(149));  // PR-SG
+  m.SetRtt(3, 4, Millis(87));   // NSW-SG
+  return m;
+}
+
+LatencyMatrix LatencyMatrix::HybridAwsAzure() {
+  LatencyMatrix m = AzureFive();
+  // Same geography, different providers for the first two sites.
+  LatencyMatrix hybrid({"AWS-east", "AWS-west", "PR", "NSW", "SG"});
+  for (int a = 0; a < m.num_sites(); ++a) {
+    for (int b = a + 1; b < m.num_sites(); ++b) {
+      hybrid.SetRtt(a, b, m.Rtt(a, b));
+    }
+  }
+  return hybrid;
+}
+
+LatencyMatrix LatencyMatrix::LocalTriangle() {
+  LatencyMatrix m({"DC-A", "DC-B", "DC-C"}, /*local_rtt=*/Micros(200));
+  m.SetRtt(0, 1, Millis(4));
+  m.SetRtt(0, 2, Millis(6));
+  m.SetRtt(1, 2, Millis(8));
+  return m;
+}
+
+}  // namespace natto::net

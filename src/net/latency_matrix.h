@@ -1,0 +1,56 @@
+#ifndef NATTO_NET_LATENCY_MATRIX_H_
+#define NATTO_NET_LATENCY_MATRIX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace natto::net {
+
+/// Symmetric matrix of average inter-datacenter round-trip delays. One-way
+/// delays are RTT/2; intra-datacenter delay is configurable and small.
+///
+/// `AzureFive()` reproduces Table 1 of the paper (VA, WA, PR, NSW, SG).
+class LatencyMatrix {
+ public:
+  /// Creates a matrix of `site_names.size()` sites with all inter-site RTTs
+  /// unset (zero) and the given intra-datacenter RTT.
+  explicit LatencyMatrix(std::vector<std::string> site_names,
+                         SimDuration local_rtt = Millis(1));
+
+  /// Sets the symmetric RTT between sites `a` and `b`.
+  void SetRtt(int a, int b, SimDuration rtt);
+
+  /// Average RTT between two sites (local RTT if a == b).
+  SimDuration Rtt(int a, int b) const;
+
+  /// Average one-way delay, RTT/2.
+  SimDuration OneWay(int a, int b) const;
+
+  int num_sites() const { return static_cast<int>(names_.size()); }
+  const std::string& site_name(int s) const { return names_[s]; }
+  const std::vector<std::string>& site_names() const { return names_; }
+
+  /// The five Azure datacenters of the paper's Table 1:
+  /// index 0..4 = VA, WA, PR, NSW, SG.
+  static LatencyMatrix AzureFive();
+
+  /// Fig 13's hybrid deployment: VA and WA replaced by AWS us-east and
+  /// us-west. Base RTTs match AzureFive (the paper reports no separate
+  /// matrix); the cross-provider links are expected to be paired with a
+  /// jittery delay model by the caller.
+  static LatencyMatrix HybridAwsAzure();
+
+  /// Fig 14's local three-datacenter topology with 4/6/8 ms RTTs.
+  static LatencyMatrix LocalTriangle();
+
+ private:
+  std::vector<std::string> names_;
+  SimDuration local_rtt_;
+  std::vector<std::vector<SimDuration>> rtt_;
+};
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_LATENCY_MATRIX_H_

@@ -1,0 +1,66 @@
+#ifndef NATTO_NET_NODE_H_
+#define NATTO_NET_NODE_H_
+
+#include <functional>
+#include <utility>
+
+#include "common/sim_time.h"
+#include "net/transport.h"
+#include "sim/clock.h"
+
+namespace natto::net {
+
+/// Base class for simulated actors (clients, proxies, partition replicas,
+/// coordinators). A node lives at a datacenter site, owns a loosely
+/// synchronized local clock, and communicates only via the transport.
+class Node {
+ public:
+  Node(Transport* transport, int site, sim::NodeClock clock = {})
+      : transport_(transport), site_(site), clock_(clock) {
+    id_ = transport_->AddNode(site);
+  }
+
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  int site() const { return site_; }
+  const sim::NodeClock& clock() const { return clock_; }
+
+  /// True simulated time (only the harness peeks at this; protocol logic
+  /// must use LocalNow()).
+  SimTime TrueNow() const { return transport_->simulator()->Now(); }
+
+  /// This node's local clock reading.
+  SimTime LocalNow() const { return clock_.Read(TrueNow()); }
+
+  /// Sends `bytes` to `to`; `fn` runs at the destination on delivery.
+  void SendTo(NodeId to, size_t bytes, std::function<void()> fn) {
+    transport_->Send(id_, to, bytes, std::move(fn));
+  }
+
+  /// Runs `fn` on this node after `delay`.
+  void After(SimDuration delay, std::function<void()> fn) {
+    transport_->simulator()->ScheduleAfter(delay, std::move(fn));
+  }
+
+  /// Runs `fn` when this node's local clock reads `local_time` (immediately
+  /// if that instant has passed).
+  void AtLocalTime(SimTime local_time, std::function<void()> fn) {
+    SimTime true_time = clock_.ToTrueTime(local_time);
+    transport_->simulator()->ScheduleAt(true_time, std::move(fn));
+  }
+
+  Transport* transport() { return transport_; }
+
+ private:
+  Transport* transport_;
+  int site_;
+  sim::NodeClock clock_;
+  NodeId id_;
+};
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_NODE_H_

@@ -1,0 +1,64 @@
+#include "net/prober.h"
+
+#include "common/logging.h"
+
+namespace natto::net {
+
+Prober::Prober(Transport* transport, int site, sim::NodeClock clock,
+               Options options)
+    : Node(transport, site, clock), options_(options) {}
+
+void Prober::AddTarget(int key, Node* target) {
+  NATTO_CHECK(target != nullptr);
+  targets_[key] = target;
+  estimators_.emplace(key,
+                      DelayEstimator(options_.window, options_.quantile));
+}
+
+void Prober::Start() {
+  if (running_) return;
+  running_ = true;
+  ProbeAll();
+}
+
+void Prober::ProbeAll() {
+  if (!running_) return;
+  for (auto& [key, target] : targets_) {
+    SimTime send_local = LocalNow();
+    Node* t = target;
+    int k = key;
+    // Request: probe to target. The target replies with its local receive
+    // time; the response travels back to this proxy.
+    SendTo(t->id(), options_.probe_bytes, [this, t, k, send_local]() {
+      SimTime server_local = t->LocalNow();
+      t->SendTo(this->id(), options_.probe_bytes, [this, k, send_local,
+                                                   server_local]() {
+        SimDuration one_way = server_local - send_local;
+        auto it = estimators_.find(k);
+        if (it != estimators_.end()) {
+          it->second.AddSample(LocalNow(), one_way);
+        }
+      });
+    });
+  }
+  After(options_.probe_interval, [this]() { ProbeAll(); });
+}
+
+bool Prober::HasEstimate(int key) const {
+  auto it = estimators_.find(key);
+  return it != estimators_.end() && it->second.HasSamples(LocalNow());
+}
+
+SimDuration Prober::EstimateDelayTo(int key) const {
+  auto it = estimators_.find(key);
+  if (it == estimators_.end()) return 0;
+  return it->second.Estimate(LocalNow());
+}
+
+SimDuration Prober::MeanDelayTo(int key) const {
+  auto it = estimators_.find(key);
+  if (it == estimators_.end()) return 0;
+  return it->second.MeanEstimate(LocalNow());
+}
+
+}  // namespace natto::net

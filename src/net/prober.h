@@ -1,0 +1,60 @@
+#ifndef NATTO_NET_PROBER_H_
+#define NATTO_NET_PROBER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/delay_estimator.h"
+#include "net/node.h"
+
+namespace natto::net {
+
+/// Per-datacenter measurement proxy (Sec 4): periodically probes a set of
+/// target nodes (the partition leaders) and maintains a one-way delay
+/// estimate to each. Clients in the same datacenter fetch the estimates and
+/// cache them.
+///
+/// A probe carries the sender's local send time; the target answers with its
+/// own local receive time, so each sample includes relative clock skew — by
+/// design (see DelayEstimator).
+class Prober : public Node {
+ public:
+  struct Options {
+    SimDuration probe_interval = Millis(10);  // paper: every 10 ms
+    SimDuration window = Seconds(1);          // paper: last second
+    double quantile = 0.95;                   // paper: 95th percentile
+    size_t probe_bytes = 64;
+  };
+
+  Prober(Transport* transport, int site, sim::NodeClock clock,
+         Options options);
+
+  /// Registers a probe target under integer key `key` (e.g. partition id).
+  void AddTarget(int key, Node* target);
+
+  /// Starts the periodic probe loop.
+  void Start();
+  void Stop() { running_ = false; }
+
+  bool HasEstimate(int key) const;
+
+  /// p95 one-way delay (including relative skew) to the target, by the
+  /// target's clock. Returns 0 before the first sample arrives.
+  SimDuration EstimateDelayTo(int key) const;
+
+  /// Mean in-window estimate; used for completion-time prediction and the
+  /// estimator ablation.
+  SimDuration MeanDelayTo(int key) const;
+
+ private:
+  void ProbeAll();
+
+  Options options_;
+  bool running_ = false;
+  std::unordered_map<int, Node*> targets_;
+  std::unordered_map<int, DelayEstimator> estimators_;
+};
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_PROBER_H_

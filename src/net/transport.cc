@@ -1,0 +1,135 @@
+#include "net/transport.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::net {
+
+Transport::Transport(sim::Simulator* simulator, const LatencyMatrix* matrix,
+                     std::unique_ptr<DelayModel> delay_model,
+                     TransportOptions options, uint64_t seed)
+    : simulator_(simulator),
+      matrix_(matrix),
+      delay_model_(std::move(delay_model)),
+      options_(options),
+      rng_(seed) {
+  NATTO_CHECK(simulator_ != nullptr);
+  NATTO_CHECK(matrix_ != nullptr);
+  if (delay_model_ == nullptr) delay_model_ = MakeConstantDelay();
+  int n = matrix_->num_sites();
+  link_free_at_.assign(static_cast<size_t>(n) * n, 0);
+}
+
+NodeId Transport::AddNode(int site) {
+  NATTO_CHECK(site >= 0 && site < matrix_->num_sites());
+  node_sites_.push_back(site);
+  node_crashed_.push_back(false);
+  node_free_at_.push_back(0);
+  return static_cast<NodeId>(node_sites_.size()) - 1;
+}
+
+int Transport::node_site(NodeId node) const {
+  NATTO_DCHECK(node >= 0 && node < num_nodes());
+  return node_sites_[node];
+}
+
+void Transport::SetNodeCrashed(NodeId node, bool crashed) {
+  NATTO_CHECK(node >= 0 && node < num_nodes());
+  node_crashed_[node] = crashed;
+}
+
+bool Transport::IsNodeCrashed(NodeId node) const {
+  NATTO_DCHECK(node >= 0 && node < num_nodes());
+  return node_crashed_[node];
+}
+
+SimTime& Transport::LinkFreeAt(int from_site, int to_site) {
+  return link_free_at_[static_cast<size_t>(from_site) * matrix_->num_sites() +
+                       to_site];
+}
+
+double Transport::EffectiveLinkRate(int from_site, int to_site) const {
+  double rate = options_.link_bandwidth_bytes_per_sec;
+  if (rate <= 0.0) return 0.0;  // capacity model disabled
+  if (options_.packet_loss > 0.0) {
+    // Mathis et al.: per-flow TCP throughput ~= MSS / (RTT * sqrt(p)).
+    double rtt_sec = ToSeconds(matrix_->Rtt(from_site, to_site));
+    rtt_sec = std::max(rtt_sec, 1e-4);
+    double per_flow =
+        options_.tcp_mss_bytes / (rtt_sec * std::sqrt(options_.packet_loss));
+    double aggregate = per_flow * options_.tcp_flows_per_link;
+    rate = std::min(rate, aggregate);
+  }
+  return rate;
+}
+
+void Transport::Send(NodeId from, NodeId to, size_t bytes,
+                     std::function<void()> deliver) {
+  NATTO_DCHECK(from >= 0 && from < num_nodes());
+  NATTO_DCHECK(to >= 0 && to < num_nodes());
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  if (node_crashed_[from] || node_crashed_[to]) return;
+
+  int sa = node_sites_[from];
+  int sb = node_sites_[to];
+  SimTime now = simulator_->Now();
+
+  // Link serialization under the capacity model.
+  SimTime depart = now;
+  double rate = EffectiveLinkRate(sa, sb);
+  if (rate > 0.0) {
+    SimTime& free_at = LinkFreeAt(sa, sb);
+    SimTime start = std::max(now, free_at);
+    auto tx = static_cast<SimDuration>(static_cast<double>(bytes) / rate *
+                                       1e6);  // seconds -> micros
+    free_at = start + tx;
+    depart = free_at;
+  }
+
+  // Propagation delay with the configured distribution.
+  SimDuration delay = delay_model_->Sample(matrix_->OneWay(sa, sb), rng_);
+
+  // Loss: the first lost transmission is usually recovered by TCP fast
+  // retransmit on the busy persistent connection (~1 RTT); repeated losses
+  // of the same segment fall back to the retransmission timeout with
+  // exponential backoff.
+  if (options_.packet_loss > 0.0) {
+    SimDuration rtt = matrix_->Rtt(sa, sb);
+    bool first = true;
+    SimDuration rto = options_.retransmit_timeout;
+    while (rng_.Bernoulli(options_.packet_loss)) {
+      ++messages_lost_;
+      if (first) {
+        delay += std::max<SimDuration>(rtt, Millis(1));
+        first = false;
+      } else {
+        delay += rto;
+        rto = std::min<SimDuration>(rto * 2, Seconds(8));
+      }
+    }
+  }
+
+  SimTime arrival = depart + delay;
+
+  // Destination CPU queueing.
+  SimTime done = arrival;
+  if (options_.node_cost_per_message > 0 || options_.node_cost_per_kib > 0) {
+    SimDuration cost = options_.node_cost_per_message +
+                       options_.node_cost_per_kib *
+                           static_cast<SimDuration>(bytes) / 1024;
+    SimTime start = std::max(arrival, node_free_at_[to]);
+    node_free_at_[to] = start + cost;
+    done = start + cost;
+  }
+
+  simulator_->ScheduleAt(done, [this, to, deliver = std::move(deliver)]() {
+    if (node_crashed_[to]) return;
+    deliver();
+  });
+}
+
+}  // namespace natto::net

@@ -1,0 +1,113 @@
+#ifndef NATTO_NET_TRANSPORT_H_
+#define NATTO_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "net/delay_model.h"
+#include "net/latency_matrix.h"
+#include "sim/simulator.h"
+
+namespace natto::net {
+
+/// Identifies a registered node (client, proxy, replica, ...).
+using NodeId = int;
+
+/// Knobs for the simulated network and server capacity.
+struct TransportOptions {
+  /// Probability that a message's first transmission is lost; each loss adds
+  /// a TCP-like retransmission timeout (doubling on consecutive losses).
+  double packet_loss = 0.0;
+
+  /// Base retransmission timeout (Linux TCP minimum RTO is 200 ms).
+  SimDuration retransmit_timeout = Millis(200);
+
+  /// Per-directed-link capacity in bytes/second; 0 disables the capacity
+  /// model. Under packet loss the effective capacity additionally collapses
+  /// following the Mathis TCP-throughput model, which is what saturates
+  /// replication-heavy systems first in Fig 12.
+  double link_bandwidth_bytes_per_sec = 0.0;
+
+  /// Number of parallel TCP flows aggregated per link for the Mathis model.
+  int tcp_flows_per_link = 16;
+
+  /// TCP maximum segment size used by the Mathis model.
+  double tcp_mss_bytes = 1460.0;
+
+  /// CPU cost a node pays to process one received message; 0 disables the
+  /// server-capacity model. Nodes are FIFO servers: messages queue when the
+  /// node is busy. This is what bounds peak throughput in Fig 14 and makes
+  /// Carousel's leaders the bottleneck at high retry rates.
+  SimDuration node_cost_per_message = 0;
+
+  /// Additional CPU cost per KiB of message payload.
+  SimDuration node_cost_per_kib = 0;
+};
+
+/// Simulated message transport between nodes placed at datacenter sites.
+/// Delivery of a message runs a caller-provided closure at the destination's
+/// delivery time; payloads are captured by the closure, so no serialization
+/// is required, but callers pass the wire size in bytes so the capacity
+/// model sees realistic load.
+class Transport {
+ public:
+  Transport(sim::Simulator* simulator, const LatencyMatrix* matrix,
+            std::unique_ptr<DelayModel> delay_model, TransportOptions options,
+            uint64_t seed);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Registers a node at datacenter `site`; returns its id.
+  NodeId AddNode(int site);
+
+  int node_site(NodeId node) const;
+  int num_nodes() const { return static_cast<int>(node_sites_.size()); }
+
+  /// Sends a message of `bytes` from `from` to `to`; `deliver` runs at the
+  /// destination once link delay, loss retransmissions, link serialization
+  /// and destination CPU queueing have elapsed.
+  void Send(NodeId from, NodeId to, size_t bytes,
+            std::function<void()> deliver);
+
+  /// Marks a node as crashed: messages to it are dropped silently. Used by
+  /// fault tests (e.g., Raft leader failure).
+  void SetNodeCrashed(NodeId node, bool crashed);
+  bool IsNodeCrashed(NodeId node) const;
+
+  sim::Simulator* simulator() { return simulator_; }
+  const LatencyMatrix& matrix() const { return *matrix_; }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_lost() const { return messages_lost_; }
+
+ private:
+  /// Serialization start bookkeeping per directed site pair.
+  SimTime& LinkFreeAt(int from_site, int to_site);
+
+  double EffectiveLinkRate(int from_site, int to_site) const;
+
+  sim::Simulator* simulator_;
+  const LatencyMatrix* matrix_;
+  std::unique_ptr<DelayModel> delay_model_;
+  TransportOptions options_;
+  Rng rng_;
+
+  std::vector<int> node_sites_;
+  std::vector<bool> node_crashed_;
+  std::vector<SimTime> node_free_at_;
+  std::vector<SimTime> link_free_at_;  // num_sites^2, row-major
+
+  uint64_t messages_sent_ = 0;
+  uint64_t bytes_sent_ = 0;
+  uint64_t messages_lost_ = 0;
+};
+
+}  // namespace natto::net
+
+#endif  // NATTO_NET_TRANSPORT_H_

@@ -1,0 +1,27 @@
+#include "raft/group.h"
+
+#include "common/logging.h"
+
+namespace natto::raft {
+
+RaftGroup::RaftGroup(net::Transport* transport, const std::vector<int>& sites,
+                     RaftReplica::Options options, Rng& seed_rng,
+                     SimDuration max_clock_skew) {
+  NATTO_CHECK(!sites.empty());
+  for (int site : sites) {
+    auto clock = sim::NodeClock::WithRandomSkew(seed_rng, max_clock_skew);
+    replicas_.push_back(std::make_unique<RaftReplica>(
+        transport, site, clock, options, seed_rng.Fork()));
+  }
+  std::vector<RaftReplica*> peers;
+  peers.reserve(replicas_.size());
+  for (auto& r : replicas_) peers.push_back(r.get());
+  for (auto& r : replicas_) r->SetPeers(peers);
+  replicas_.front()->BecomeInitialLeader();
+}
+
+void RaftGroup::StartTimers() {
+  for (auto& r : replicas_) r->StartTimers();
+}
+
+}  // namespace natto::raft

@@ -1,0 +1,33 @@
+#ifndef NATTO_RAFT_GROUP_H_
+#define NATTO_RAFT_GROUP_H_
+
+#include <memory>
+#include <vector>
+
+#include "raft/raft.h"
+
+namespace natto::raft {
+
+/// Convenience owner of one partition's replica group: builds the replicas
+/// at the given sites, wires them, and seats replicas[0] as the initial
+/// leader.
+class RaftGroup {
+ public:
+  RaftGroup(net::Transport* transport, const std::vector<int>& sites,
+            RaftReplica::Options options, Rng& seed_rng,
+            SimDuration max_clock_skew = 0);
+
+  RaftReplica* leader() { return replicas_.front().get(); }
+  RaftReplica* replica(size_t i) { return replicas_[i].get(); }
+  size_t size() const { return replicas_.size(); }
+
+  /// Enables timers on every replica (fault-tolerance tests).
+  void StartTimers();
+
+ private:
+  std::vector<std::unique_ptr<RaftReplica>> replicas_;
+};
+
+}  // namespace natto::raft
+
+#endif  // NATTO_RAFT_GROUP_H_

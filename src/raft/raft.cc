@@ -1,0 +1,338 @@
+#include "raft/raft.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::raft {
+
+RaftReplica::RaftReplica(net::Transport* transport, int site,
+                         sim::NodeClock clock, Options options, Rng rng)
+    : net::Node(transport, site, clock),
+      options_(options),
+      rng_(std::move(rng)) {}
+
+void RaftReplica::SetPeers(std::vector<RaftReplica*> peers) {
+  NATTO_CHECK(!peers.empty());
+  peers_ = std::move(peers);
+  peer_state_.assign(peers_.size(), PeerState{});
+  bool found = false;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i] == this) {
+      self_index_ = i;
+      found = true;
+    }
+  }
+  NATTO_CHECK(found) << "peers must include self";
+}
+
+void RaftReplica::BecomeInitialLeader() {
+  NATTO_CHECK(!peers_.empty()) << "SetPeers first";
+  term_ = 1;
+  BecomeLeader();
+}
+
+void RaftReplica::StartTimers() {
+  if (timers_started_) return;
+  timers_started_ = true;
+  last_heartbeat_seen_ = TrueNow();
+  ResetElectionTimer();
+  if (role_ == Role::kLeader) HeartbeatTick();
+}
+
+Status RaftReplica::Propose(PayloadId payload,
+                            std::function<void()> on_committed) {
+  if (role_ != Role::kLeader) {
+    return Status::Unavailable("not the leader");
+  }
+  log_.push_back(LogEntry{term_, payload});
+  uint64_t index = log_.size();
+  if (on_committed) pending_callbacks_.emplace_back(index, std::move(on_committed));
+  // Single-replica group commits immediately.
+  if (peers_.size() == 1) {
+    AdvanceCommit();
+    return Status::OK();
+  }
+  // Coalesce proposals made at the same instant into one AppendEntries per
+  // follower (zero added latency: the flush runs at the same simulated
+  // time, after the current event cascade).
+  if (!flush_scheduled_) {
+    flush_scheduled_ = true;
+    transport()->simulator()->ScheduleAfter(0, [this]() {
+      flush_scheduled_ = false;
+      if (role_ == Role::kLeader) BroadcastAppend();
+    });
+  }
+  return Status::OK();
+}
+
+void RaftReplica::BecomeFollower(uint64_t term) {
+  term_ = term;
+  role_ = Role::kFollower;
+  voted_for_ = -1;
+  votes_received_ = 0;
+  // Leader-side callbacks for uncommitted entries will never fire on this
+  // replica; drop them (engines treat missing callbacks as lost leadership,
+  // which only matters in fault tests).
+  pending_callbacks_.erase(
+      std::remove_if(pending_callbacks_.begin(), pending_callbacks_.end(),
+                     [this](const auto& p) { return p.first > commit_index_; }),
+      pending_callbacks_.end());
+}
+
+void RaftReplica::ResetElectionTimer() {
+  if (!timers_started_) return;
+  uint64_t epoch = ++election_epoch_;
+  SimDuration timeout = rng_.UniformInt(options_.election_timeout_min,
+                                        options_.election_timeout_max);
+  After(timeout, [this, epoch]() {
+    if (epoch != election_epoch_) return;  // superseded
+    if (role_ == Role::kLeader) return;
+    StartElection();
+  });
+}
+
+void RaftReplica::StartElection() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = static_cast<int>(self_index_);
+  votes_received_ = 1;
+  uint64_t last_index = log_.size();
+  uint64_t last_term = log_.empty() ? 0 : log_.back().term;
+  uint64_t term = term_;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i == self_index_) continue;
+    RaftReplica* peer = peers_[i];
+    SendTo(peer->id(), options_.header_bytes,
+           [peer, term, last_index, last_term, self = self_index_]() {
+             peer->HandleRequestVote(term, last_index, last_term, self);
+           });
+  }
+  ResetElectionTimer();
+  if (votes_received_ >= Majority()) BecomeLeader();
+}
+
+void RaftReplica::HandleRequestVote(uint64_t term, uint64_t last_log_index,
+                                    uint64_t last_log_term,
+                                    size_t from_index) {
+  if (term > term_) BecomeFollower(term);
+  bool granted = false;
+  if (term == term_ &&
+      (voted_for_ == -1 || voted_for_ == static_cast<int>(from_index))) {
+    uint64_t my_last_term = log_.empty() ? 0 : log_.back().term;
+    bool up_to_date = last_log_term > my_last_term ||
+                      (last_log_term == my_last_term &&
+                       last_log_index >= log_.size());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = static_cast<int>(from_index);
+      ResetElectionTimer();
+    }
+  }
+  RaftReplica* candidate = peers_[from_index];
+  uint64_t reply_term = term_;
+  SendTo(candidate->id(), options_.header_bytes,
+         [candidate, reply_term, granted, self = self_index_]() {
+           candidate->HandleVoteResponse(reply_term, granted, self);
+         });
+}
+
+void RaftReplica::HandleVoteResponse(uint64_t term, bool granted,
+                                     size_t from_index) {
+  (void)from_index;
+  if (term > term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != Role::kCandidate || term != term_) return;
+  if (granted) {
+    ++votes_received_;
+    if (votes_received_ >= Majority()) BecomeLeader();
+  }
+}
+
+void RaftReplica::BecomeLeader() {
+  role_ = Role::kLeader;
+  for (size_t i = 0; i < peer_state_.size(); ++i) {
+    peer_state_[i].sent_index = log_.size();
+    peer_state_[i].match_index = 0;
+    peer_state_[i].last_sent_commit = 0;
+    peer_state_[i].last_send = 0;
+  }
+  // A fresh leader must establish each follower's log prefix: rewind the
+  // pipeline so the first append carries a consistency check the follower
+  // can answer from its own log tail.
+  BroadcastAppend();
+  if (timers_started_) HeartbeatTick();
+}
+
+void RaftReplica::HeartbeatTick() {
+  if (role_ != Role::kLeader || !timers_started_) return;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i == self_index_) continue;
+    PeerState& ps = peer_state_[i];
+    // If a follower has been silent for a while (crashed peer, lost
+    // leadership handshake), rewind the pipeline and retransmit.
+    if (ps.match_index < ps.sent_index &&
+        TrueNow() - ps.last_send > 4 * options_.heartbeat_interval) {
+      ps.sent_index = ps.match_index;
+    }
+    MaybeSendTo(i, /*force=*/true);
+  }
+  After(options_.heartbeat_interval, [this]() { HeartbeatTick(); });
+}
+
+void RaftReplica::BroadcastAppend() {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i == self_index_) continue;
+    MaybeSendTo(i);
+  }
+  AdvanceCommit();
+}
+
+void RaftReplica::MaybeSendTo(size_t peer_index, bool force) {
+  if (role_ != Role::kLeader) return;
+  PeerState& ps = peer_state_[peer_index];
+  std::vector<LogEntry> entries;
+  if (ps.sent_index < log_.size()) {
+    entries.assign(log_.begin() + static_cast<long>(ps.sent_index), log_.end());
+  } else if (!force && ps.last_sent_commit >= commit_index_) {
+    // Nothing new to send: no entries, and the peer already knows the
+    // current commit index. Heartbeats pass force=true.
+    return;
+  }
+  uint64_t prev_index = ps.sent_index;
+  uint64_t prev_term =
+      prev_index == 0 ? 0 : log_[static_cast<size_t>(prev_index) - 1].term;
+  ps.sent_index += entries.size();
+  ps.last_send = TrueNow();
+  ps.last_sent_commit = commit_index_;
+  size_t bytes = options_.header_bytes + entries.size() * options_.entry_bytes;
+  RaftReplica* peer = peers_[peer_index];
+  uint64_t term = term_;
+  uint64_t leader_commit = commit_index_;
+  SendTo(peer->id(), bytes,
+         [peer, term, prev_index, prev_term, entries = std::move(entries),
+          leader_commit, self = self_index_]() mutable {
+           peer->HandleAppendEntries(term, prev_index, prev_term,
+                                     std::move(entries), leader_commit, self);
+         });
+}
+
+void RaftReplica::HandleAppendEntries(uint64_t term, uint64_t prev_index,
+                                      uint64_t prev_term,
+                                      std::vector<LogEntry> entries,
+                                      uint64_t leader_commit,
+                                      size_t from_index) {
+  if (term > term_) BecomeFollower(term);
+  RaftReplica* leader = peers_[from_index];
+  bool success = false;
+  if (term == term_) {
+    if (role_ == Role::kCandidate) role_ = Role::kFollower;
+    last_heartbeat_seen_ = TrueNow();
+    ResetElectionTimer();
+    // Consistency check on the entry preceding the batch.
+    bool prev_ok =
+        prev_index == 0 ||
+        (prev_index <= log_.size() &&
+         log_[static_cast<size_t>(prev_index) - 1].term == prev_term);
+    if (prev_ok) {
+      success = true;
+      // Append, truncating any conflicting suffix.
+      uint64_t index = prev_index;
+      for (const LogEntry& e : entries) {
+        ++index;
+        if (index <= log_.size()) {
+          if (log_[static_cast<size_t>(index) - 1].term != e.term) {
+            log_.resize(static_cast<size_t>(index) - 1);
+            log_.push_back(e);
+          }
+        } else {
+          log_.push_back(e);
+        }
+      }
+      uint64_t new_commit = std::min<uint64_t>(leader_commit, index);
+      if (new_commit > commit_index_) {
+        commit_index_ = new_commit;
+        ApplyCommitted();
+      }
+    }
+  }
+  uint64_t match = success ? prev_index + entries.size() : 0;
+  uint64_t reply_term = term_;
+  bool ok = success;
+  SendTo(leader->id(), options_.header_bytes,
+         [leader, reply_term, ok, match, self = self_index_]() {
+           leader->HandleAppendResponse(reply_term, ok, match, self);
+         });
+}
+
+void RaftReplica::HandleAppendResponse(uint64_t term, bool success,
+                                       uint64_t match_index,
+                                       size_t from_index) {
+  if (term > term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != Role::kLeader || term != term_) return;
+  PeerState& ps = peer_state_[from_index];
+  if (success) {
+    ps.match_index = std::max(ps.match_index, match_index);
+    ps.sent_index = std::max(ps.sent_index, ps.match_index);
+    AdvanceCommit();
+  } else {
+    // Consistency check failed: rewind the pipeline to the acknowledged
+    // prefix (backing up one extra step until the logs meet).
+    uint64_t rewind = std::min(ps.sent_index, ps.match_index);
+    if (rewind == ps.sent_index && rewind > 0) --rewind;
+    ps.sent_index = rewind;
+    MaybeSendTo(from_index, /*force=*/true);
+  }
+}
+
+void RaftReplica::AdvanceCommit() {
+  if (role_ != Role::kLeader) return;
+  // The leader's own match index is its log size.
+  std::vector<uint64_t> matches;
+  matches.reserve(peers_.size());
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    matches.push_back(i == self_index_ ? log_.size()
+                                       : peer_state_[i].match_index);
+  }
+  std::sort(matches.begin(), matches.end(), std::greater<>());
+  uint64_t majority_match = matches[static_cast<size_t>(Majority()) - 1];
+  // Only entries of the current term commit by counting (Raft Sec 5.4.2).
+  while (majority_match > commit_index_ &&
+         log_[static_cast<size_t>(majority_match) - 1].term != term_) {
+    --majority_match;
+  }
+  if (majority_match > commit_index_) {
+    commit_index_ = majority_match;
+    ApplyCommitted();
+    // Ship the new commit index to idle peers promptly.
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      if (i != self_index_) MaybeSendTo(i);
+    }
+  }
+}
+
+void RaftReplica::ApplyCommitted() {
+  while (applied_index_ < commit_index_) {
+    ++applied_index_;
+    if (on_apply_) on_apply_(log_[static_cast<size_t>(applied_index_) - 1].payload);
+  }
+  // Fire leader-side completion callbacks for newly committed entries.
+  auto it = pending_callbacks_.begin();
+  while (it != pending_callbacks_.end()) {
+    if (it->first <= commit_index_) {
+      auto cb = std::move(it->second);
+      it = pending_callbacks_.erase(it);
+      cb();
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace natto::raft

@@ -1,0 +1,137 @@
+#ifndef NATTO_RAFT_RAFT_H_
+#define NATTO_RAFT_RAFT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "net/node.h"
+
+namespace natto::raft {
+
+/// Opaque payload handle replicated through the log; engines keep the actual
+/// data (prepare results, write data) keyed by this id.
+using PayloadId = uint64_t;
+
+struct LogEntry {
+  uint64_t term = 0;
+  PayloadId payload = 0;
+};
+
+/// A single Raft replica. All replicas of one partition form a group wired
+/// together with `SetPeers`. This is a from-scratch, simulation-hosted Raft
+/// covering leader election, log replication and commitment (no
+/// persistence/snapshots/membership change — the paper's prototypes likewise
+/// implement no fault recovery, but elections are implemented and tested so
+/// the replication substrate is honest about quorums).
+class RaftReplica : public net::Node {
+ public:
+  struct Options {
+    SimDuration heartbeat_interval = Millis(50);
+    SimDuration election_timeout_min = Millis(300);
+    SimDuration election_timeout_max = Millis(600);
+    /// Wire bytes charged per replicated log entry.
+    size_t entry_bytes = 128;
+    /// Fixed wire bytes per AppendEntries/vote message.
+    size_t header_bytes = 64;
+  };
+
+  RaftReplica(net::Transport* transport, int site, sim::NodeClock clock,
+              Options options, Rng rng);
+
+  /// Wires the group; `peers` must include this replica, identical order on
+  /// every member. Call once before use.
+  void SetPeers(std::vector<RaftReplica*> peers);
+
+  /// Deterministically seats this replica as leader of term 1 (the harness
+  /// uses this; elections still take over on failures).
+  void BecomeInitialLeader();
+
+  /// Enables election timeouts and heartbeats. Optional for latency-only
+  /// experiments with a designated initial leader.
+  void StartTimers();
+
+  bool IsLeader() const { return role_ == Role::kLeader; }
+  uint64_t term() const { return term_; }
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t log_size() const { return log_.size(); }
+
+  /// Leader-only: appends `payload` to the log and replicates it;
+  /// `on_committed` fires on this node once a majority has the entry.
+  /// Returns Unavailable if this replica is not the leader (callback
+  /// dropped).
+  Status Propose(PayloadId payload, std::function<void()> on_committed);
+
+  /// Fires for every payload as it commits on this replica (leader and
+  /// followers), in log order. Used by tests to check replica agreement.
+  void SetOnApply(std::function<void(PayloadId)> on_apply) {
+    on_apply_ = std::move(on_apply);
+  }
+
+ private:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  struct PeerState {
+    /// Replication is pipelined: `sent_index` is the highest log position
+    /// already shipped (not necessarily acknowledged); `match_index` is the
+    /// highest acknowledged position. On a consistency-check failure the
+    /// leader rewinds `sent_index` to `match_index` and resends.
+    uint64_t sent_index = 0;
+    uint64_t match_index = 0;
+    uint64_t last_sent_commit = 0;  // commit index last shipped to this peer
+    SimTime last_send = 0;
+  };
+
+  int Majority() const { return static_cast<int>(peers_.size()) / 2 + 1; }
+
+  void BecomeFollower(uint64_t term);
+  void StartElection();
+  void BecomeLeader();
+  void BroadcastAppend();
+  void MaybeSendTo(size_t peer_index, bool force = false);
+  void AdvanceCommit();
+  void ApplyCommitted();
+  void ResetElectionTimer();
+  void HeartbeatTick();
+
+  // RPC handlers (invoked via transport closures from peers).
+  void HandleAppendEntries(uint64_t term, uint64_t prev_index,
+                           uint64_t prev_term, std::vector<LogEntry> entries,
+                           uint64_t leader_commit, size_t from_index);
+  void HandleAppendResponse(uint64_t term, bool success, uint64_t match_index,
+                            size_t from_index);
+  void HandleRequestVote(uint64_t term, uint64_t last_log_index,
+                         uint64_t last_log_term, size_t from_index);
+  void HandleVoteResponse(uint64_t term, bool granted, size_t from_index);
+
+  Options options_;
+  Rng rng_;
+
+  std::vector<RaftReplica*> peers_;
+  size_t self_index_ = 0;
+
+  Role role_ = Role::kFollower;
+  uint64_t term_ = 0;
+  int voted_for_ = -1;  // peer index, -1 = none
+  int votes_received_ = 0;
+
+  std::vector<LogEntry> log_;  // log_[i] is entry at index i+1
+  uint64_t commit_index_ = 0;
+  uint64_t applied_index_ = 0;
+
+  std::vector<PeerState> peer_state_;
+  // Callbacks for locally proposed entries, keyed by log index.
+  std::vector<std::pair<uint64_t, std::function<void()>>> pending_callbacks_;
+  std::function<void(PayloadId)> on_apply_;
+
+  bool timers_started_ = false;
+  bool flush_scheduled_ = false;
+  uint64_t election_epoch_ = 0;  // invalidates stale timers
+  SimTime last_heartbeat_seen_ = 0;
+};
+
+}  // namespace natto::raft
+
+#endif  // NATTO_RAFT_RAFT_H_

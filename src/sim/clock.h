@@ -1,0 +1,39 @@
+#ifndef NATTO_SIM_CLOCK_H_
+#define NATTO_SIM_CLOCK_H_
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+namespace natto::sim {
+
+/// Models a node's loosely NTP-synchronized local clock: reading the clock
+/// returns true simulated time plus a fixed per-node skew. Natto assumes
+/// loose synchronization only; skew shows up as systematic over/under
+/// estimation of arrival times, exactly as on real deployments.
+class NodeClock {
+ public:
+  NodeClock() : skew_(0) {}
+  explicit NodeClock(SimDuration skew) : skew_(skew) {}
+
+  /// Draws a skew uniformly in [-max_abs_skew, +max_abs_skew].
+  static NodeClock WithRandomSkew(Rng& rng, SimDuration max_abs_skew) {
+    if (max_abs_skew <= 0) return NodeClock(0);
+    return NodeClock(rng.UniformInt(-max_abs_skew, max_abs_skew));
+  }
+
+  /// Local clock reading given the true simulated time.
+  SimTime Read(SimTime true_time) const { return true_time + skew_; }
+
+  /// Converts a local-clock instant back to true simulated time; used to
+  /// schedule "at local time T" timers.
+  SimTime ToTrueTime(SimTime local_time) const { return local_time - skew_; }
+
+  SimDuration skew() const { return skew_; }
+
+ private:
+  SimDuration skew_;
+};
+
+}  // namespace natto::sim
+
+#endif  // NATTO_SIM_CLOCK_H_

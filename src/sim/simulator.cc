@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::sim {
+
+void Simulator::ScheduleAt(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
+  if (delay < 0) delay = 0;
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    // The queue element must be moved out before running: the callback may
+    // schedule new events and reallocate the underlying heap.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    NATTO_DCHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++executed_;
+    ev.cb();
+  }
+}
+
+void Simulator::RunUntil(SimTime t) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.cb();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+}
+
+}  // namespace natto::sim

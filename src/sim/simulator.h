@@ -1,0 +1,75 @@
+#ifndef NATTO_SIM_SIMULATOR_H_
+#define NATTO_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace natto::sim {
+
+/// Deterministic discrete-event simulator. All nodes (clients, servers,
+/// proxies, replicas) share one `Simulator`; events scheduled at equal times
+/// run in scheduling order (FIFO), which keeps runs exactly reproducible.
+///
+/// The kernel is single-threaded by design: the evaluation quantities
+/// (latency distributions under WAN delays) depend on message timing, not on
+/// host parallelism, and determinism makes property tests possible.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Starts at 0.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute simulated time `t` (>= Now()).
+  void ScheduleAt(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` after Now(). Negative delays are clamped
+  /// to zero (a message can never arrive in the past).
+  void ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Runs events until the queue drains or `Stop()` is called.
+  void Run();
+
+  /// Runs all events with time <= `t`, then sets Now() to `t`.
+  void RunUntil(SimTime t);
+
+  /// Requests that `Run()`/`RunUntil()` return after the current event.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events not yet executed.
+  size_t pending_events() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;  // tie-break: FIFO among equal-time events
+    Callback cb;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace natto::sim
+
+#endif  // NATTO_SIM_SIMULATOR_H_

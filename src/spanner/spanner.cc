@@ -1,0 +1,597 @@
+#include "spanner/spanner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::spanner {
+
+namespace {
+
+std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
+                           const txn::Topology& topology) {
+  std::vector<Key> out;
+  for (Key k : keys) {
+    if (topology.PartitionOfKey(k) == partition) out.push_back(k);
+  }
+  return out;
+}
+
+uint64_t NextPayloadId() {
+  static uint64_t next = 1'000'000'000ull;  // distinct range from carousel
+  return next++;
+}
+
+/// Wound-wait age comparison: smaller (ts, id) is older.
+bool Older(SimTime ts_a, TxnId id_a, SimTime ts_b, TxnId id_b) {
+  if (ts_a != ts_b) return ts_a < ts_b;
+  return id_a < id_b;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SpannerServer
+// ---------------------------------------------------------------------------
+
+SpannerServer::SpannerServer(SpannerEngine* engine, int partition, int site,
+                             sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine),
+      partition_(partition),
+      kv_(engine->cluster()->options().default_value) {}
+
+int SpannerServer::LockPriority(const SpannerTxnMeta& meta) const {
+  if (engine_->options().policy == PreemptPolicy::kNone) return 0;
+  return txn::PriorityLevel(meta.priority);
+}
+
+void SpannerServer::HandleReadLock(const SpannerTxnMeta& meta,
+                                   std::vector<Key> keys) {
+  if (finished_.contains(meta.id)) return;  // wounded before arrival
+  LocalTxn& lt = txns_[meta.id];
+  lt.meta = meta;
+  lt.read_keys = keys;
+  TxnId id = meta.id;
+  AcquireAll(id, keys, store::LockMode::kShared,
+             [this, id]() { ServeReads(id); });
+}
+
+void SpannerServer::AcquireAll(TxnId id, const std::vector<Key>& keys,
+                               store::LockMode mode,
+                               std::function<void()> when_all) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  LocalTxn& lt = it->second;
+  if (keys.empty()) {
+    when_all();
+    return;
+  }
+  lt.outstanding_grants = static_cast<int>(keys.size());
+  SpannerTxnMeta meta = lt.meta;
+  int prio = LockPriority(meta);
+  for (Key k : keys) {
+    auto granted_cb = [this, id, when_all]() {
+      auto it2 = txns_.find(id);
+      if (it2 == txns_.end()) return;
+      if (--it2->second.outstanding_grants == 0) when_all();
+    };
+    store::LockTable::AcquireResult res =
+        locks_.Acquire(k, id, mode, prio, meta.ts, granted_cb);
+    if (res.granted) {
+      auto it2 = txns_.find(id);
+      if (it2 == txns_.end()) return;  // wounded re-entrantly
+      if (--it2->second.outstanding_grants == 0) {
+        when_all();
+        // `when_all` may erase the txn; stop touching state.
+        if (!txns_.contains(id)) return;
+      }
+    } else {
+      ResolveBlockers(meta, res.blockers);
+      if (!txns_.contains(id)) return;  // self got wounded during resolution
+      After(engine_->options().deadlock_probe,
+            [this, id, k]() { DeadlockProbe(id, k); });
+    }
+  }
+  // This transaction may now be waiting; under POW that makes it eligible
+  // for preemption by high-priority requesters already queued behind its
+  // holds (preemption decisions would otherwise never be re-evaluated,
+  // leaving a deadlock window).
+  MaybePreemptNowWaiting(id);
+}
+
+void SpannerServer::DeadlockProbe(TxnId id, Key key) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  if (!locks_.IsWaiting(id)) return;
+  const SpannerTxnMeta& meta = it->second.meta;
+  bool still_blocked = false;
+  for (const store::LockTable::HolderInfo& h : locks_.Holders(key)) {
+    if (h.txn == id) continue;
+    still_blocked = true;
+    auto vt = txns_.find(h.txn);
+    if (vt == txns_.end()) continue;
+    if (Older(meta.ts, meta.id, vt->second.meta.ts, vt->second.meta.id)) {
+      WoundLocal(h.txn);
+    }
+  }
+  if (still_blocked) {
+    After(engine_->options().deadlock_probe,
+          [this, id, key]() { DeadlockProbe(id, key); });
+  }
+}
+
+void SpannerServer::MaybePreemptNowWaiting(TxnId id) {
+  if (engine_->options().policy != PreemptPolicy::kPreemptOnWait) return;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  int my_level = txn::PriorityLevel(it->second.meta.priority);
+  if (!locks_.IsWaiting(id)) return;
+  for (Key k : locks_.HeldKeys(id)) {
+    for (const store::LockTable::HolderInfo& w : locks_.Waiters(k)) {
+      if (w.priority > my_level) {  // a higher-priority txn is blocked on us
+        WoundLocal(id);
+        return;
+      }
+    }
+  }
+}
+
+void SpannerServer::ResolveBlockers(const SpannerTxnMeta& meta,
+                                    const std::vector<TxnId>& blockers) {
+  PreemptPolicy policy = engine_->options().policy;
+  for (TxnId b : blockers) {
+    auto it = txns_.find(b);
+    if (it == txns_.end()) continue;
+    LocalTxn& victim = it->second;
+
+    int req_level = txn::PriorityLevel(meta.priority);
+    int vic_level = txn::PriorityLevel(victim.meta.priority);
+
+    bool wound;
+    if (policy == PreemptPolicy::kNone) {
+      // Plain wound-wait: an older requester wounds younger holders,
+      // priorities ignored.
+      wound = Older(meta.ts, meta.id, victim.meta.ts, victim.meta.id);
+    } else if (req_level > vic_level) {
+      // (P): always preempt a conflicting lower-priority holder.
+      // (POW) [38]: only if that holder is itself waiting for another lock.
+      wound = policy == PreemptPolicy::kPreempt || locks_.IsWaiting(b);
+    } else if (req_level < vic_level) {
+      // Prioritizing policies never let a low-priority transaction kill a
+      // high-priority one; deadlock cycles through this edge are broken by
+      // the high->low preemption above (any low in a cycle is waiting).
+      wound = false;
+    } else {
+      wound = Older(meta.ts, meta.id, victim.meta.ts, victim.meta.id);
+    }
+    if (wound) WoundLocal(b);
+  }
+}
+
+void SpannerServer::WoundLocal(TxnId victim) {
+  auto it = txns_.find(victim);
+  if (it == txns_.end()) return;
+  // A participant cannot unilaterally abort a transaction that may be
+  // prepared elsewhere: the wound is routed through the victim's
+  // coordinator, which aborts it globally iff it has not committed yet.
+  // Lock release happens when the abort message comes back (this WAN round
+  // trip is exactly the "distributed preemption" cost the paper's intro
+  // calls out, and what makes Natto's local priority abort cheaper).
+  SpannerTxnMeta meta = it->second.meta;
+  auto* co = engine_->coordinator_by_node(meta.coordinator);
+  SendTo(meta.coordinator, kMessageHeaderBytes,
+         [co, victim]() { co->HandleWound(victim); });
+}
+
+void SpannerServer::ServeReads(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  LocalTxn& lt = it->second;
+  if (lt.reads_served) return;
+  lt.reads_served = true;
+  std::vector<txn::ReadResult> results;
+  results.reserve(lt.read_keys.size());
+  for (Key k : lt.read_keys) {
+    store::VersionedValue v = kv_.Get(k);
+    results.push_back(txn::ReadResult{k, v.value, v.version});
+  }
+  auto* gw = engine_->gateway_by_node(lt.meta.client);
+  int partition = partition_;
+  SendTo(lt.meta.client, WireKvBytes(results.size()),
+         [gw, id, partition, results]() {
+           gw->HandleReadResults(id, partition, results);
+         });
+}
+
+void SpannerServer::HandlePrepare(const SpannerTxnMeta& meta,
+                                  std::vector<std::pair<Key, Value>> writes) {
+  if (finished_.contains(meta.id)) {
+    // Wounded before the prepare arrived: vote no.
+    auto* co = engine_->coordinator_by_node(meta.coordinator);
+    int partition = partition_;
+    TxnId id = meta.id;
+    SendTo(meta.coordinator, kMessageHeaderBytes, [co, id, partition]() {
+      co->HandleVote(id, partition, /*ok=*/false);
+    });
+    return;
+  }
+  LocalTxn& lt = txns_[meta.id];  // created here for write-only participants
+  lt.meta = meta;
+  lt.writes = std::move(writes);
+  lt.preparing = true;
+  std::vector<Key> write_keys;
+  write_keys.reserve(lt.writes.size());
+  for (const auto& [k, v] : lt.writes) write_keys.push_back(k);
+  TxnId id = meta.id;
+  AcquireAll(id, write_keys, store::LockMode::kExclusive,
+             [this, id]() { FinishPrepare(id); });
+}
+
+void SpannerServer::FinishPrepare(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  LocalTxn& lt = it->second;
+  auto vote = [this, id, coord = lt.meta.coordinator]() {
+    auto* co = engine_->coordinator_by_node(coord);
+    int partition = partition_;
+    SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
+      co->HandleVote(id, partition, /*ok=*/true);
+    });
+  };
+  lt.prepare_voted = true;
+  if (lt.writes.empty()) {
+    // Read-only participant: nothing to make durable.
+    vote();
+    return;
+  }
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), vote);
+  NATTO_CHECK(s.ok());
+}
+
+void SpannerServer::HandleCommit(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  if (it->second.writes.empty()) {
+    locks_.ReleaseAll(id);
+    txns_.erase(it);
+    finished_.insert(id);
+    return;
+  }
+  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+      NextPayloadId(), [this, id]() {
+        auto it2 = txns_.find(id);
+        if (it2 == txns_.end()) return;
+        for (const auto& [k, v] : it2->second.writes) kv_.Apply(k, v, id);
+        txns_.erase(it2);
+        finished_.insert(id);
+        locks_.ReleaseAll(id);
+      });
+  NATTO_CHECK(s.ok());
+}
+
+void SpannerServer::HandleAbort(TxnId id) {
+  txns_.erase(id);
+  finished_.insert(id);
+  locks_.ReleaseAll(id);
+}
+
+// ---------------------------------------------------------------------------
+// SpannerCoordinator
+// ---------------------------------------------------------------------------
+
+SpannerCoordinator::SpannerCoordinator(SpannerEngine* engine, int site,
+                                       sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void SpannerCoordinator::HandleBegin(const SpannerTxnMeta& meta,
+                                     std::vector<int> participants) {
+  if (decided_.contains(meta.id)) return;
+  TxnState& st = txns_[meta.id];
+  st.meta = meta;
+  st.begun = true;
+  st.participants = std::move(participants);
+  if (early_wounds_.erase(meta.id) > 0 || st.wounded) {
+    // Wounded before the begin arrived (possible under jitter).
+    Decide(meta.id, /*commit=*/false, "wounded");
+    return;
+  }
+  if (st.user_abort) {
+    Decide(meta.id, /*commit=*/false, "user abort");
+    return;
+  }
+  if (st.any_fail) {
+    Decide(meta.id, /*commit=*/false, "prepare refused");
+    return;
+  }
+  if (st.have_round2 && !st.prepare_started) StartPrepareRound(meta.id);
+  MaybeCommit(meta.id);
+}
+
+void SpannerCoordinator::HandleRound2(TxnId id,
+                                      std::vector<std::pair<Key, Value>> writes,
+                                      bool user_abort) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  st.have_round2 = true;
+  if (user_abort) {
+    st.user_abort = true;
+    if (st.begun) Decide(id, /*commit=*/false, "user abort");
+    return;
+  }
+  st.writes = std::move(writes);
+  if (st.begun) StartPrepareRound(id);
+}
+
+void SpannerCoordinator::StartPrepareRound(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  st.prepare_started = true;
+  const txn::Topology& topo = engine_->cluster()->topology();
+  for (int p : st.participants) {
+    std::vector<std::pair<Key, Value>> local;
+    for (const auto& [k, v] : st.writes) {
+      if (topo.PartitionOfKey(k) == p) local.emplace_back(k, v);
+    }
+    auto* srv = engine_->server(p);
+    SpannerTxnMeta meta = st.meta;
+    SendTo(srv->id(), WireKvBytes(local.size()),
+           [srv, meta, local]() { srv->HandlePrepare(meta, local); });
+  }
+  MaybeCommit(id);
+}
+
+void SpannerCoordinator::HandleVote(TxnId id, int partition, bool ok) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.try_emplace(id).first;
+  TxnState& st = it->second;
+  if (!ok) {
+    st.any_fail = true;
+    if (st.begun) Decide(id, /*commit=*/false, "prepare refused");
+    return;
+  }
+  st.ok_votes.insert(partition);
+  MaybeCommit(id);
+}
+
+void SpannerCoordinator::HandleWound(TxnId id) {
+  if (decided_.contains(id)) return;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) {
+    early_wounds_.insert(id);
+    return;
+  }
+  if (!it->second.begun) {
+    it->second.wounded = true;
+    return;
+  }
+  Decide(id, /*commit=*/false, "wounded");
+}
+
+void SpannerCoordinator::MaybeCommit(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState& st = it->second;
+  if (!st.begun || !st.prepare_started) return;
+  if (st.ok_votes.size() != st.participants.size()) return;
+  if (st.writes.empty()) {
+    Decide(id, /*commit=*/true, "");
+    return;
+  }
+  if (st.own_replicated) {
+    Decide(id, /*commit=*/true, "");
+    return;
+  }
+  // Replicate the commit decision + write data at the coordinator, then
+  // commit (the sequential step Carousel overlaps).
+  int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
+  NATTO_CHECK(local_partition >= 0);
+  Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
+      NextPayloadId(), [this, id]() {
+        auto it2 = txns_.find(id);
+        if (it2 == txns_.end()) return;
+        it2->second.own_replicated = true;
+        Decide(id, /*commit=*/true, "");
+      });
+  NATTO_CHECK(s.ok());
+}
+
+void SpannerCoordinator::Decide(TxnId id, bool commit,
+                                const std::string& reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  TxnState st = std::move(it->second);
+  txns_.erase(it);
+  decided_.insert(id);
+
+  auto* gw = engine_->gateway_by_node(st.meta.client);
+  txn::TxnOutcome outcome =
+      commit ? txn::TxnOutcome::kCommitted
+             : (st.user_abort ? txn::TxnOutcome::kUserAborted
+                              : txn::TxnOutcome::kAborted);
+  SendTo(st.meta.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
+    gw->HandleDecision(id, outcome, reason);
+  });
+
+  for (int p : st.participants) {
+    auto* srv = engine_->server(p);
+    if (commit) {
+      SendTo(srv->id(), kMessageHeaderBytes,
+             [srv, id]() { srv->HandleCommit(id); });
+    } else {
+      SendTo(srv->id(), kMessageHeaderBytes,
+             [srv, id]() { srv->HandleAbort(id); });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpannerGateway
+// ---------------------------------------------------------------------------
+
+SpannerGateway::SpannerGateway(SpannerEngine* engine, int site,
+                               sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void SpannerGateway::StartTxn(const txn::TxnRequest& request,
+                              txn::TxnCallback done) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  auto* coord = engine_->coordinator_at(site());
+
+  SpannerTxnMeta meta;
+  meta.id = request.id;
+  meta.priority = request.priority;
+  meta.ts = LocalNow();
+  meta.coordinator = coord->id();
+  meta.client = id();
+
+  std::vector<int> participants =
+      topo.Participants(request.read_set, request.write_set);
+  std::vector<int> read_partitions = topo.Participants(request.read_set, {});
+
+  ClientTxn st;
+  st.request = request;
+  st.done = std::move(done);
+  st.awaiting_reads.insert(read_partitions.begin(), read_partitions.end());
+  TxnId id = request.id;
+  txns_[id] = std::move(st);
+
+  SendTo(coord->id(), kMessageHeaderBytes, [coord, meta, participants]() {
+    coord->HandleBegin(meta, participants);
+  });
+
+  if (read_partitions.empty()) {
+    MaybeFinishRound1(id);
+    return;
+  }
+  for (int p : read_partitions) {
+    std::vector<Key> keys = LocalKeys(request.read_set, p, topo);
+    auto* srv = engine_->server(p);
+    SendTo(srv->id(), WireKeysBytes(keys.size()),
+           [srv, meta, keys]() { srv->HandleReadLock(meta, keys); });
+  }
+}
+
+void SpannerGateway::HandleReadResults(TxnId id, int partition,
+                                       std::vector<txn::ReadResult> reads) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  if (st.awaiting_reads.erase(partition) == 0) return;
+  for (const txn::ReadResult& r : reads) st.reads[r.key] = r;
+  MaybeFinishRound1(id);
+}
+
+void SpannerGateway::MaybeFinishRound1(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  if (!st.awaiting_reads.empty() || st.sent_round2) return;
+  st.sent_round2 = true;
+
+  std::vector<txn::ReadResult> ordered;
+  ordered.reserve(st.request.read_set.size());
+  for (Key k : st.request.read_set) {
+    auto r = st.reads.find(k);
+    NATTO_CHECK(r != st.reads.end());
+    ordered.push_back(r->second);
+  }
+  txn::WriteDecision d = st.request.compute_writes(ordered);
+  auto* coord = engine_->coordinator_at(site());
+  if (d.user_abort) {
+    SendTo(coord->id(), kMessageHeaderBytes, [coord, id]() {
+      coord->HandleRound2(id, {}, /*user_abort=*/true);
+    });
+    return;
+  }
+  st.writes = d.writes;
+  SendTo(coord->id(), WireKvBytes(d.writes.size()),
+         [coord, id, writes = std::move(d.writes)]() {
+           coord->HandleRound2(id, writes, /*user_abort=*/false);
+         });
+}
+
+void SpannerGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
+                                    std::string reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn st = std::move(it->second);
+  txns_.erase(it);
+
+  txn::TxnResult result;
+  result.outcome = outcome;
+  result.abort_reason = std::move(reason);
+  if (outcome == txn::TxnOutcome::kCommitted) {
+    for (Key k : st.request.read_set) {
+      auto r = st.reads.find(k);
+      if (r != st.reads.end()) result.reads.push_back(r->second);
+    }
+    result.writes = st.writes;
+  }
+  st.done(result);
+}
+
+// ---------------------------------------------------------------------------
+// SpannerEngine
+// ---------------------------------------------------------------------------
+
+SpannerEngine::SpannerEngine(txn::Cluster* cluster, SpannerOptions options)
+    : cluster_(cluster), options_(options) {
+  const txn::Topology& topo = cluster_->topology();
+  for (int p = 0; p < topo.num_partitions(); ++p) {
+    servers_.push_back(std::make_unique<SpannerServer>(
+        this, p, topo.LeaderSite(p), cluster_->MakeClock()));
+  }
+  for (int s = 0; s < topo.num_sites(); ++s) {
+    coordinators_.push_back(std::make_unique<SpannerCoordinator>(
+        this, cluster_->CoordinatorSite(s), cluster_->MakeClock()));
+    gateways_.push_back(
+        std::make_unique<SpannerGateway>(this, s, cluster_->MakeClock()));
+  }
+  for (auto& c : coordinators_) coord_by_node_[c->id()] = c.get();
+  for (auto& g : gateways_) gateway_by_node_[g->id()] = g.get();
+}
+
+void SpannerEngine::Execute(const txn::TxnRequest& request,
+                            txn::TxnCallback done) {
+  NATTO_CHECK(request.origin_site >= 0 &&
+              request.origin_site < static_cast<int>(gateways_.size()));
+  gateways_[request.origin_site]->StartTxn(request, std::move(done));
+}
+
+std::string SpannerEngine::name() const {
+  switch (options_.policy) {
+    case PreemptPolicy::kNone:
+      return "2PL+2PC";
+    case PreemptPolicy::kPreempt:
+      return "2PL+2PC(P)";
+    case PreemptPolicy::kPreemptOnWait:
+      return "2PL+2PC(POW)";
+  }
+  return "2PL+2PC";
+}
+
+SpannerCoordinator* SpannerEngine::coordinator_by_node(net::NodeId node) {
+  auto it = coord_by_node_.find(node);
+  NATTO_CHECK(it != coord_by_node_.end());
+  return it->second;
+}
+
+SpannerGateway* SpannerEngine::gateway_by_node(net::NodeId node) {
+  auto it = gateway_by_node_.find(node);
+  NATTO_CHECK(it != gateway_by_node_.end());
+  return it->second;
+}
+
+Value SpannerEngine::DebugValue(Key key) {
+  int p = cluster_->topology().PartitionOfKey(key);
+  return servers_[p]->kv()->Get(key).value;
+}
+
+}  // namespace natto::spanner

@@ -1,0 +1,29 @@
+#include "store/kv_store.h"
+
+namespace natto::store {
+
+KvStore::KvStore(DefaultValueFn default_value_fn)
+    : default_value_fn_(std::move(default_value_fn)) {}
+
+VersionedValue KvStore::Get(Key key) const {
+  auto it = data_.find(key);
+  if (it != data_.end()) return it->second;
+  VersionedValue v;
+  v.value = default_value_fn_ ? default_value_fn_(key) : 0;
+  v.version = 0;
+  v.writer = 0;
+  return v;
+}
+
+void KvStore::Apply(Key key, Value value, TxnId writer) {
+  auto it = data_.find(key);
+  if (it == data_.end()) {
+    data_[key] = VersionedValue{value, 1, writer};
+  } else {
+    it->second.value = value;
+    ++it->second.version;
+    it->second.writer = writer;
+  }
+}
+
+}  // namespace natto::store

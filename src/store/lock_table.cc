@@ -1,0 +1,196 @@
+#include "store/lock_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace natto::store {
+
+bool LockTable::Compatible(const LockState& st, TxnId txn,
+                           LockMode mode) const {
+  for (const HolderInfo& h : st.holders) {
+    if (h.txn == txn) continue;  // self-held evaluated by the caller
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+LockTable::AcquireResult LockTable::Acquire(
+    Key key, TxnId txn, LockMode mode, int priority, SimTime ts,
+    std::function<void()> on_granted) {
+  LockState& st = locks_[key];
+
+  // Existing hold by this txn?
+  HolderInfo* own = nullptr;
+  for (HolderInfo& h : st.holders) {
+    if (h.txn == txn) own = &h;
+  }
+  if (own != nullptr) {
+    if (own->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return AcquireResult{true, {}};  // already strong enough
+    }
+    // Upgrade S -> X: possible iff sole holder.
+    if (st.holders.size() == 1) {
+      own->mode = LockMode::kExclusive;
+      return AcquireResult{true, {}};
+    }
+    AcquireResult res;
+    for (const HolderInfo& h : st.holders) {
+      if (h.txn != txn) res.blockers.push_back(h.txn);
+    }
+    Waiter w{txn, mode, priority, ts, next_seq_++, /*is_upgrade=*/true,
+             std::move(on_granted)};
+    InsertWaiter(st, std::move(w));
+    waits_of_txn_[txn].insert(key);
+    return res;
+  }
+
+  // Grant only if compatible AND no earlier waiter would be starved by a
+  // queue jump of the same priority class; higher-priority requests may
+  // overtake lower-priority waiters.
+  bool queue_blocks = false;
+  for (const Waiter& w : st.waiters) {
+    if (w.priority >= priority) {
+      queue_blocks = true;
+      break;
+    }
+  }
+  if (!queue_blocks && Compatible(st, txn, mode)) {
+    st.holders.push_back(HolderInfo{txn, mode, priority, ts});
+    held_by_txn_[txn].insert(key);
+    return AcquireResult{true, {}};
+  }
+
+  AcquireResult res;
+  for (const HolderInfo& h : st.holders) res.blockers.push_back(h.txn);
+  Waiter w{txn, mode, priority, ts, next_seq_++, /*is_upgrade=*/false,
+           std::move(on_granted)};
+  InsertWaiter(st, std::move(w));
+  waits_of_txn_[txn].insert(key);
+  return res;
+}
+
+void LockTable::InsertWaiter(LockState& st, Waiter w) {
+  // Order: priority desc; upgrades first within a priority; then FIFO.
+  auto pos = st.waiters.begin();
+  for (; pos != st.waiters.end(); ++pos) {
+    if (pos->priority < w.priority) break;
+    if (pos->priority == w.priority && !pos->is_upgrade && w.is_upgrade) break;
+  }
+  st.waiters.insert(pos, std::move(w));
+}
+
+void LockTable::GrantWaiters(Key key, std::vector<std::function<void()>>* fired) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  LockState& st = it->second;
+  bool progress = true;
+  while (progress && !st.waiters.empty()) {
+    progress = false;
+    Waiter& w = st.waiters.front();
+    // Upgrade waiter: grant when its txn is the sole holder.
+    if (w.is_upgrade) {
+      if (st.holders.size() == 1 && st.holders[0].txn == w.txn) {
+        st.holders[0].mode = LockMode::kExclusive;
+        if (w.on_granted) fired->push_back(std::move(w.on_granted));
+        waits_of_txn_[w.txn].erase(key);
+        st.waiters.pop_front();
+        progress = true;
+      }
+      continue;  // an ungrantable upgrade at the head blocks the queue
+    }
+    if (Compatible(st, w.txn, w.mode)) {
+      st.holders.push_back(HolderInfo{w.txn, w.mode, w.priority, w.ts});
+      held_by_txn_[w.txn].insert(key);
+      if (w.on_granted) fired->push_back(std::move(w.on_granted));
+      waits_of_txn_[w.txn].erase(key);
+      st.waiters.pop_front();
+      progress = true;
+    }
+  }
+  if (st.holders.empty() && st.waiters.empty()) locks_.erase(it);
+}
+
+void LockTable::Release(Key key, TxnId txn) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  LockState& st = it->second;
+  auto h = std::find_if(st.holders.begin(), st.holders.end(),
+                        [txn](const HolderInfo& x) { return x.txn == txn; });
+  if (h == st.holders.end()) return;
+  st.holders.erase(h);
+  auto held = held_by_txn_.find(txn);
+  if (held != held_by_txn_.end()) {
+    held->second.erase(key);
+    if (held->second.empty()) held_by_txn_.erase(held);
+  }
+  std::vector<std::function<void()>> fired;
+  GrantWaiters(key, &fired);
+  for (auto& f : fired) f();
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  std::vector<Key> held;
+  if (auto it = held_by_txn_.find(txn); it != held_by_txn_.end()) {
+    held.assign(it->second.begin(), it->second.end());
+  }
+  std::vector<Key> waiting;
+  if (auto it = waits_of_txn_.find(txn); it != waits_of_txn_.end()) {
+    waiting.assign(it->second.begin(), it->second.end());
+  }
+  for (Key k : waiting) CancelWait(k, txn);
+  // Deterministic release order.
+  std::sort(held.begin(), held.end());
+  for (Key k : held) Release(k, txn);
+}
+
+void LockTable::CancelWait(Key key, TxnId txn) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  LockState& st = it->second;
+  st.waiters.remove_if([txn](const Waiter& w) { return w.txn == txn; });
+  if (auto w = waits_of_txn_.find(txn); w != waits_of_txn_.end()) {
+    w->second.erase(key);
+    if (w->second.empty()) waits_of_txn_.erase(w);
+  }
+  // Removing a blocking upgrade from the head may unblock others.
+  std::vector<std::function<void()>> fired;
+  GrantWaiters(key, &fired);
+  for (auto& f : fired) f();
+}
+
+std::vector<LockTable::HolderInfo> LockTable::Holders(Key key) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return {};
+  return it->second.holders;
+}
+
+std::vector<LockTable::HolderInfo> LockTable::Waiters(Key key) const {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return {};
+  std::vector<HolderInfo> out;
+  for (const Waiter& w : it->second.waiters) {
+    out.push_back(HolderInfo{w.txn, w.mode, w.priority, w.ts});
+  }
+  return out;
+}
+
+bool LockTable::IsWaiting(TxnId txn) const {
+  auto it = waits_of_txn_.find(txn);
+  return it != waits_of_txn_.end() && !it->second.empty();
+}
+
+std::vector<Key> LockTable::HeldKeys(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  if (it == held_by_txn_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+bool LockTable::HoldsAny(TxnId txn) const {
+  auto it = held_by_txn_.find(txn);
+  return it != held_by_txn_.end() && !it->second.empty();
+}
+
+}  // namespace natto::store

@@ -1,0 +1,101 @@
+#ifndef NATTO_STORE_LOCK_TABLE_H_
+#define NATTO_STORE_LOCK_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/types.h"
+
+namespace natto::store {
+
+enum class LockMode { kShared, kExclusive };
+
+/// Per-partition S/X lock table with priority-ordered wait queues. The table
+/// implements only mechanics (grant, queue, upgrade, force-release);
+/// deadlock policies (wound-wait, priority preemption, preempt-on-wait) are
+/// decided by the engines using the introspection accessors.
+class LockTable {
+ public:
+  struct AcquireResult {
+    bool granted = false;
+    /// When not granted: current holders blocking the request.
+    std::vector<TxnId> blockers;
+  };
+
+  struct HolderInfo {
+    TxnId txn;
+    LockMode mode;
+    int priority;   // engine-defined; larger = more important
+    SimTime ts;     // engine-defined timestamp (wound-wait age)
+  };
+
+  /// Requests `mode` on `key`. If granted immediately, returns
+  /// granted=true and `on_granted` is NOT invoked. Otherwise the request
+  /// waits; `on_granted` fires when the lock is eventually granted. Waiters
+  /// are queued by (priority desc, arrival order). Re-acquiring a held lock
+  /// of the same or weaker mode grants immediately; requesting X while
+  /// holding S is an upgrade (granted once the txn is the sole holder;
+  /// upgrades go to the front of the queue within their priority).
+  AcquireResult Acquire(Key key, TxnId txn, LockMode mode, int priority,
+                        SimTime ts, std::function<void()> on_granted);
+
+  /// Releases `txn`'s hold on `key` (no-op if absent) and grants waiters.
+  void Release(Key key, TxnId txn);
+
+  /// Releases all holds and cancels all waits of `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// Cancels `txn`'s pending wait on `key` (no-op if absent).
+  void CancelWait(Key key, TxnId txn);
+
+  /// Current holders of `key`.
+  std::vector<HolderInfo> Holders(Key key) const;
+
+  /// Transactions waiting on `key`, in grant order.
+  std::vector<HolderInfo> Waiters(Key key) const;
+
+  /// True if `txn` is waiting for any lock (the preempt-on-wait predicate).
+  bool IsWaiting(TxnId txn) const;
+
+  /// True if `txn` holds any lock.
+  bool HoldsAny(TxnId txn) const;
+
+  /// Keys currently held by `txn`.
+  std::vector<Key> HeldKeys(TxnId txn) const;
+
+  size_t num_locked_keys() const { return locks_.size(); }
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    int priority;
+    SimTime ts;
+    uint64_t seq;
+    bool is_upgrade;
+    std::function<void()> on_granted;
+  };
+
+  struct LockState {
+    std::vector<HolderInfo> holders;
+    std::list<Waiter> waiters;
+  };
+
+  bool Compatible(const LockState& st, TxnId txn, LockMode mode) const;
+  void GrantWaiters(Key key, std::vector<std::function<void()>>* fired);
+  void InsertWaiter(LockState& st, Waiter w);
+
+  std::unordered_map<Key, LockState> locks_;
+  std::unordered_map<TxnId, std::unordered_set<Key>> held_by_txn_;
+  std::unordered_map<TxnId, std::unordered_set<Key>> waits_of_txn_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace natto::store
+
+#endif  // NATTO_STORE_LOCK_TABLE_H_

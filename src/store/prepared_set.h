@@ -1,0 +1,55 @@
+#ifndef NATTO_STORE_PREPARED_SET_H_
+#define NATTO_STORE_PREPARED_SET_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+
+namespace natto::store {
+
+/// Tracks prepared transactions' read/write key footprints for OCC conflict
+/// checks (Carousel, TAPIR, Natto low-priority path). Two transactions
+/// conflict iff one writes a key the other reads or writes.
+class PreparedSet {
+ public:
+  /// Registers a prepared transaction's footprint on this partition.
+  void Add(TxnId txn, const std::vector<Key>& reads,
+           const std::vector<Key>& writes);
+
+  /// Removes a transaction (commit applied or aborted).
+  void Remove(TxnId txn);
+
+  bool Contains(TxnId txn) const { return footprints_.contains(txn); }
+  size_t size() const { return footprints_.size(); }
+
+  /// True iff a transaction with the given footprint conflicts with any
+  /// prepared transaction.
+  bool HasConflict(const std::vector<Key>& reads,
+                   const std::vector<Key>& writes) const;
+
+  /// All prepared transactions conflicting with the given footprint,
+  /// deduplicated, in insertion-id order (deterministic).
+  std::vector<TxnId> Conflicting(const std::vector<Key>& reads,
+                                 const std::vector<Key>& writes) const;
+
+ private:
+  struct Footprint {
+    std::vector<Key> reads;
+    std::vector<Key> writes;
+  };
+
+  struct KeyUse {
+    std::unordered_set<TxnId> readers;
+    std::unordered_set<TxnId> writers;
+  };
+
+  std::unordered_map<TxnId, Footprint> footprints_;
+  std::unordered_map<Key, KeyUse> by_key_;
+};
+
+}  // namespace natto::store
+
+#endif  // NATTO_STORE_PREPARED_SET_H_

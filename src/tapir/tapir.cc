@@ -1,0 +1,383 @@
+#include "tapir/tapir.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::tapir {
+
+namespace {
+
+std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
+                           const txn::Topology& topology) {
+  std::vector<Key> out;
+  for (Key k : keys) {
+    if (topology.PartitionOfKey(k) == partition) out.push_back(k);
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TapirReplica
+// ---------------------------------------------------------------------------
+
+TapirReplica::TapirReplica(TapirEngine* engine, int partition, int replica,
+                           int site, sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine),
+      partition_(partition),
+      replica_(replica),
+      kv_(engine->cluster()->options().default_value) {}
+
+void TapirReplica::HandleGet(TxnId id, std::vector<Key> keys,
+                             net::NodeId reply_to) {
+  std::vector<txn::ReadResult> results;
+  results.reserve(keys.size());
+  for (Key k : keys) {
+    store::VersionedValue v = kv_.Get(k);
+    results.push_back(txn::ReadResult{k, v.value, v.version});
+  }
+  auto* gw = engine_->gateway_by_node(reply_to);
+  SendTo(reply_to, WireKvBytes(results.size()),
+         [gw, id, results]() { gw->HandleReadReply(id, results); });
+}
+
+bool TapirReplica::Validates(
+    const std::vector<std::pair<Key, uint64_t>>& read_versions,
+    const std::vector<Key>& write_keys) const {
+  // Stale read check against this replica's committed state.
+  for (const auto& [k, version] : read_versions) {
+    if (kv_.Get(k).version > version) return false;
+  }
+  std::vector<Key> read_keys;
+  read_keys.reserve(read_versions.size());
+  for (const auto& [k, v] : read_versions) read_keys.push_back(k);
+  return !prepared_.HasConflict(read_keys, write_keys);
+}
+
+void TapirReplica::HandlePrepare(
+    TxnId id, std::vector<std::pair<Key, uint64_t>> read_versions,
+    std::vector<Key> write_keys, net::NodeId reply_to) {
+  bool ok = !finished_.contains(id) && Validates(read_versions, write_keys);
+  if (ok) {
+    std::vector<Key> read_keys;
+    read_keys.reserve(read_versions.size());
+    for (const auto& [k, v] : read_versions) read_keys.push_back(k);
+    prepared_.Add(id, read_keys, write_keys);
+  }
+  auto* gw = engine_->gateway_by_node(reply_to);
+  int partition = partition_;
+  int replica = replica_;
+  SendTo(reply_to, kMessageHeaderBytes, [gw, id, partition, replica, ok]() {
+    gw->HandlePrepareVote(id, partition, replica, ok);
+  });
+}
+
+void TapirReplica::HandleFinalizePrepare(
+    TxnId id, std::vector<std::pair<Key, uint64_t>> read_versions,
+    std::vector<Key> write_keys, net::NodeId reply_to) {
+  // Adopt the majority decision even if local validation said no
+  // (inconsistent replication: the consensus result overrides).
+  if (!finished_.contains(id) && !prepared_.Contains(id)) {
+    std::vector<Key> read_keys;
+    read_keys.reserve(read_versions.size());
+    for (const auto& [k, v] : read_versions) read_keys.push_back(k);
+    prepared_.Add(id, read_keys, write_keys);
+  }
+  auto* gw = engine_->gateway_by_node(reply_to);
+  int partition = partition_;
+  int replica = replica_;
+  SendTo(reply_to, kMessageHeaderBytes, [gw, id, partition, replica]() {
+    gw->HandleFinalizeAck(id, partition, replica);
+  });
+}
+
+void TapirReplica::HandleCommit(TxnId id,
+                                std::vector<std::pair<Key, Value>> writes) {
+  if (finished_.contains(id)) return;
+  for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
+  prepared_.Remove(id);
+  finished_.insert(id);
+}
+
+void TapirReplica::HandleAbort(TxnId id) {
+  prepared_.Remove(id);
+  finished_.insert(id);
+}
+
+// ---------------------------------------------------------------------------
+// TapirGateway
+// ---------------------------------------------------------------------------
+
+TapirGateway::TapirGateway(TapirEngine* engine, int site, sim::NodeClock clock)
+    : net::Node(engine->cluster()->transport(), site, clock),
+      engine_(engine) {}
+
+void TapirGateway::StartTxn(const txn::TxnRequest& request,
+                            txn::TxnCallback done) {
+  const txn::Topology& topo = engine_->cluster()->topology();
+  ClientTxn st;
+  st.request = request;
+  st.done = std::move(done);
+  st.participants = topo.Participants(request.read_set, request.write_set);
+
+  // Read round: nearest replica of each partition holding read keys.
+  std::vector<int> read_partitions = topo.Participants(request.read_set, {});
+  st.reads_outstanding = read_partitions.size();
+  TxnId id = request.id;
+  txns_[id] = std::move(st);
+
+  if (read_partitions.empty()) {
+    // Write-only transaction: go straight to the write computation.
+    HandleReadReply(id, {});
+    return;
+  }
+  for (int p : read_partitions) {
+    std::vector<Key> keys = LocalKeys(request.read_set, p, topo);
+    int r = engine_->NearestReplica(p, site());
+    auto* rep = engine_->replica(p, r);
+    SendTo(rep->id(), WireKeysBytes(keys.size()),
+           [rep, id, keys, reply = this->id()]() {
+             rep->HandleGet(id, keys, reply);
+           });
+  }
+}
+
+void TapirGateway::HandleReadReply(TxnId id,
+                                   std::vector<txn::ReadResult> reads) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  for (const txn::ReadResult& r : reads) st.reads[r.key] = r;
+  if (st.reads_outstanding > 0) --st.reads_outstanding;
+  if (st.reads_outstanding == 0 && !st.prepare_sent) StartPrepareRound(id);
+}
+
+void TapirGateway::StartPrepareRound(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  st.prepare_sent = true;
+
+  std::vector<txn::ReadResult> ordered;
+  ordered.reserve(st.request.read_set.size());
+  for (Key k : st.request.read_set) {
+    auto r = st.reads.find(k);
+    NATTO_CHECK(r != st.reads.end());
+    ordered.push_back(r->second);
+  }
+  txn::WriteDecision d = st.request.compute_writes(ordered);
+  if (d.user_abort) {
+    txn::TxnResult result;
+    result.outcome = txn::TxnOutcome::kUserAborted;
+    auto done = std::move(st.done);
+    txns_.erase(it);
+    done(result);
+    return;
+  }
+  st.writes = std::move(d.writes);
+
+  const txn::Topology& topo = engine_->cluster()->topology();
+  for (int p : st.participants) {
+    st.partitions[p] = PartitionState{};
+    // Per-partition footprint for validation.
+    std::vector<std::pair<Key, uint64_t>> read_versions;
+    for (Key k : LocalKeys(st.request.read_set, p, topo)) {
+      read_versions.emplace_back(k, st.reads[k].version);
+    }
+    std::vector<Key> write_keys = LocalKeys(st.request.write_set, p, topo);
+    size_t bytes = WireKeysBytes(read_versions.size() + write_keys.size());
+    for (int r = 0; r < topo.num_replicas(); ++r) {
+      auto* rep = engine_->replica(p, r);
+      SendTo(rep->id(), bytes,
+             [rep, id, read_versions, write_keys, reply = this->id()]() {
+               rep->HandlePrepare(id, read_versions, write_keys, reply);
+             });
+    }
+  }
+}
+
+void TapirGateway::HandlePrepareVote(TxnId id, int partition, int replica,
+                                     bool ok) {
+  (void)replica;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  auto p = st.partitions.find(partition);
+  if (p == st.partitions.end()) return;
+  PartitionState& ps = p->second;
+  if (ps.phase != PartitionPhase::kVoting) return;
+  if (ok) {
+    ++ps.ok_votes;
+  } else {
+    ++ps.fail_votes;
+  }
+  OnPartitionUpdate(id, partition);
+}
+
+void TapirGateway::OnPartitionUpdate(TxnId id, int partition) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  PartitionState& ps = st.partitions[partition];
+  const txn::Topology& topo = engine_->cluster()->topology();
+  int n = topo.num_replicas();
+  int majority = n / 2 + 1;
+
+  if (ps.phase == PartitionPhase::kVoting) {
+    if (ps.ok_votes == n) {
+      // Fast path: unanimous matching PREPARE-OK.
+      ps.phase = PartitionPhase::kPreparedOk;
+    } else if (ps.fail_votes >= majority) {
+      ps.phase = PartitionPhase::kAborted;
+    } else if (ps.ok_votes >= majority && ps.fail_votes > 0) {
+      // Fast quorum impossible but a prepare majority exists: start the
+      // slow path immediately (one consensus round to make it durable).
+      ps.phase = PartitionPhase::kSlowPath;
+      std::vector<std::pair<Key, uint64_t>> read_versions;
+      for (Key k : LocalKeys(st.request.read_set, partition, topo)) {
+        read_versions.emplace_back(k, st.reads[k].version);
+      }
+      std::vector<Key> write_keys =
+          LocalKeys(st.request.write_set, partition, topo);
+      size_t bytes = WireKeysBytes(read_versions.size() + write_keys.size());
+      for (int r = 0; r < n; ++r) {
+        auto* rep = engine_->replica(partition, r);
+        SendTo(rep->id(), bytes, [rep, id, read_versions, write_keys,
+                                  reply = this->id()]() {
+          rep->HandleFinalizePrepare(id, read_versions, write_keys, reply);
+        });
+      }
+    }
+  }
+  MaybeDecide(id);
+}
+
+void TapirGateway::HandleFinalizeAck(TxnId id, int partition, int replica) {
+  (void)replica;
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  auto p = st.partitions.find(partition);
+  if (p == st.partitions.end()) return;
+  PartitionState& ps = p->second;
+  if (ps.phase != PartitionPhase::kSlowPath) return;
+  const txn::Topology& topo = engine_->cluster()->topology();
+  if (++ps.finalize_acks >= topo.num_replicas() / 2 + 1) {
+    ps.phase = PartitionPhase::kPreparedOk;
+  }
+  MaybeDecide(id);
+}
+
+void TapirGateway::MaybeDecide(TxnId id) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn& st = it->second;
+  if (st.decided) return;
+  bool all_ok = true;
+  for (int p : st.participants) {
+    PartitionPhase phase = st.partitions[p].phase;
+    if (phase == PartitionPhase::kAborted) {
+      Decide(id, /*commit=*/false, "prepare conflict");
+      return;
+    }
+    if (phase != PartitionPhase::kPreparedOk) all_ok = false;
+  }
+  if (all_ok) Decide(id, /*commit=*/true, "");
+}
+
+void TapirGateway::Decide(TxnId id, bool commit, const std::string& reason) {
+  auto it = txns_.find(id);
+  if (it == txns_.end()) return;
+  ClientTxn st = std::move(it->second);
+  txns_.erase(it);
+
+  const txn::Topology& topo = engine_->cluster()->topology();
+  for (int p : st.participants) {
+    for (int r = 0; r < topo.num_replicas(); ++r) {
+      auto* rep = engine_->replica(p, r);
+      if (commit) {
+        std::vector<std::pair<Key, Value>> writes;
+        for (const auto& [k, v] : st.writes) {
+          if (topo.PartitionOfKey(k) == p) writes.emplace_back(k, v);
+        }
+        SendTo(rep->id(), WireKvBytes(writes.size()),
+               [rep, id, writes]() { rep->HandleCommit(id, writes); });
+      } else {
+        SendTo(rep->id(), kMessageHeaderBytes,
+               [rep, id]() { rep->HandleAbort(id); });
+      }
+    }
+  }
+
+  txn::TxnResult result;
+  result.outcome =
+      commit ? txn::TxnOutcome::kCommitted : txn::TxnOutcome::kAborted;
+  result.abort_reason = reason;
+  if (commit) {
+    for (Key k : st.request.read_set) {
+      auto r = st.reads.find(k);
+      if (r != st.reads.end()) result.reads.push_back(r->second);
+    }
+    result.writes = st.writes;
+  }
+  st.done(result);
+}
+
+// ---------------------------------------------------------------------------
+// TapirEngine
+// ---------------------------------------------------------------------------
+
+TapirEngine::TapirEngine(txn::Cluster* cluster) : cluster_(cluster) {
+  const txn::Topology& topo = cluster_->topology();
+  replicas_.resize(topo.num_partitions());
+  for (int p = 0; p < topo.num_partitions(); ++p) {
+    for (int r = 0; r < topo.num_replicas(); ++r) {
+      replicas_[p].push_back(std::make_unique<TapirReplica>(
+          this, p, r, topo.ReplicaSites(p)[r], cluster_->MakeClock()));
+    }
+  }
+  for (int s = 0; s < topo.num_sites(); ++s) {
+    gateways_.push_back(
+        std::make_unique<TapirGateway>(this, s, cluster_->MakeClock()));
+  }
+  for (auto& g : gateways_) gateway_by_node_[g->id()] = g.get();
+}
+
+void TapirEngine::Execute(const txn::TxnRequest& request,
+                          txn::TxnCallback done) {
+  NATTO_CHECK(request.origin_site >= 0 &&
+              request.origin_site < static_cast<int>(gateways_.size()));
+  gateways_[request.origin_site]->StartTxn(request, std::move(done));
+}
+
+TapirGateway* TapirEngine::gateway_by_node(net::NodeId node) {
+  auto it = gateway_by_node_.find(node);
+  NATTO_CHECK(it != gateway_by_node_.end());
+  return it->second;
+}
+
+int TapirEngine::NearestReplica(int partition, int site) const {
+  const txn::Topology& topo = cluster_->topology();
+  const net::LatencyMatrix& m = cluster_->matrix();
+  int best = 0;
+  SimDuration best_d = m.OneWay(site, topo.ReplicaSites(partition)[0]);
+  for (int r = 1; r < topo.num_replicas(); ++r) {
+    SimDuration d = m.OneWay(site, topo.ReplicaSites(partition)[r]);
+    if (d < best_d) {
+      best_d = d;
+      best = r;
+    }
+  }
+  return best;
+}
+
+Value TapirEngine::DebugValue(Key key) {
+  int p = cluster_->topology().PartitionOfKey(key);
+  return replicas_[p][0]->kv()->Get(key).value;
+}
+
+}  // namespace natto::tapir

@@ -1,0 +1,54 @@
+#include "txn/cluster.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace natto::txn {
+
+namespace {
+std::unique_ptr<net::DelayModel> MakeDelayModel(const ClusterOptions& opts) {
+  if (opts.delay_variance_ratio > 0.0) {
+    return net::MakeParetoDelay(opts.delay_variance_ratio);
+  }
+  if (opts.uniform_jitter > 0.0) {
+    return net::MakeUniformJitterDelay(opts.uniform_jitter);
+  }
+  return net::MakeConstantDelay();
+}
+}  // namespace
+
+Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
+                 ClusterOptions options)
+    : matrix_(std::move(matrix)),
+      topology_(std::move(topology)),
+      options_(std::move(options)),
+      rng_(options_.seed) {
+  NATTO_CHECK(topology_.num_sites() <= matrix_.num_sites())
+      << "topology uses more sites than the latency matrix defines";
+  transport_ = std::make_unique<net::Transport>(
+      &simulator_, &matrix_, MakeDelayModel(options_), options_.transport,
+      rng_.Fork().engine()());
+  for (int p = 0; p < topology_.num_partitions(); ++p) {
+    groups_.push_back(std::make_unique<raft::RaftGroup>(
+        transport_.get(), topology_.ReplicaSites(p), options_.raft, rng_,
+        options_.max_clock_skew));
+  }
+}
+
+int Cluster::CoordinatorSite(int site) const {
+  if (topology_.PartitionLedAt(site) >= 0) return site;
+  int best = topology_.LeaderSite(0);
+  SimDuration best_d = matrix_.OneWay(site, best);
+  for (int p = 1; p < topology_.num_partitions(); ++p) {
+    int s = topology_.LeaderSite(p);
+    SimDuration d = matrix_.OneWay(site, s);
+    if (d < best_d) {
+      best_d = d;
+      best = s;
+    }
+  }
+  return best;
+}
+
+}  // namespace natto::txn

@@ -1,0 +1,80 @@
+#ifndef NATTO_TXN_CLUSTER_H_
+#define NATTO_TXN_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/delay_model.h"
+#include "net/latency_matrix.h"
+#include "net/transport.h"
+#include "raft/group.h"
+#include "sim/simulator.h"
+#include "txn/topology.h"
+
+namespace natto::txn {
+
+/// Everything an experiment deployment shares regardless of the engine under
+/// test: the simulator, the WAN model, the data placement, and one Raft
+/// group per partition. Engines attach their protocol servers to the
+/// partition leaders and replicate through the groups.
+struct ClusterOptions {
+  net::TransportOptions transport;
+
+  /// Delay distribution: variance ratio for a Pareto model (Sec 5.5), or
+  /// jitter fraction for a uniform model; both zero = constant delays.
+  double delay_variance_ratio = 0.0;
+  double uniform_jitter = 0.0;
+
+  /// Max absolute per-node clock skew (loose NTP sync).
+  SimDuration max_clock_skew = Millis(1);
+
+  raft::RaftReplica::Options raft;
+
+  /// Initial value of never-written keys (workload-dependent).
+  std::function<Value(Key)> default_value;
+
+  uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  Cluster(net::LatencyMatrix matrix, Topology topology,
+          ClusterOptions options);
+
+  sim::Simulator* simulator() { return &simulator_; }
+  net::Transport* transport() { return transport_.get(); }
+  const net::LatencyMatrix& matrix() const { return matrix_; }
+  const Topology& topology() const { return topology_; }
+  const ClusterOptions& options() const { return options_; }
+
+  raft::RaftGroup* group(int partition) { return groups_[partition].get(); }
+
+  /// Fresh deterministic RNG stream for a component.
+  Rng ForkRng() { return rng_.Fork(); }
+
+  /// Fresh clock with the configured skew bound.
+  sim::NodeClock MakeClock() {
+    return sim::NodeClock::WithRandomSkew(rng_, options_.max_clock_skew);
+  }
+
+  /// Site whose partition leader should act as coordinator group for
+  /// clients at `site`: the site itself if it leads a partition, else the
+  /// nearest leader site.
+  int CoordinatorSite(int site) const;
+
+ private:
+  net::LatencyMatrix matrix_;
+  Topology topology_;
+  ClusterOptions options_;
+  sim::Simulator simulator_;
+  Rng rng_;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::unique_ptr<raft::RaftGroup>> groups_;
+};
+
+}  // namespace natto::txn
+
+#endif  // NATTO_TXN_CLUSTER_H_

@@ -1,0 +1,77 @@
+#include "workload/retwis.h"
+
+#include <algorithm>
+
+namespace natto::workload {
+
+RetwisWorkload::RetwisWorkload(Options options)
+    : options_(options),
+      zipf_(options.num_keys, options.uniform_keys ? 0.0 : options.zipf_theta) {}
+
+Key RetwisWorkload::NextKey(Rng& rng) { return zipf_.Next(rng); }
+
+std::vector<Key> RetwisWorkload::DistinctKeys(Rng& rng, int n) {
+  std::vector<Key> keys;
+  keys.reserve(n);
+  while (static_cast<int>(keys.size()) < n) {
+    Key k = NextKey(rng);
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) keys.push_back(k);
+  }
+  return keys;
+}
+
+txn::TxnRequest RetwisWorkload::Next(Rng& rng) {
+  txn::TxnRequest req;
+  req.priority = DrawPriority(rng, options_.high_priority_fraction);
+
+  // Increment-style writes so histories stay checkable.
+  auto increment_all = [](const std::vector<txn::ReadResult>& reads) {
+    txn::WriteDecision d;
+    for (const txn::ReadResult& r : reads) {
+      d.writes.emplace_back(r.key, r.value + 1);
+    }
+    return d;
+  };
+
+  double roll = rng.UniformDouble();
+  if (roll < 0.05) {
+    // Add user: read 1 key, write 3 keys (the read key plus two fresh ones).
+    std::vector<Key> keys = DistinctKeys(rng, 3);
+    req.read_set = {keys[0]};
+    req.write_set = keys;
+    req.compute_writes = [keys](const std::vector<txn::ReadResult>& reads) {
+      txn::WriteDecision d;
+      Value base = reads.empty() ? 0 : reads[0].value;
+      for (Key k : keys) d.writes.emplace_back(k, base + 1);
+      return d;
+    };
+  } else if (roll < 0.20) {
+    // Follow user: read and write 2 keys.
+    std::vector<Key> keys = DistinctKeys(rng, 2);
+    req.read_set = keys;
+    req.write_set = keys;
+    req.compute_writes = increment_all;
+  } else if (roll < 0.50) {
+    // Post tweet: read 3 keys, write 5 (the 3 read keys plus 2 more).
+    std::vector<Key> keys = DistinctKeys(rng, 5);
+    req.read_set = {keys[0], keys[1], keys[2]};
+    req.write_set = keys;
+    req.compute_writes = [keys](const std::vector<txn::ReadResult>& reads) {
+      txn::WriteDecision d;
+      Value base = 0;
+      for (const txn::ReadResult& r : reads) base += r.value;
+      for (Key k : keys) d.writes.emplace_back(k, base + 1);
+      return d;
+    };
+  } else {
+    // Load timeline: read-only, 1..10 keys.
+    int n = static_cast<int>(rng.UniformInt(1, 10));
+    req.read_set = DistinctKeys(rng, n);
+    req.compute_writes = [](const std::vector<txn::ReadResult>&) {
+      return txn::WriteDecision{};
+    };
+  }
+  return req;
+}
+
+}  // namespace natto::workload

@@ -1,0 +1,42 @@
+#ifndef NATTO_WORKLOAD_RETWIS_H_
+#define NATTO_WORKLOAD_RETWIS_H_
+
+#include "workload/workload.h"
+#include "workload/zipf.h"
+
+namespace natto::workload {
+
+/// Retwis, the synthetic Twitter-like workload used by TAPIR and the paper
+/// (Sec 5.2.2). Transaction profile:
+///   5%  add user      — 1 read, 3 writes
+///  15%  follow user   — reads and writes 2 keys
+///  30%  post tweet    — 3 reads, 5 writes
+///  50%  load timeline — uniform 1..10 reads, no writes
+/// Keys are Zipfian; `uniform_keys` switches to a uniform distribution for
+/// the throughput experiment (Sec 5.6).
+class RetwisWorkload : public Workload {
+ public:
+  struct Options {
+    uint64_t num_keys = 1'000'000;
+    double zipf_theta = 0.65;
+    bool uniform_keys = false;
+    double high_priority_fraction = 0.10;
+  };
+
+  explicit RetwisWorkload(Options options);
+
+  txn::TxnRequest Next(Rng& rng) override;
+  std::string name() const override { return "Retwis"; }
+  uint64_t keyspace() const override { return options_.num_keys; }
+
+ private:
+  Key NextKey(Rng& rng);
+  std::vector<Key> DistinctKeys(Rng& rng, int n);
+
+  Options options_;
+  ZipfGenerator zipf_;
+};
+
+}  // namespace natto::workload
+
+#endif  // NATTO_WORKLOAD_RETWIS_H_

@@ -1,0 +1,144 @@
+#include "workload/smallbank.h"
+
+#include "common/logging.h"
+
+namespace natto::workload {
+
+SmallBankWorkload::SmallBankWorkload(Options options) : options_(options) {
+  NATTO_CHECK(options_.num_users >= 2);
+  NATTO_CHECK(options_.hot_users >= 2 &&
+              options_.hot_users <= options_.num_users);
+}
+
+uint64_t SmallBankWorkload::PickUser(Rng& rng) {
+  if (rng.Bernoulli(options_.hot_fraction)) {
+    return static_cast<uint64_t>(
+        rng.UniformInt(0, static_cast<int64_t>(options_.hot_users) - 1));
+  }
+  return static_cast<uint64_t>(
+      rng.UniformInt(0, static_cast<int64_t>(options_.num_users) - 1));
+}
+
+uint64_t SmallBankWorkload::PickOtherUser(Rng& rng, uint64_t not_this) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint64_t u = PickUser(rng);
+    if (u != not_this) return u;
+  }
+  return (not_this + 1) % options_.num_users;
+}
+
+txn::TxnRequest SmallBankWorkload::Next(Rng& rng) {
+  txn::TxnRequest req;
+  uint64_t u1 = PickUser(rng);
+  // Six OLTP-Bench transaction types, equal weights.
+  int type = static_cast<int>(rng.UniformInt(0, 5));
+
+  bool is_send_payment = (type == 5);
+  if (options_.priority_mode == PriorityMode::kSendPaymentHigh) {
+    req.priority =
+        is_send_payment ? txn::Priority::kHigh : txn::Priority::kLow;
+  } else {
+    req.priority = DrawPriority(rng, options_.high_priority_fraction);
+  }
+
+  Key c1 = CheckingKey(u1);
+  Key s1 = SavingsKey(u1);
+
+  switch (type) {
+    case 0: {  // balance: read-only on both accounts
+      req.read_set = {c1, s1};
+      req.compute_writes = [](const std::vector<txn::ReadResult>&) {
+        return txn::WriteDecision{};
+      };
+      break;
+    }
+    case 1: {  // depositChecking
+      req.read_set = {c1};
+      req.write_set = {c1};
+      req.compute_writes = [c1](const std::vector<txn::ReadResult>& reads) {
+        txn::WriteDecision d;
+        d.writes.emplace_back(c1, reads[0].value + 130);
+        return d;
+      };
+      break;
+    }
+    case 2: {  // transactSavings: abort on overdraft
+      req.read_set = {s1};
+      req.write_set = {s1};
+      req.compute_writes = [s1](const std::vector<txn::ReadResult>& reads) {
+        txn::WriteDecision d;
+        Value v = reads[0].value - 99;
+        if (v < 0) {
+          d.user_abort = true;
+          return d;
+        }
+        d.writes.emplace_back(s1, v);
+        return d;
+      };
+      break;
+    }
+    case 3: {  // amalgamate(u1 -> u2): zero u1's accounts into u2's checking
+      uint64_t u2 = PickOtherUser(rng, u1);
+      Key c2 = CheckingKey(u2);
+      req.read_set = {c1, s1, c2};
+      req.write_set = {c1, s1, c2};
+      req.compute_writes = [c1, s1,
+                            c2](const std::vector<txn::ReadResult>& reads) {
+        Value vc1 = 0, vs1 = 0, vc2 = 0;
+        for (const auto& r : reads) {
+          if (r.key == c1) vc1 = r.value;
+          if (r.key == s1) vs1 = r.value;
+          if (r.key == c2) vc2 = r.value;
+        }
+        txn::WriteDecision d;
+        d.writes.emplace_back(c1, 0);
+        d.writes.emplace_back(s1, 0);
+        d.writes.emplace_back(c2, vc2 + vc1 + vs1);
+        return d;
+      };
+      break;
+    }
+    case 4: {  // writeCheck: deduct from checking after a balance look
+      req.read_set = {c1, s1};
+      req.write_set = {c1};
+      req.compute_writes = [c1](const std::vector<txn::ReadResult>& reads) {
+        Value vc = 0;
+        for (const auto& r : reads) {
+          if (r.key == c1) vc = r.value;
+        }
+        txn::WriteDecision d;
+        d.writes.emplace_back(c1, vc - 55);
+        return d;
+      };
+      break;
+    }
+    case 5: {  // sendPayment(u1 -> u2): conserves total balance
+      uint64_t u2 = PickOtherUser(rng, u1);
+      Key c2 = CheckingKey(u2);
+      constexpr Value kAmount = 5;
+      req.read_set = {c1, c2};
+      req.write_set = {c1, c2};
+      req.compute_writes = [c1, c2](const std::vector<txn::ReadResult>& reads) {
+        Value vc1 = 0, vc2 = 0;
+        for (const auto& r : reads) {
+          if (r.key == c1) vc1 = r.value;
+          if (r.key == c2) vc2 = r.value;
+        }
+        txn::WriteDecision d;
+        if (vc1 < kAmount) {
+          d.user_abort = true;
+          return d;
+        }
+        d.writes.emplace_back(c1, vc1 - kAmount);
+        d.writes.emplace_back(c2, vc2 + kAmount);
+        return d;
+      };
+      break;
+    }
+    default:
+      NATTO_CHECK(false);
+  }
+  return req;
+}
+
+}  // namespace natto::workload

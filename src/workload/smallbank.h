@@ -1,0 +1,52 @@
+#ifndef NATTO_WORKLOAD_SMALLBANK_H_
+#define NATTO_WORKLOAD_SMALLBANK_H_
+
+#include "workload/workload.h"
+
+namespace natto::workload {
+
+/// SmallBank from OLTP-Bench as used in the paper (Sec 5.2.3): banking
+/// transactions over per-user checking and savings accounts, extended with
+/// sendPayment money transfers. 1M users; 1K hot users receive 90% of the
+/// accesses.
+///
+/// Key layout: user u -> checking key 2u, savings key 2u+1.
+class SmallBankWorkload : public Workload {
+ public:
+  enum class PriorityMode {
+    /// Priority drawn per-transaction (paper default 10% high).
+    kRandom,
+    /// Only sendPayment transactions are high priority (Fig 10).
+    kSendPaymentHigh,
+  };
+
+  struct Options {
+    uint64_t num_users = 1'000'000;
+    uint64_t hot_users = 1'000;
+    double hot_fraction = 0.90;  // fraction of txns touching hot users
+    double high_priority_fraction = 0.10;
+    PriorityMode priority_mode = PriorityMode::kRandom;
+    Value initial_balance = 10'000;
+  };
+
+  explicit SmallBankWorkload(Options options);
+
+  txn::TxnRequest Next(Rng& rng) override;
+  std::string name() const override { return "SmallBank"; }
+  uint64_t keyspace() const override { return options_.num_users * 2; }
+
+  static Key CheckingKey(uint64_t user) { return 2 * user; }
+  static Key SavingsKey(uint64_t user) { return 2 * user + 1; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  uint64_t PickUser(Rng& rng);
+  uint64_t PickOtherUser(Rng& rng, uint64_t not_this);
+
+  Options options_;
+};
+
+}  // namespace natto::workload
+
+#endif  // NATTO_WORKLOAD_SMALLBANK_H_

@@ -1,0 +1,36 @@
+#ifndef NATTO_WORKLOAD_WORKLOAD_H_
+#define NATTO_WORKLOAD_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "txn/transaction.h"
+
+namespace natto::workload {
+
+/// Generates transaction skeletons (read/write sets, priority, write logic);
+/// the harness client fills in id and origin site. Implementations must be
+/// deterministic given the Rng stream.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual txn::TxnRequest Next(Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Number of distinct keys the workload addresses (for documentation and
+  /// uniform key pickers).
+  virtual uint64_t keyspace() const = 0;
+};
+
+/// Draws Priority::kHigh with probability `fraction` (paper default: 10%).
+inline txn::Priority DrawPriority(Rng& rng, double fraction) {
+  return rng.Bernoulli(fraction) ? txn::Priority::kHigh
+                                 : txn::Priority::kLow;
+}
+
+}  // namespace natto::workload
+
+#endif  // NATTO_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,49 @@
+#include "workload/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace natto::workload {
+
+namespace {
+double Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  NATTO_CHECK(n_ > 0);
+  NATTO_CHECK(theta_ >= 0.0 && theta_ < 1.0)
+      << "theta must be in [0, 1) for this sampler";
+  if (theta_ == 0.0) {
+    zetan_ = alpha_ = eta_ = zeta2_ = 0.0;
+    return;
+  }
+  zetan_ = Zeta(n_, theta_);
+  zeta2_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (theta_ == 0.0) {
+    return static_cast<uint64_t>(rng.UniformInt(0, static_cast<int64_t>(n_) - 1));
+  }
+  double u = rng.UniformDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+}  // namespace natto::workload

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "carousel/carousel.h"
+#include "engine_test_util.h"
+
+namespace natto::carousel {
+namespace {
+
+using testutil::MakeCluster;
+using testutil::ScheduleTxn;
+
+TEST(CarouselBasicTest, SingleTxnCommitsAndApplies) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  // Keys 1 (partition 1, WA) and 4 (partition 4, SG), client in VA.
+  auto probe = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                           txn::Priority::kLow, {1, 4}, {1, 4}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(probe->committed());
+  // Reads saw the initial value 0.
+  for (const auto& r : probe->result->reads) EXPECT_EQ(r.value, 0);
+  // Latency: at least one round trip to the furthest participant (SG,
+  // 214 ms RTT), and well under a second at zero contention.
+  EXPECT_GE(probe->latency_ms(), 214.0);
+  EXPECT_LE(probe->latency_ms(), 700.0);
+  // Writes were applied at the leaders (asynchronously after commit).
+  EXPECT_EQ(engine.DebugValue(1), 1);
+  EXPECT_EQ(engine.DebugValue(4), 1);
+}
+
+TEST(CarouselBasicTest, SequentialTxnsSeeEachOther) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  auto p1 = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                        txn::Priority::kLow, {2}, {2}, 0);
+  auto p2 = ScheduleTxn(cluster.get(), &engine, Seconds(2), MakeTxnId(1, 2),
+                        txn::Priority::kLow, {2}, {2}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(p1->committed());
+  ASSERT_TRUE(p2->committed());
+  EXPECT_EQ(p2->result->reads[0].value, 1);
+  EXPECT_EQ(engine.DebugValue(2), 2);
+}
+
+TEST(CarouselBasicTest, ConcurrentConflictAbortsOne) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  // Two conflicting transactions in flight at once (same keys).
+  auto p1 = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                        txn::Priority::kLow, {3}, {3}, 0);
+  auto p2 = ScheduleTxn(cluster.get(), &engine, Millis(10), MakeTxnId(2, 1),
+                        txn::Priority::kLow, {3}, {3}, 1);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(p1->result.has_value());
+  ASSERT_TRUE(p2->result.has_value());
+  int commits = (p1->committed() ? 1 : 0) + (p2->committed() ? 1 : 0);
+  int aborts = (p1->aborted() ? 1 : 0) + (p2->aborted() ? 1 : 0);
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(aborts, 1);
+  EXPECT_EQ(engine.DebugValue(3), 1);
+}
+
+TEST(CarouselBasicTest, ReadOnlyTxnCommits) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  auto probe = ScheduleTxn(
+      cluster.get(), &engine, 0, MakeTxnId(1, 1), txn::Priority::kLow, {1, 2},
+      {}, 0, [](const std::vector<txn::ReadResult>&) {
+        return txn::WriteDecision{};
+      });
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(probe->committed());
+  EXPECT_EQ(probe->result->reads.size(), 2u);
+}
+
+TEST(CarouselBasicTest, UserAbortReleasesState) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  auto p1 = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                        txn::Priority::kLow, {5}, {5}, 0,
+                        [](const std::vector<txn::ReadResult>&) {
+                          txn::WriteDecision d;
+                          d.user_abort = true;
+                          return d;
+                        });
+  // A later transaction on the same key must not be blocked forever.
+  auto p2 = ScheduleTxn(cluster.get(), &engine, Seconds(2), MakeTxnId(1, 2),
+                        txn::Priority::kLow, {5}, {5}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(p1->result.has_value());
+  EXPECT_EQ(p1->result->outcome, txn::TxnOutcome::kUserAborted);
+  EXPECT_TRUE(p2->committed());
+  EXPECT_EQ(engine.DebugValue(5), 1);
+}
+
+TEST(CarouselBasicTest, DefaultValueFunctionIsUsed) {
+  txn::ClusterOptions opts;
+  opts.default_value = [](Key) { return Value{1000}; };
+  auto cluster = MakeCluster(1, opts);
+  CarouselEngine engine(cluster.get(), CarouselOptions{});
+  auto probe = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                           txn::Priority::kLow, {7}, {7}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(probe->committed());
+  EXPECT_EQ(probe->result->reads[0].value, 1000);
+  EXPECT_EQ(engine.DebugValue(7), 1001);
+}
+
+TEST(CarouselFastTest, SingleTxnCommits) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{/*fast_path=*/true});
+  auto probe = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                           txn::Priority::kLow, {1, 4}, {1, 4}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(probe->committed());
+  EXPECT_EQ(engine.DebugValue(1), 1);
+}
+
+TEST(CarouselFastTest, FasterThanBasicAtZeroContention) {
+  double fast_ms = 0, basic_ms = 0;
+  {
+    auto cluster = MakeCluster();
+    CarouselEngine engine(cluster.get(), CarouselOptions{/*fast_path=*/true});
+    auto p = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                         txn::Priority::kLow, {1, 2}, {1, 2}, 0);
+    cluster->simulator()->RunUntil(Seconds(5));
+    ASSERT_TRUE(p->committed());
+    fast_ms = p->latency_ms();
+  }
+  {
+    auto cluster = MakeCluster();
+    CarouselEngine engine(cluster.get(), CarouselOptions{/*fast_path=*/false});
+    auto p = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                         txn::Priority::kLow, {1, 2}, {1, 2}, 0);
+    cluster->simulator()->RunUntil(Seconds(5));
+    ASSERT_TRUE(p->committed());
+    basic_ms = p->latency_ms();
+  }
+  EXPECT_LT(fast_ms, basic_ms);
+}
+
+TEST(CarouselFastTest, ReplicasConvergeAfterCommit) {
+  auto cluster = MakeCluster();
+  CarouselEngine engine(cluster.get(), CarouselOptions{/*fast_path=*/true});
+  auto probe = ScheduleTxn(cluster.get(), &engine, 0, MakeTxnId(1, 1),
+                           txn::Priority::kLow, {2}, {2}, 0);
+  cluster->simulator()->RunUntil(Seconds(5));
+  ASSERT_TRUE(probe->committed());
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(engine.fast_replica(2, r)->kv()->Get(2).value, 1) << "r=" << r;
+  }
+}
+
+}  // namespace
+}  // namespace natto::carousel

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace natto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Aborted("conflict on key 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsAborted());
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.ToString(), "Aborted: conflict on key 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kAborted,
+        StatusCode::kUnavailable, StatusCode::kInternal,
+        StatusCode::kOutOfRange, StatusCode::kFailedPrecondition}) {
+    EXPECT_STRNE(StatusCodeName(c), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ---------------------------------------------------------------------------
+// TxnId packing
+// ---------------------------------------------------------------------------
+
+TEST(TxnIdTest, PackUnpackRoundTrips) {
+  TxnId id = MakeTxnId(0xdeadbeef, 0x12345678);
+  EXPECT_EQ(TxnIdClient(id), 0xdeadbeefu);
+  EXPECT_EQ(TxnIdSeq(id), 0x12345678u);
+}
+
+TEST(TxnIdTest, OrderFollowsClientThenSeq) {
+  EXPECT_LT(MakeTxnId(1, 999), MakeTxnId(2, 0));
+  EXPECT_LT(MakeTxnId(1, 1), MakeTxnId(1, 2));
+}
+
+TEST(WireBytesTest, SizesScaleWithKeys) {
+  EXPECT_EQ(WireKeysBytes(0), kMessageHeaderBytes);
+  EXPECT_EQ(WireKeysBytes(3), kMessageHeaderBytes + 3 * kKeyBytes);
+  EXPECT_EQ(WireKvBytes(2), kMessageHeaderBytes + 2 * (kKeyBytes + kValueBytes));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng a(42);
+  Rng b = a.Fork();
+  Rng c = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (b.UniformInt(0, 1 << 30) == c.UniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(1);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialMeanMatchesRate) {
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(10.0);
+  EXPECT_NEAR(sum / n, 0.1, 0.005);  // mean = 1/rate
+}
+
+TEST(RngTest, ParetoMeanMatchesFormula) {
+  Rng rng(3);
+  double xm = 2.0, alpha = 3.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Pareto(xm, alpha);
+  EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1), 0.05);
+}
+
+}  // namespace
+}  // namespace natto

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "harness/histogram.h"
+
+namespace natto::harness {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.95), 0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, PercentileWithinBucketError) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  // 48 buckets/decade => ~5% relative bucket width.
+  EXPECT_NEAR(h.Percentile(0.50), 500, 500 * 0.06);
+  EXPECT_NEAR(h.Percentile(0.95), 950, 950 * 0.06);
+  EXPECT_NEAR(h.Percentile(0.99), 990, 990 * 0.06);
+}
+
+TEST(HistogramTest, OutOfRangeValuesClampToEnds) {
+  LatencyHistogram h(1, 1000);
+  h.Record(0.0001);
+  h.Record(1e9);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GT(h.Percentile(0.99), 500.0);  // overflow bucket at the top
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  LatencyHistogram a, b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(a.mean(), 505, 1);
+  EXPECT_NEAR(a.Percentile(0.25), 10, 1);
+  EXPECT_NEAR(a.Percentile(0.75), 1000, 60);
+}
+
+TEST(HistogramTest, AsciiRendersSummary) {
+  LatencyHistogram h;
+  for (int i = 0; i < 50; ++i) h.Record(100 + i);
+  std::string s = h.ToAscii();
+  EXPECT_NE(s.find("n=50"), std::string::npos);
+  EXPECT_NE(s.find("p95="), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, SkewedDistributionTail) {
+  LatencyHistogram h;
+  for (int i = 0; i < 990; ++i) h.Record(50);
+  for (int i = 0; i < 10; ++i) h.Record(5000);
+  EXPECT_NEAR(h.Percentile(0.50), 50, 3);
+  EXPECT_NEAR(h.Percentile(0.995), 5000, 300);
+}
+
+}  // namespace
+}  // namespace natto::harness

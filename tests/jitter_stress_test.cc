@@ -1,0 +1,83 @@
+// Message-reordering stress: the serializability checkers run again with
+// heavy Pareto delay variance and clock skew, so messages overtake each
+// other on every path (votes vs. aborts, commits vs. new prepares, probe
+// samples vs. transactions). Every engine must stay serializable and live.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine_test_util.h"
+#include "harness/systems.h"
+
+namespace natto {
+namespace {
+
+using harness::MakeSystem;
+using harness::System;
+using harness::SystemKind;
+using testutil::MakeCluster;
+using testutil::ScheduleTxn;
+
+class JitterStressTest : public ::testing::TestWithParam<SystemKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Systems, JitterStressTest,
+    ::testing::Values(SystemKind::kTwoPl, SystemKind::kTwoPlPreempt,
+                      SystemKind::kTwoPlPow, SystemKind::kTapir,
+                      SystemKind::kCarouselBasic, SystemKind::kCarouselFast,
+                      SystemKind::kNattoTs, SystemKind::kNattoRecsf),
+    [](const ::testing::TestParamInfo<SystemKind>& info) {
+      std::string name = MakeSystem(info.param).name;
+      for (char& c : name) {
+        if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST_P(JitterStressTest, SerializableUnderReordering) {
+  for (uint64_t seed : {3u, 17u}) {
+    txn::ClusterOptions copts;
+    copts.delay_variance_ratio = 0.35;  // heavy jitter: frequent reordering
+    copts.max_clock_skew = Millis(5);
+    auto cluster = MakeCluster(seed, copts);
+    System system = MakeSystem(GetParam());
+    auto engine = system.make(cluster.get());
+
+    Rng rng(seed * 31);
+    std::vector<std::shared_ptr<testutil::TxnProbe>> probes;
+    for (int i = 0; i < 120; ++i) {
+      std::vector<Key> keys;
+      int n = static_cast<int>(rng.UniformInt(1, 3));
+      while (static_cast<int>(keys.size()) < n) {
+        Key k = static_cast<Key>(rng.UniformInt(0, 9));
+        if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+          keys.push_back(k);
+        }
+      }
+      txn::Priority prio = rng.Bernoulli(0.2) ? txn::Priority::kHigh
+                                              : txn::Priority::kLow;
+      probes.push_back(ScheduleTxn(
+          cluster.get(), engine.get(), Seconds(2) + Millis(rng.UniformInt(0, 6000)),
+          MakeTxnId(1, 10 + i), prio, keys, keys,
+          static_cast<int>(rng.UniformInt(0, 4))));
+    }
+    cluster->simulator()->RunUntil(Seconds(60));
+
+    std::map<Key, int64_t> commits;
+    for (const auto& p : probes) {
+      ASSERT_TRUE(p->result.has_value())
+          << system.name << " hung under jitter (seed " << seed << ")";
+      if (p->committed()) {
+        for (const auto& [k, v] : p->result->writes) ++commits[k];
+      }
+    }
+    for (Key k = 0; k < 10; ++k) {
+      EXPECT_EQ(engine->DebugValue(k), commits[k])
+          << system.name << " lost/phantom update on key " << k << " (seed "
+          << seed << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace natto

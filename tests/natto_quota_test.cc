@@ -1,0 +1,108 @@
+// Tests for the shared-environment priority quota (Sec 3.2): the trusted
+// gateway demotes prioritized transactions beyond the per-datacenter budget.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "natto/natto.h"
+
+namespace natto::core {
+namespace {
+
+using testutil::MakeCluster;
+using testutil::ScheduleTxn;
+
+TEST(NattoQuotaTest, UnlimitedByDefault) {
+  auto cluster = MakeCluster();
+  NattoEngine engine(cluster.get(), NattoOptions::Recsf());
+  for (int i = 0; i < 20; ++i) {
+    ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(i),
+                MakeTxnId(1, 1 + i), txn::Priority::kHigh,
+                {static_cast<Key>(i)}, {static_cast<Key>(i)}, 0);
+  }
+  cluster->simulator()->RunUntil(Seconds(6));
+  EXPECT_EQ(engine.gateway_at(0)->quota_demotions(), 0u);
+}
+
+TEST(NattoQuotaTest, DemotesBeyondQuota) {
+  auto cluster = MakeCluster();
+  NattoOptions opts = NattoOptions::Recsf();
+  opts.high_priority_quota_tps = 5;  // burst capacity of 5
+  NattoEngine engine(cluster.get(), opts);
+  // 20 high-priority transactions in one burst from VA.
+  std::vector<std::shared_ptr<testutil::TxnProbe>> probes;
+  for (int i = 0; i < 20; ++i) {
+    probes.push_back(ScheduleTxn(cluster.get(), &engine,
+                                 Seconds(2) + Millis(i), MakeTxnId(1, 1 + i),
+                                 txn::Priority::kHigh, {static_cast<Key>(i)},
+                                 {static_cast<Key>(i)}, 0));
+  }
+  cluster->simulator()->RunUntil(Seconds(8));
+  // ~5 admitted from the initial bucket (plus a hair of refill), the rest
+  // demoted — but still executed and committed at low priority.
+  EXPECT_GE(engine.gateway_at(0)->quota_demotions(), 14u);
+  EXPECT_LE(engine.gateway_at(0)->quota_demotions(), 15u);
+  for (const auto& p : probes) EXPECT_TRUE(p->committed());
+}
+
+TEST(NattoQuotaTest, BucketRefillsOverTime) {
+  auto cluster = MakeCluster();
+  NattoOptions opts = NattoOptions::Recsf();
+  opts.high_priority_quota_tps = 10;
+  NattoEngine engine(cluster.get(), opts);
+  // 5 txn/s of high priority: always within the 10/s quota.
+  for (int i = 0; i < 30; ++i) {
+    ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(200) * i,
+                MakeTxnId(1, 1 + i), txn::Priority::kHigh,
+                {static_cast<Key>(i)}, {static_cast<Key>(i)}, 0);
+  }
+  cluster->simulator()->RunUntil(Seconds(12));
+  EXPECT_EQ(engine.gateway_at(0)->quota_demotions(), 0u);
+}
+
+TEST(NattoQuotaTest, QuotaIsPerDatacenter) {
+  auto cluster = MakeCluster();
+  NattoOptions opts = NattoOptions::Recsf();
+  opts.high_priority_quota_tps = 5;
+  NattoEngine engine(cluster.get(), opts);
+  // Burst at VA exhausts VA's bucket; WA's bucket is untouched.
+  for (int i = 0; i < 10; ++i) {
+    ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(i),
+                MakeTxnId(1, 1 + i), txn::Priority::kHigh,
+                {static_cast<Key>(i)}, {static_cast<Key>(i)}, 0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(i),
+                MakeTxnId(2, 1 + i), txn::Priority::kHigh,
+                {static_cast<Key>(100 + i)}, {static_cast<Key>(100 + i)}, 1);
+  }
+  cluster->simulator()->RunUntil(Seconds(8));
+  EXPECT_GE(engine.gateway_at(0)->quota_demotions(), 5u);
+  EXPECT_EQ(engine.gateway_at(1)->quota_demotions(), 0u);
+}
+
+TEST(NattoQuotaTest, DemotedTransactionsLosePreemptionPower) {
+  // A demoted "high" transaction must not priority-abort queued low ones.
+  auto cluster = MakeCluster();
+  NattoOptions opts = NattoOptions::Pa();
+  opts.high_priority_quota_tps = 1;  // bucket of 1
+  NattoEngine engine(cluster.get(), opts);
+  // Consume the only token.
+  ScheduleTxn(cluster.get(), &engine, Seconds(2), MakeTxnId(9, 1),
+              txn::Priority::kHigh, {7}, {7}, 1);
+  // The Fig-3 schedule: low from VA, over-quota high from WA.
+  auto low = ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(5),
+                         MakeTxnId(1, 1), txn::Priority::kLow, {1, 4}, {1, 4},
+                         0);
+  auto high = ScheduleTxn(cluster.get(), &engine, Seconds(2) + Millis(45),
+                          MakeTxnId(2, 1), txn::Priority::kHigh, {1, 4},
+                          {1, 4}, 1);
+  cluster->simulator()->RunUntil(Seconds(8));
+  ASSERT_TRUE(low->result.has_value());
+  ASSERT_TRUE(high->result.has_value());
+  // The demoted transaction behaved as low priority: no priority abort.
+  EXPECT_TRUE(low->committed());
+  EXPECT_GE(engine.gateway_at(1)->quota_demotions(), 1u);
+}
+
+}  // namespace
+}  // namespace natto::core

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "raft/group.h"
+#include "raft/raft.h"
+
+namespace natto::raft {
+namespace {
+
+struct RaftFixture : public ::testing::Test {
+  sim::Simulator simulator;
+  net::LatencyMatrix matrix = net::LatencyMatrix::AzureFive();
+  net::Transport transport{&simulator, &matrix, net::MakeConstantDelay(),
+                           net::TransportOptions{}, 5};
+  Rng rng{17};
+
+  std::unique_ptr<RaftGroup> MakeGroup(std::vector<int> sites) {
+    return std::make_unique<RaftGroup>(&transport, sites,
+                                       RaftReplica::Options{}, rng);
+  }
+};
+
+TEST_F(RaftFixture, InitialLeaderIsSeated) {
+  auto g = MakeGroup({0, 1, 2});
+  EXPECT_TRUE(g->leader()->IsLeader());
+  EXPECT_FALSE(g->replica(1)->IsLeader());
+  EXPECT_EQ(g->leader()->term(), 1u);
+}
+
+TEST_F(RaftFixture, CommitsAfterMajorityRoundTrip) {
+  auto g = MakeGroup({0, 1, 2});  // leader VA; followers WA, PR
+  SimTime committed_at = -1;
+  ASSERT_TRUE(g->leader()
+                  ->Propose(42, [&]() { committed_at = simulator.Now(); })
+                  .ok());
+  simulator.Run();
+  // Majority = leader + nearest follower (WA, RTT 67 ms).
+  EXPECT_EQ(committed_at, Millis(67));
+  EXPECT_EQ(g->leader()->commit_index(), 1u);
+}
+
+TEST_F(RaftFixture, FollowerProposeIsRejected) {
+  auto g = MakeGroup({0, 1, 2});
+  Status s = g->replica(1)->Propose(1, []() {});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(RaftFixture, SingleReplicaGroupCommitsImmediately) {
+  auto g = MakeGroup({0});
+  bool committed = false;
+  ASSERT_TRUE(g->leader()->Propose(1, [&]() { committed = true; }).ok());
+  EXPECT_TRUE(committed);
+}
+
+TEST_F(RaftFixture, ManyEntriesCommitInOrderOnAllReplicas) {
+  auto g = MakeGroup({0, 1, 2});
+  std::vector<std::vector<PayloadId>> applied(3);
+  for (int r = 0; r < 3; ++r) {
+    g->replica(r)->SetOnApply(
+        [&applied, r](PayloadId p) { applied[r].push_back(p); });
+  }
+  const int kEntries = 50;
+  int commits = 0;
+  for (int i = 1; i <= kEntries; ++i) {
+    simulator.ScheduleAfter(Millis(i), [&, i]() {
+      ASSERT_TRUE(g->leader()
+                      ->Propose(static_cast<PayloadId>(i),
+                                [&commits]() { ++commits; })
+                      .ok());
+    });
+  }
+  simulator.Run();
+  EXPECT_EQ(commits, kEntries);
+  // Every replica applied the same sequence 1..N.
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(applied[r].size(), static_cast<size_t>(kEntries)) << "r=" << r;
+    for (int i = 0; i < kEntries; ++i) {
+      EXPECT_EQ(applied[r][i], static_cast<PayloadId>(i + 1));
+    }
+  }
+}
+
+TEST_F(RaftFixture, BatchesUnderLoad) {
+  auto g = MakeGroup({0, 1, 2});
+  int commits = 0;
+  // 100 proposals in the same instant: replication must coalesce.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(g->leader()->Propose(i, [&commits]() { ++commits; }).ok());
+  }
+  uint64_t before = transport.messages_sent();
+  simulator.Run();
+  EXPECT_EQ(commits, 100);
+  // Far fewer than 100 AppendEntries round trips per follower.
+  EXPECT_LT(transport.messages_sent() - before, 60u);
+}
+
+TEST_F(RaftFixture, ElectsNewLeaderAfterCrash) {
+  auto g = MakeGroup({0, 1, 2});
+  g->StartTimers();
+  bool committed = false;
+  ASSERT_TRUE(g->leader()->Propose(7, [&]() { committed = true; }).ok());
+  simulator.RunUntil(Seconds(1));
+  EXPECT_TRUE(committed);
+
+  transport.SetNodeCrashed(g->leader()->id(), true);
+  simulator.RunUntil(Seconds(5));
+
+  int leaders = 0;
+  for (size_t r = 1; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  // The new leader's term moved past the crashed leader's.
+  for (size_t r = 1; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) {
+      EXPECT_GT(g->replica(r)->term(), 1u);
+      // And it still has the committed entry.
+      EXPECT_GE(g->replica(r)->log_size(), 1u);
+    }
+  }
+}
+
+TEST_F(RaftFixture, NewLeaderAcceptsProposals) {
+  auto g = MakeGroup({0, 1, 2});
+  g->StartTimers();
+  simulator.RunUntil(Seconds(1));
+  transport.SetNodeCrashed(g->leader()->id(), true);
+  simulator.RunUntil(Seconds(5));
+
+  RaftReplica* new_leader = nullptr;
+  for (size_t r = 1; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) new_leader = g->replica(r);
+  }
+  ASSERT_NE(new_leader, nullptr);
+  bool committed = false;
+  ASSERT_TRUE(new_leader->Propose(99, [&]() { committed = true; }).ok());
+  simulator.RunUntil(Seconds(10));
+  EXPECT_TRUE(committed);
+}
+
+TEST_F(RaftFixture, QuiescentWithoutTimersAfterCommit) {
+  auto g = MakeGroup({0, 1, 2});
+  ASSERT_TRUE(g->leader()->Propose(1, []() {}).ok());
+  simulator.Run();  // must terminate (no heartbeat timers started)
+  EXPECT_EQ(g->leader()->commit_index(), 1u);
+}
+
+}  // namespace
+}  // namespace natto::raft

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/retwis.h"
+#include "workload/smallbank.h"
+#include "workload/workload.h"
+#include "workload/ycsbt.h"
+#include "workload/zipf.h"
+
+namespace natto::workload {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Zipf
+// ---------------------------------------------------------------------------
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfGenerator z(1000, 0.65);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(z.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesOnLowRanks) {
+  ZipfGenerator z(100000, 0.95);
+  Rng rng(2);
+  int head = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next(rng) < 100) ++head;  // top 0.1% of keys
+  }
+  // Under 0.95 skew a large fraction of accesses hit the head.
+  EXPECT_GT(head, n / 4);
+}
+
+TEST(ZipfTest, HigherThetaIsMoreSkewed) {
+  Rng rng1(3), rng2(3);
+  ZipfGenerator weak(100000, 0.65), strong(100000, 0.95);
+  int weak_head = 0, strong_head = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (weak.Next(rng1) < 100) ++weak_head;
+    if (strong.Next(rng2) < 100) ++strong_head;
+  }
+  EXPECT_GT(strong_head, weak_head);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator z(10, 0.0);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[z.Next(rng)]++;
+  for (const auto& [k, c] : counts) {
+    EXPECT_NEAR(c, n / 10, n / 10 * 0.15) << "key " << k;
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  ZipfGenerator z(1000, 0.8);
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.Next(rng)]++;
+  int max_count = 0;
+  uint64_t max_key = 0;
+  for (const auto& [k, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// YCSB+T
+// ---------------------------------------------------------------------------
+
+TEST(YcsbTTest, SixDistinctReadModifyWriteKeys) {
+  YcsbTWorkload w({});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    EXPECT_EQ(r.read_set.size(), 6u);
+    EXPECT_EQ(r.write_set, r.read_set);
+    std::set<Key> distinct(r.read_set.begin(), r.read_set.end());
+    EXPECT_EQ(distinct.size(), 6u);
+  }
+}
+
+TEST(YcsbTTest, WritesIncrementReads) {
+  YcsbTWorkload w({});
+  Rng rng(1);
+  txn::TxnRequest r = w.Next(rng);
+  std::vector<txn::ReadResult> reads;
+  for (Key k : r.read_set) reads.push_back({k, 41, 0});
+  txn::WriteDecision d = r.compute_writes(reads);
+  ASSERT_EQ(d.writes.size(), 6u);
+  for (const auto& [k, v] : d.writes) EXPECT_EQ(v, 42);
+}
+
+TEST(YcsbTTest, PriorityFractionRoughlyRespected) {
+  YcsbTWorkload::Options o;
+  o.high_priority_fraction = 0.10;
+  YcsbTWorkload w(o);
+  Rng rng(7);
+  int high = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (w.Next(rng).priority == txn::Priority::kHigh) ++high;
+  }
+  EXPECT_NEAR(high, n / 10, n / 10 * 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Retwis
+// ---------------------------------------------------------------------------
+
+TEST(RetwisTest, ProfileShapesMatchPaper) {
+  RetwisWorkload w({});
+  Rng rng(1);
+  int add_user = 0, follow = 0, post = 0, timeline = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    if (r.read_set.size() == 1 && r.write_set.size() == 3) {
+      ++add_user;
+    } else if (r.read_set.size() == 2 && r.write_set.size() == 2) {
+      ++follow;
+    } else if (r.read_set.size() == 3 && r.write_set.size() == 5) {
+      ++post;
+    } else if (r.write_set.empty()) {
+      ++timeline;
+      EXPECT_GE(r.read_set.size(), 1u);
+      EXPECT_LE(r.read_set.size(), 10u);
+    } else {
+      FAIL() << "unexpected profile: " << r.read_set.size() << "r/"
+             << r.write_set.size() << "w";
+    }
+  }
+  EXPECT_NEAR(add_user, n * 0.05, n * 0.02);
+  EXPECT_NEAR(follow, n * 0.15, n * 0.03);
+  EXPECT_NEAR(post, n * 0.30, n * 0.03);
+  EXPECT_NEAR(timeline, n * 0.50, n * 0.03);
+}
+
+TEST(RetwisTest, UniformModeUsesWholeKeyspace) {
+  RetwisWorkload::Options o;
+  o.num_keys = 1000;
+  o.uniform_keys = true;
+  RetwisWorkload w(o);
+  Rng rng(2);
+  int head = 0, total_keys = 0;
+  for (int i = 0; i < 5000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    for (Key k : r.read_set) {
+      ++total_keys;
+      if (k < 10) ++head;
+    }
+  }
+  // Uniform: the 1% head gets ~1% of accesses, not a zipf-sized share.
+  EXPECT_LT(head, total_keys * 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// SmallBank
+// ---------------------------------------------------------------------------
+
+TEST(SmallBankTest, HotUsersReceiveMostTraffic) {
+  SmallBankWorkload::Options o;
+  o.num_users = 100000;
+  o.hot_users = 100;
+  o.hot_fraction = 0.90;
+  SmallBankWorkload w(o);
+  Rng rng(1);
+  int hot = 0, total = 0;
+  for (int i = 0; i < 10000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    for (Key k : r.read_set) {
+      ++total;
+      if (k / 2 < o.hot_users) ++hot;
+    }
+  }
+  EXPECT_GT(hot, total * 0.8);
+}
+
+TEST(SmallBankTest, SendPaymentConservesBalance) {
+  SmallBankWorkload w({});
+  Rng rng(2);
+  // Find a sendPayment transaction (2 reads, 2 writes, both checking keys).
+  for (int i = 0; i < 1000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    if (r.read_set.size() == 2 && r.write_set.size() == 2 &&
+        r.read_set == r.write_set && r.read_set[0] % 2 == 0 &&
+        r.read_set[1] % 2 == 0) {
+      std::vector<txn::ReadResult> reads = {{r.read_set[0], 100, 0},
+                                            {r.read_set[1], 50, 0}};
+      txn::WriteDecision d = r.compute_writes(reads);
+      ASSERT_FALSE(d.user_abort);
+      Value total = 0;
+      for (const auto& [k, v] : d.writes) total += v;
+      EXPECT_EQ(total, 150);
+      return;
+    }
+  }
+  FAIL() << "no sendPayment transaction generated";
+}
+
+TEST(SmallBankTest, SendPaymentAbortsOnInsufficientFunds) {
+  SmallBankWorkload w({});
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    if (r.read_set.size() == 2 && r.write_set.size() == 2 &&
+        r.read_set == r.write_set && r.read_set[0] % 2 == 0 &&
+        r.read_set[1] % 2 == 0) {
+      std::vector<txn::ReadResult> reads = {{r.read_set[0], 0, 0},
+                                            {r.read_set[1], 50, 0}};
+      txn::WriteDecision d = r.compute_writes(reads);
+      EXPECT_TRUE(d.user_abort);
+      return;
+    }
+  }
+  FAIL() << "no sendPayment transaction generated";
+}
+
+TEST(SmallBankTest, SendPaymentHighMode) {
+  SmallBankWorkload::Options o;
+  o.priority_mode = SmallBankWorkload::PriorityMode::kSendPaymentHigh;
+  SmallBankWorkload w(o);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    bool is_send_payment = r.read_set.size() == 2 &&
+                           r.write_set.size() == 2 &&
+                           r.read_set == r.write_set &&
+                           r.read_set[0] % 2 == 0 && r.read_set[1] % 2 == 0;
+    if (is_send_payment) {
+      EXPECT_EQ(r.priority, txn::Priority::kHigh);
+    } else {
+      EXPECT_EQ(r.priority, txn::Priority::kLow);
+    }
+  }
+}
+
+TEST(SmallBankTest, AmalgamateMovesEverything) {
+  SmallBankWorkload w({});
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    txn::TxnRequest r = w.Next(rng);
+    // amalgamate: 3 reads == 3 writes, keys c1, s1, c2.
+    if (r.read_set.size() == 3 && r.write_set.size() == 3) {
+      std::vector<txn::ReadResult> reads = {{r.read_set[0], 10, 0},
+                                            {r.read_set[1], 20, 0},
+                                            {r.read_set[2], 5, 0}};
+      txn::WriteDecision d = r.compute_writes(reads);
+      Value total = 0;
+      for (const auto& [k, v] : d.writes) total += v;
+      EXPECT_EQ(total, 35);  // conserved
+      return;
+    }
+  }
+  FAIL() << "no amalgamate transaction generated";
+}
+
+}  // namespace
+}  // namespace natto::workload

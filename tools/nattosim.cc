@@ -1,0 +1,244 @@
+// nattosim: flag-driven experiment driver. Runs any system x workload x
+// network configuration from the command line and prints latency and
+// goodput statistics — the tool a downstream user reaches for before
+// writing code against the library.
+//
+// Examples:
+//   nattosim --system=natto-recsf --workload=ycsbt --rate=350
+//   nattosim --system=carousel-basic --workload=smallbank --rate=1000 \
+//            --matrix=azure --repeats=3
+//   nattosim --system=2pl-p --workload=retwis --rate=500 --variance=0.15
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/histogram.h"
+#include "harness/systems.h"
+#include "workload/retwis.h"
+#include "workload/smallbank.h"
+#include "workload/ycsbt.h"
+
+using namespace natto;
+using namespace natto::harness;
+
+namespace {
+
+struct Flags {
+  std::string system = "natto-recsf";
+  std::string workload = "ycsbt";
+  std::string matrix = "azure";
+  double rate = 100;
+  double zipf = 0.65;
+  double high_fraction = 0.10;
+  double medium_fraction = 0.0;
+  double variance = 0.0;
+  double loss = 0.0;
+  int partitions = 5;
+  int duration_s = 24;
+  int repeats = 2;
+  uint64_t seed = 42;
+  bool hist = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "nattosim — run a simulated geo-distributed transaction experiment\n\n"
+      "  --system=NAME     2pl | 2pl-p | 2pl-pow | tapir | carousel-basic |\n"
+      "                    carousel-fast | natto-ts | natto-lecsf | natto-pa |\n"
+      "                    natto-cp | natto-recsf   (default natto-recsf)\n"
+      "  --workload=NAME   ycsbt | retwis | smallbank  (default ycsbt)\n"
+      "  --matrix=NAME     azure | hybrid | triangle   (default azure)\n"
+      "  --rate=N          aggregate input rate, txn/s (default 100)\n"
+      "  --zipf=F          Zipfian coefficient (default 0.65)\n"
+      "  --high=F          high-priority fraction (default 0.10)\n"
+      "  --medium=F        medium-priority fraction, ycsbt only (default 0)\n"
+      "  --variance=F      network delay variance ratio (Pareto; default 0)\n"
+      "  --loss=F          packet loss probability (default 0)\n"
+      "  --partitions=N    number of data partitions (default 5)\n"
+      "  --duration=N      seconds per run (default 24; 1/6 trimmed each end)\n"
+      "  --repeats=N       runs per configuration (default 2)\n"
+      "  --seed=N          base seed (default 42)\n"
+      "  --hist            print latency histograms per priority class\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      flags->help = true;
+    } else if (std::strcmp(argv[i], "--hist") == 0) {
+      flags->hist = true;
+    } else if (ParseFlag(argv[i], "--system", &v)) {
+      flags->system = v;
+    } else if (ParseFlag(argv[i], "--workload", &v)) {
+      flags->workload = v;
+    } else if (ParseFlag(argv[i], "--matrix", &v)) {
+      flags->matrix = v;
+    } else if (ParseFlag(argv[i], "--rate", &v)) {
+      flags->rate = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--zipf", &v)) {
+      flags->zipf = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--high", &v)) {
+      flags->high_fraction = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--medium", &v)) {
+      flags->medium_fraction = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--variance", &v)) {
+      flags->variance = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--loss", &v)) {
+      flags->loss = std::atof(v.c_str());
+    } else if (ParseFlag(argv[i], "--partitions", &v)) {
+      flags->partitions = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--duration", &v)) {
+      flags->duration_s = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--repeats", &v)) {
+      flags->repeats = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      flags->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SystemFromName(const std::string& name, SystemKind* out) {
+  struct Entry {
+    const char* name;
+    SystemKind kind;
+  };
+  static const Entry kEntries[] = {
+      {"2pl", SystemKind::kTwoPl},
+      {"2pl-p", SystemKind::kTwoPlPreempt},
+      {"2pl-pow", SystemKind::kTwoPlPow},
+      {"tapir", SystemKind::kTapir},
+      {"carousel-basic", SystemKind::kCarouselBasic},
+      {"carousel-fast", SystemKind::kCarouselFast},
+      {"natto-ts", SystemKind::kNattoTs},
+      {"natto-lecsf", SystemKind::kNattoLecsf},
+      {"natto-pa", SystemKind::kNattoPa},
+      {"natto-cp", SystemKind::kNattoCp},
+      {"natto-recsf", SystemKind::kNattoRecsf},
+  };
+  for (const Entry& e : kEntries) {
+    if (name == e.name) {
+      *out = e.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    PrintUsage();
+    return 2;
+  }
+  if (flags.help) {
+    PrintUsage();
+    return 0;
+  }
+
+  SystemKind kind;
+  if (!SystemFromName(flags.system, &kind)) {
+    std::fprintf(stderr, "unknown system '%s'\n", flags.system.c_str());
+    PrintUsage();
+    return 2;
+  }
+
+  ExperimentConfig config;
+  if (flags.matrix == "azure") {
+    config.matrix = net::LatencyMatrix::AzureFive();
+  } else if (flags.matrix == "hybrid") {
+    config.matrix = net::LatencyMatrix::HybridAwsAzure();
+    config.cluster.uniform_jitter = 0.05;
+  } else if (flags.matrix == "triangle") {
+    config.matrix = net::LatencyMatrix::LocalTriangle();
+  } else {
+    std::fprintf(stderr, "unknown matrix '%s'\n", flags.matrix.c_str());
+    return 2;
+  }
+  config.num_partitions = flags.partitions;
+  config.input_rate_tps = flags.rate;
+  config.duration = Seconds(flags.duration_s);
+  config.warmup = Seconds(flags.duration_s) / 6;
+  config.cooldown = Seconds(flags.duration_s) / 6;
+  config.repeats = flags.repeats;
+  config.seed = flags.seed;
+  config.cluster.delay_variance_ratio = flags.variance;
+  config.cluster.transport.packet_loss = flags.loss;
+
+  WorkloadFactory workload;
+  if (flags.workload == "ycsbt") {
+    workload::YcsbTWorkload::Options o;
+    o.zipf_theta = flags.zipf;
+    o.high_priority_fraction = flags.high_fraction;
+    o.medium_priority_fraction = flags.medium_fraction;
+    workload = [o]() { return std::make_unique<workload::YcsbTWorkload>(o); };
+  } else if (flags.workload == "retwis") {
+    workload::RetwisWorkload::Options o;
+    o.zipf_theta = flags.zipf;
+    o.high_priority_fraction = flags.high_fraction;
+    workload = [o]() { return std::make_unique<workload::RetwisWorkload>(o); };
+  } else if (flags.workload == "smallbank") {
+    workload::SmallBankWorkload::Options o;
+    o.high_priority_fraction = flags.high_fraction;
+    Value initial = o.initial_balance;
+    config.default_value = [initial](Key) { return initial; };
+    workload = [o]() {
+      return std::make_unique<workload::SmallBankWorkload>(o);
+    };
+  } else {
+    std::fprintf(stderr, "unknown workload '%s'\n", flags.workload.c_str());
+    return 2;
+  }
+
+  System system = MakeSystem(kind);
+  std::printf("system=%s workload=%s matrix=%s rate=%g zipf=%g high=%g\n",
+              system.name.c_str(), flags.workload.c_str(),
+              flags.matrix.c_str(), flags.rate, flags.zipf,
+              flags.high_fraction);
+  ExperimentResult r = RunExperiment(config, system, workload);
+  std::printf("\n%22s: %8.1f +- %.0f ms\n", "p95 high-priority",
+              r.p95_high_ms.mean, r.p95_high_ms.ci95);
+  std::printf("%22s: %8.1f +- %.0f ms\n", "p95 low-priority",
+              r.p95_low_ms.mean, r.p95_low_ms.ci95);
+  std::printf("%22s: %8.1f +- %.0f ms\n", "mean high-priority",
+              r.mean_high_ms.mean, r.mean_high_ms.ci95);
+  std::printf("%22s: %8.1f +- %.0f ms\n", "mean low-priority",
+              r.mean_low_ms.mean, r.mean_low_ms.ci95);
+  std::printf("%22s: %8.1f txn/s\n", "goodput (total)",
+              r.goodput_total_tps.mean);
+  std::printf("%22s: %8.2f aborts/committed txn\n", "abort rate",
+              r.abort_rate.mean);
+  std::printf("%22s: %8lld\n", "failed transactions",
+              static_cast<long long>(r.failed));
+
+  if (flags.hist) {
+    RunStats run = RunOnce(config, system, workload, config.seed);
+    harness::LatencyHistogram high, low;
+    for (double ms : run.latencies_high_ms) high.Record(ms);
+    for (double ms : run.latencies_low_ms) low.Record(ms);
+    std::printf("\n--- high-priority latency distribution (one run) ---\n%s",
+                high.ToAscii().c_str());
+    std::printf("\n--- low-priority latency distribution (one run) ---\n%s",
+                low.ToAscii().c_str());
+  }
+  return 0;
+}
