@@ -16,29 +16,37 @@ using namespace natto::harness;
 int main() {
   std::vector<double> quantiles = {0.50, 0.75, 0.90, 0.95, 0.99};
 
+  auto workload = []() {
+    return std::make_unique<workload::YcsbTWorkload>(
+        workload::YcsbTWorkload::Options{});
+  };
+  ExperimentConfig config = QuickConfig();
+  config.input_rate_tps = 350;
+  config.cluster.delay_variance_ratio = 0.15;
+  // One "system" per estimator quantile; a one-point grid fans them out.
+  std::vector<System> systems;
+  for (double q : quantiles) {
+    systems.push_back(System{SystemKind::kNattoRecsf, "Natto-RECSF",
+                             [q](txn::Cluster* c) {
+                               core::NattoOptions o =
+                                   core::NattoOptions::Recsf();
+                               o.estimate_quantile = q;
+                               return std::make_unique<core::NattoEngine>(c, o);
+                             }});
+  }
+  std::vector<std::vector<ExperimentResult>> results =
+      RunGrid({GridPoint{config, workload}}, systems);
+
   std::printf(
       "=== Estimator ablation: quantile vs latency/aborts "
       "(YCSB+T @350, 15%% delay variance) ===\n");
   std::printf("%-10s %12s %12s %14s\n", "quantile", "p95hi(ms)", "p95lo(ms)",
               "aborts/txn");
-  auto workload = []() {
-    return std::make_unique<workload::YcsbTWorkload>(
-        workload::YcsbTWorkload::Options{});
-  };
-  for (double q : quantiles) {
-    ExperimentConfig config = QuickConfig();
-    config.input_rate_tps = 350;
-    config.cluster.delay_variance_ratio = 0.15;
-    System system{SystemKind::kNattoRecsf, "Natto-RECSF",
-                  [q](txn::Cluster* c) {
-                    core::NattoOptions o = core::NattoOptions::Recsf();
-                    o.estimate_quantile = q;
-                    return std::make_unique<core::NattoEngine>(c, o);
-                  }};
-    ExperimentResult r = RunExperiment(config, system, workload);
-    std::printf("%-10.2f %12.1f %12.1f %14.2f\n", q, r.p95_high_ms.mean,
-                r.p95_low_ms.mean, r.abort_rate.mean);
-    std::fflush(stdout);
+  for (size_t i = 0; i < quantiles.size(); ++i) {
+    const ExperimentResult& r = results[0][i];
+    std::printf("%-10.2f %12.1f %12.1f %14.2f\n", quantiles[i],
+                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_rate.mean);
   }
+  std::fflush(stdout);
   return 0;
 }

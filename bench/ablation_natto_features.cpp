@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "harness/client.h"
+#include "harness/parallel_runner.h"
 #include "natto/natto.h"
 #include "txn/topology.h"
 #include "workload/ycsbt.h"
@@ -80,21 +81,43 @@ int main() {
       {"Natto-RECSF", core::NattoOptions::Recsf()},
   };
 
+  ExperimentConfig config = QuickConfig();
+  config.input_rate_tps = 50;
+
+  // One "system" per ablation variant; the whole variant sweep is a
+  // one-point grid the runner fans out, with the per-variant counter runs
+  // fanned out alongside.
+  std::vector<System> systems;
+  for (const Variant& v : variants) {
+    systems.push_back(System{SystemKind::kNattoRecsf, v.name,
+                             [opts = v.options](txn::Cluster* c) {
+                               return std::make_unique<core::NattoEngine>(
+                                   c, opts);
+                             }});
+  }
+  std::vector<std::vector<ExperimentResult>> results =
+      RunGrid({GridPoint{config, MakeWorkload}}, systems);
+
+  std::vector<core::NattoServer::Stats> counters(variants.size());
+  {
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < variants.size(); ++i) {
+      tasks.push_back([&config, &variants, &counters, i]() {
+        counters[i] = CounterRun(config, variants[i].options);
+      });
+    }
+    ParallelRunner().Run(std::move(tasks));
+  }
+
   std::printf("=== Natto feature ablation, YCSB+T zipf=0.95 @50 txn/s ===\n");
   std::printf("%-17s %10s %10s %8s %8s %8s %6s %6s %8s %8s\n", "variant",
               "p95hi(ms)", "p95lo(ms)", "PA", "PAsupp", "CP", "CPok",
               "CPfail", "RECSF", "ordAbrt");
 
-  for (const Variant& v : variants) {
-    ExperimentConfig config = QuickConfig();
-    config.input_rate_tps = 50;
-
-    System system{SystemKind::kNattoRecsf, v.name,
-                  [opts = v.options](txn::Cluster* c) {
-                    return std::make_unique<core::NattoEngine>(c, opts);
-                  }};
-    ExperimentResult r = RunExperiment(config, system, MakeWorkload);
-    core::NattoServer::Stats stats = CounterRun(config, v.options);
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    const ExperimentResult& r = results[0][i];
+    const core::NattoServer::Stats& stats = counters[i];
 
     std::printf(
         "%-17s %10.1f %10.1f %8llu %8llu %8llu %6llu %6llu %8llu %8llu\n",

@@ -14,6 +14,11 @@ namespace natto::bench {
 /// repeats x 60 s with 10 s head/tail trim; that is ~20x the compute of this
 /// quick default. Set NATTO_REPEATS=10 NATTO_DURATION_S=60 to reproduce the
 /// paper's full setting.
+///
+/// Every bench fans its independent (system, datapoint, repeat) simulation
+/// cells across a thread pool (harness::ParallelRunner). NATTO_JOBS caps the
+/// worker count (default: all hardware threads; 1 = serial). The printed
+/// tables are bit-identical for any job count.
 inline harness::ExperimentConfig QuickConfig() {
   harness::ExperimentConfig config;
   config.repeats = 2;

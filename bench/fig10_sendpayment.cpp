@@ -21,19 +21,22 @@ int main() {
     return std::make_unique<workload::SmallBankWorkload>(wopts);
   };
 
-  std::vector<std::vector<double>> p95(rates.size());
-  for (size_t i = 0; i < rates.size(); ++i) {
+  std::vector<GridPoint> points;
+  for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
     config.repeats = 1;  // wide rate sweep; single seed per point
     config.duration = Seconds(10);
     config.warmup = Seconds(2);
     config.cooldown = Seconds(2);
-    config.input_rate_tps = rates[i];
+    config.input_rate_tps = rate;
     Value initial = wopts.initial_balance;
     config.default_value = [initial](Key) { return initial; };
-    for (const System& s : systems) {
-      p95[i].push_back(RunExperiment(config, s, workload).p95_high_ms.mean);
-    }
+    points.push_back({config, workload});
+  }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  std::vector<std::vector<double>> p95(rates.size());
+  for (size_t i = 0; i < rates.size(); ++i) {
+    for (const auto& r : results[i]) p95[i].push_back(r.p95_high_ms.mean);
   }
 
   PrintHeader("Fig 10: 95P HIGH-priority (sendPayment) latency increase vs "

@@ -14,21 +14,25 @@ int main() {
   std::vector<System> systems = AzureSystems();
   std::vector<double> variances = {0, 5, 15, 25, 40};  // percent
 
-  PrintHeader("Fig 11: 95P HIGH-priority latency vs delay variance, "
-              "YCSB+T @350 (ms)",
-              "var %", systems);
   auto workload = []() {
     return std::make_unique<workload::YcsbTWorkload>(
         workload::YcsbTWorkload::Options{});
   };
+  std::vector<GridPoint> points;
   for (double var : variances) {
     ExperimentConfig config = QuickConfig();
     config.input_rate_tps = 350;
     config.cluster.delay_variance_ratio = var / 100.0;
-    PrintRowStart(var);
-    for (const System& s : systems) {
-      PrintCell(RunExperiment(config, s, workload).p95_high_ms);
-    }
+    points.push_back({config, workload});
+  }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+
+  PrintHeader("Fig 11: 95P HIGH-priority latency vs delay variance, "
+              "YCSB+T @350 (ms)",
+              "var %", systems);
+  for (size_t i = 0; i < variances.size(); ++i) {
+    PrintRowStart(variances[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
     EndRow();
   }
   return 0;

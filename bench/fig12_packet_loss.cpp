@@ -16,13 +16,11 @@ int main() {
   std::vector<System> systems = AzureSystems();
   std::vector<double> losses = {0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};  // percent
 
-  PrintHeader("Fig 12: 95P HIGH-priority latency vs packet loss, "
-              "YCSB+T @100 (ms)",
-              "loss %", systems);
   auto workload = []() {
     return std::make_unique<workload::YcsbTWorkload>(
         workload::YcsbTWorkload::Options{});
   };
+  std::vector<GridPoint> points;
   for (double loss : losses) {
     ExperimentConfig config = QuickConfig();
     config.input_rate_tps = 100;
@@ -30,16 +28,20 @@ int main() {
     // 1 Gbps local cluster links (Sec 5.1).
     config.cluster.transport.link_bandwidth_bytes_per_sec = 125e6;
     config.cluster.transport.tcp_flows_per_link = 16;
-    PrintRowStart(loss);
-    std::vector<long long> failed;
-    for (const System& s : systems) {
-      harness::ExperimentResult r = RunExperiment(config, s, workload);
-      PrintCell(r.p95_high_ms);
-      failed.push_back(r.failed);
-    }
+    points.push_back({config, workload});
+  }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+
+  PrintHeader("Fig 12: 95P HIGH-priority latency vs packet loss, "
+              "YCSB+T @100 (ms)",
+              "loss %", systems);
+  for (size_t i = 0; i < losses.size(); ++i) {
+    PrintRowStart(losses[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
     EndRow();
     std::printf("  failed:  ");
-    for (long long f : failed) std::printf(" %16lld", f);
+    for (const auto& r : results[i]) std::printf(" %16lld",
+        static_cast<long long>(r.failed));
     std::printf("\n");
     std::fflush(stdout);
   }

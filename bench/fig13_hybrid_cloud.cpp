@@ -25,13 +25,14 @@ int main() {
         workload::RetwisWorkload::Options{});
   };
 
+  std::vector<std::vector<ExperimentResult>> results =
+      RunGrid({GridPoint{config, workload}}, systems);
+
   PrintHeader("Fig 13: 95P HIGH-priority latency, hybrid AWS+Azure, "
               "Retwis @1000 (ms)",
               "", systems);
   PrintRowStart(0);
-  for (const System& s : systems) {
-    PrintCell(RunExperiment(config, s, workload).p95_high_ms);
-  }
+  for (const auto& r : results[0]) PrintCell(r.p95_high_ms);
   EndRow();
   return 0;
 }

@@ -18,16 +18,13 @@ int main() {
         workload::RetwisWorkload::Options{});
   };
 
-  std::vector<std::vector<ExperimentResult>> results;
+  std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
     config.input_rate_tps = rate;
-    std::vector<ExperimentResult> row;
-    for (const System& s : systems) {
-      row.push_back(RunExperiment(config, s, workload));
-    }
-    results.push_back(std::move(row));
+    points.push_back({config, workload});
   }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
 
   PrintHeader("Fig 7(c): 95P latency, HIGH priority, Retwis (ms)", "txn/s",
               systems);

@@ -19,19 +19,16 @@ int main() {
     return std::make_unique<workload::SmallBankWorkload>(wopts);
   };
 
-  std::vector<std::vector<ExperimentResult>> results;
+  std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
     config.input_rate_tps = rate;
     // Accounts start with the workload's initial balance.
     Value initial = wopts.initial_balance;
     config.default_value = [initial](Key) { return initial; };
-    std::vector<ExperimentResult> row;
-    for (const System& s : systems) {
-      row.push_back(RunExperiment(config, s, workload));
-    }
-    results.push_back(std::move(row));
+    points.push_back({config, workload});
   }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
 
   PrintHeader("Fig 7(e): 95P latency, HIGH priority, SmallBank (ms)",
               "txn/s", systems);

@@ -16,7 +16,7 @@ int main() {
 
   {
     std::vector<System> systems = AllSystems();
-    std::vector<std::vector<ExperimentResult>> results;
+    std::vector<GridPoint> points;
     for (double theta : thetas) {
       ExperimentConfig config = QuickConfig();
       config.input_rate_tps = 50;
@@ -25,12 +25,10 @@ int main() {
         o.zipf_theta = theta;
         return std::make_unique<workload::YcsbTWorkload>(o);
       };
-      std::vector<ExperimentResult> row;
-      for (const System& s : systems) {
-        row.push_back(RunExperiment(config, s, workload));
-      }
-      results.push_back(std::move(row));
+      points.push_back({config, workload});
     }
+    std::vector<std::vector<ExperimentResult>> results =
+        RunGrid(points, systems);
     PrintHeader("Fig 8(a): 95P HIGH-priority latency vs Zipf, YCSB+T @50 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {
@@ -42,7 +40,7 @@ int main() {
 
   {
     std::vector<System> systems = AzureSystems();
-    std::vector<std::vector<ExperimentResult>> results;
+    std::vector<GridPoint> points;
     for (double theta : thetas) {
       ExperimentConfig config = QuickConfig();
       config.input_rate_tps = 100;
@@ -51,12 +49,10 @@ int main() {
         o.zipf_theta = theta;
         return std::make_unique<workload::RetwisWorkload>(o);
       };
-      std::vector<ExperimentResult> row;
-      for (const System& s : systems) {
-        row.push_back(RunExperiment(config, s, workload));
-      }
-      results.push_back(std::move(row));
+      points.push_back({config, workload});
     }
+    std::vector<std::vector<ExperimentResult>> results =
+        RunGrid(points, systems);
     PrintHeader("Fig 8(b): 95P HIGH-priority latency vs Zipf, Retwis @100 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {

@@ -13,9 +13,7 @@ int main() {
   std::vector<System> systems = PrioritySystems();
   std::vector<double> percentages = {10, 20, 40, 60, 80, 100};
 
-  PrintHeader("Fig 9: 95P HIGH-priority latency vs high-priority %, "
-              "YCSB+T @350 (ms)",
-              "high %", systems);
+  std::vector<GridPoint> points;
   for (double pct : percentages) {
     ExperimentConfig config = QuickConfig();
     config.input_rate_tps = 350;
@@ -24,10 +22,16 @@ int main() {
       o.high_priority_fraction = pct / 100.0;
       return std::make_unique<workload::YcsbTWorkload>(o);
     };
-    PrintRowStart(pct);
-    for (const System& s : systems) {
-      PrintCell(RunExperiment(config, s, workload).p95_high_ms);
-    }
+    points.push_back({config, workload});
+  }
+  std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+
+  PrintHeader("Fig 9: 95P HIGH-priority latency vs high-priority %, "
+              "YCSB+T @350 (ms)",
+              "high %", systems);
+  for (size_t i = 0; i < percentages.size(); ++i) {
+    PrintRowStart(percentages[i]);
+    for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
     EndRow();
   }
   return 0;

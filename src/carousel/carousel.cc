@@ -29,11 +29,6 @@ std::vector<std::pair<Key, Value>> LocalWrites(
   return out;
 }
 
-uint64_t NextPayloadId() {
-  static uint64_t next = 1;
-  return next++;
-}
-
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -84,7 +79,7 @@ void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
   // Replicate the prepare record; vote once durable.
   auto* co = engine_->coordinator_by_node(coord);
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), [this, co, coord, id, partition]() {
+      engine_->NextPayloadId(), [this, co, coord, id, partition]() {
         SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
           co->HandleVote(id, partition, /*replica=*/0, /*ok=*/true);
         });
@@ -104,7 +99,7 @@ void CarouselServer::HandleCommit(TxnId id,
   // become visible to other transactions only after replication (this is
   // exactly the wait Natto's LECSF removes).
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), [this, id, writes = std::move(writes)]() {
+      engine_->NextPayloadId(), [this, id, writes = std::move(writes)]() {
         for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
         prepared_.Remove(id);
         finished_.insert(id);
@@ -203,7 +198,7 @@ void CarouselFastReplica::HandleSlowPrepare(
   }
   prepared_.Add(id, read_keys, write_keys);
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), [vote]() { vote(true); });
+      engine_->NextPayloadId(), [vote]() { vote(true); });
   NATTO_CHECK(s.ok());
 }
 
@@ -337,7 +332,7 @@ void CarouselCoordinator::HandleCommitRequest(
         engine_->cluster()->topology().PartitionLedAt(site());
     NATTO_CHECK(local_partition >= 0);
     Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-        NextPayloadId(), [this, id]() {
+        engine_->NextPayloadId(), [this, id]() {
           auto it2 = txns_.find(id);
           if (it2 == txns_.end()) return;
           it2->second.own_replicated = true;

@@ -222,6 +222,19 @@ class CarouselEngine : public txn::TxnEngine {
   CarouselCoordinator* coordinator_by_node(net::NodeId node);
   CarouselGateway* gateway_by_node(net::NodeId node);
 
+  /// First replication payload id this engine family issues; each family
+  /// uses a distinct range so mixed-engine Raft logs stay readable.
+  static constexpr uint64_t kPayloadIdBase = 1;
+
+  /// Issues a replication payload id unique within this engine instance.
+  /// Must be per-instance (not a process-wide static): two engines in one
+  /// process would otherwise interleave ids, and concurrent engines would
+  /// race on the shared counter.
+  uint64_t NextPayloadId() { return next_payload_id_++; }
+
+  /// Next id to be issued (test hook for the instance-isolation invariant).
+  uint64_t next_payload_id() const { return next_payload_id_; }
+
  private:
   friend class CarouselServer;
   friend class CarouselFastReplica;
@@ -237,6 +250,7 @@ class CarouselEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<CarouselGateway>> gateways_;          // per site
   std::unordered_map<net::NodeId, CarouselCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, CarouselGateway*> gateway_by_node_;
+  uint64_t next_payload_id_ = kPayloadIdBase;
 };
 
 }  // namespace natto::carousel

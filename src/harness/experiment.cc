@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "harness/client.h"
+#include "harness/parallel_runner.h"
 #include "txn/topology.h"
 
 namespace natto::harness {
@@ -58,16 +59,13 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
   return stats;
 }
 
-ExperimentResult RunExperiment(const ExperimentConfig& config,
-                               const System& system,
-                               const WorkloadFactory& workload_factory) {
+ExperimentResult AggregateRuns(const std::string& system_name,
+                               const std::vector<RunStats>& runs) {
   ExperimentResult result;
-  result.system = system.name;
+  result.system = system_name;
   std::vector<double> p95_high, p95_low, mean_high, mean_low, goodput_low,
       goodput_total, abort_rate;
-  for (int r = 0; r < config.repeats; ++r) {
-    RunStats run =
-        RunOnce(config, system, workload_factory, config.seed + 1000ull * r);
+  for (const RunStats& run : runs) {
     p95_high.push_back(Percentile(run.latencies_high_ms, 0.95));
     p95_low.push_back(Percentile(run.latencies_low_ms, 0.95));
     mean_high.push_back(Mean(run.latencies_high_ms));
@@ -90,6 +88,57 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
   result.goodput_total_tps = Aggregated(goodput_total);
   result.abort_rate = Aggregated(abort_rate);
   return result;
+}
+
+std::vector<std::vector<ExperimentResult>> RunGrid(
+    const std::vector<GridPoint>& points, const std::vector<System>& systems,
+    int jobs) {
+  // Flatten the grid into independent cells; cell i owns stats[i], so
+  // workers never touch a shared slot and the merge below reads the cells
+  // back in submission order regardless of completion order.
+  struct Cell {
+    int point;
+    int system;
+    int repeat;
+  };
+  std::vector<Cell> cells;
+  for (int p = 0; p < static_cast<int>(points.size()); ++p) {
+    for (int s = 0; s < static_cast<int>(systems.size()); ++s) {
+      for (int r = 0; r < points[p].config.repeats; ++r) {
+        cells.push_back(Cell{p, s, r});
+      }
+    }
+  }
+  std::vector<RunStats> stats(cells.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    tasks.push_back([&points, &systems, &stats, &cells, i]() {
+      const Cell& c = cells[i];
+      const GridPoint& pt = points[c.point];
+      stats[i] = RunOnce(pt.config, systems[c.system], pt.workload,
+                         CellSeed(pt.config.seed, c.system, c.point, c.repeat));
+    });
+  }
+  ParallelRunner(jobs).Run(std::move(tasks));
+
+  std::vector<std::vector<ExperimentResult>> results(points.size());
+  size_t i = 0;
+  for (size_t p = 0; p < points.size(); ++p) {
+    for (size_t s = 0; s < systems.size(); ++s) {
+      int repeats = points[p].config.repeats;
+      std::vector<RunStats> runs(stats.begin() + i, stats.begin() + i + repeats);
+      i += static_cast<size_t>(repeats);
+      results[p].push_back(AggregateRuns(systems[s].name, runs));
+    }
+  }
+  return results;
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config,
+                               const System& system,
+                               const WorkloadFactory& workload_factory) {
+  return RunGrid({GridPoint{config, workload_factory}}, {system})[0][0];
 }
 
 void ApplyEnvOverrides(ExperimentConfig* config) {

@@ -59,7 +59,35 @@ struct ExperimentResult {
 RunStats RunOnce(const ExperimentConfig& config, const System& system,
                  const WorkloadFactory& workload_factory, uint64_t seed);
 
-/// Runs `config.repeats` runs and aggregates.
+/// Aggregates repeated runs (in repeat order) into one experiment result.
+ExperimentResult AggregateRuns(const std::string& system_name,
+                               const std::vector<RunStats>& runs);
+
+/// One x-axis datapoint of a figure grid: the full experiment configuration
+/// plus the workload it runs. The workload factory is called once per
+/// simulation cell, possibly from several threads at once, so it must be
+/// safe to invoke concurrently (value-capturing lambdas that construct a
+/// fresh Workload are — which is what every bench uses).
+struct GridPoint {
+  ExperimentConfig config;
+  WorkloadFactory workload;
+};
+
+/// Runs the full (datapoint x system x repeat) grid, fanning the mutually
+/// independent simulation cells across a ParallelRunner thread pool (job
+/// count: `jobs`, or NATTO_JOBS / hardware concurrency when <= 0).
+///
+/// Determinism: each cell runs in its own Simulator/Cluster/engine with the
+/// pure per-cell seed CellSeed(point.config.seed, system, x, repeat), and
+/// per-(point, system) RunStats merge into Aggregates in submission order —
+/// rows follow `points`, columns follow `systems`, repeats aggregate in
+/// repeat order. The output is therefore bit-identical for any job count.
+std::vector<std::vector<ExperimentResult>> RunGrid(
+    const std::vector<GridPoint>& points, const std::vector<System>& systems,
+    int jobs = 0);
+
+/// Runs `config.repeats` runs (fanned out like a one-point, one-system
+/// RunGrid) and aggregates.
 ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const System& system,
                                const WorkloadFactory& workload_factory);

@@ -99,8 +99,12 @@ std::string LatencyHistogram::ToAscii(int max_rows) const {
                     ? static_cast<int>(50.0 * static_cast<double>(c) /
                                        static_cast<double>(max_count))
                     : 0;
+    // The final row can be narrower than `per_row`; clamp its range label to
+    // the last occupied bucket so the printed upper bound never exceeds the
+    // recorded range.
     std::snprintf(line, sizeof(line), "%9.1f-%9.1f ms |%-50.*s| %llu\n",
-                  BucketLow(b), BucketHigh(b + per_row - 1), width,
+                  BucketLow(b), BucketHigh(std::min(b + per_row - 1, last)),
+                  width,
                   "##################################################",
                   static_cast<unsigned long long>(c));
     out += line;

@@ -18,11 +18,6 @@ std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
   return out;
 }
 
-uint64_t NextPayloadId() {
-  static uint64_t next = 2'000'000'000ull;
-  return next++;
-}
-
 bool Overlaps(const std::vector<Key>& a, const std::vector<Key>& b) {
   for (Key x : a) {
     for (Key y : b) {
@@ -301,7 +296,7 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
   // replication completes so it reflects the *current* conditional state:
   // a condition may resolve (or fail) while the prepare is replicating.
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), [this, id, version, coord]() {
+      engine_->NextPayloadId(), [this, id, version, coord]() {
         auto it = prepared_txns_.find(id);
         if (it == prepared_txns_.end()) return;  // aborted or CP discarded
         if (it->second.read_version != version) return;  // superseded
@@ -366,11 +361,11 @@ void NattoServer::HandleCommit(TxnId id,
     // coordinator, so make the writes visible before replicating them.
     complete(writes);
     Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-        NextPayloadId(), []() {});
+        engine_->NextPayloadId(), []() {});
     NATTO_CHECK(s.ok());
   } else {
     Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-        NextPayloadId(),
+        engine_->NextPayloadId(),
         [complete, writes = std::move(writes)]() { complete(writes); });
     NATTO_CHECK(s.ok());
   }
@@ -656,7 +651,7 @@ void NattoCoordinator::HandleRound2(TxnId id,
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
   Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-      NextPayloadId(), [this, id, generation]() {
+      engine_->NextPayloadId(), [this, id, generation]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         if (generation >= it2->second.replicated_version) {
@@ -789,7 +784,13 @@ NattoGateway::NattoGateway(NattoEngine* engine, int site, sim::NodeClock clock)
       engine_(engine) {}
 
 void NattoGateway::RefreshEstimates() {
+  if (refresh_running_) return;  // a refresh loop is already scheduled
   refresh_running_ = true;
+  RefreshTick();
+}
+
+void NattoGateway::RefreshTick() {
+  ++refresh_fetches_;
   auto* proxy = engine_->proxy_at(site());
   // Fetch the proxy's current estimates with a local round trip.
   SendTo(proxy->id(), kMessageHeaderBytes, [this, proxy]() {
@@ -805,7 +806,7 @@ void NattoGateway::RefreshEstimates() {
           for (const auto& [p, d] : ests) cached_estimates_[p] = d;
         });
   });
-  After(engine_->options().estimate_refresh, [this]() { RefreshEstimates(); });
+  After(engine_->options().estimate_refresh, [this]() { RefreshTick(); });
 }
 
 SimDuration NattoGateway::EstimatedOneWay(int partition) const {

@@ -261,13 +261,18 @@ class NattoGateway : public net::Node {
                          std::vector<txn::ReadResult> reads);
   void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
 
-  /// Periodic estimate refresh from the proxy.
+  /// Starts the periodic estimate-refresh loop from the proxy. Idempotent:
+  /// a second call while the loop is running is a no-op (without the guard
+  /// each call would spawn another self-rescheduling loop forever).
   void RefreshEstimates();
 
   SimDuration EstimatedOneWay(int partition) const;
 
   /// Prioritized transactions demoted to low priority by the quota.
   uint64_t quota_demotions() const { return quota_demotions_; }
+
+  /// Refresh fetches issued so far (test hook for the re-entrancy guard).
+  uint64_t refresh_fetches() const { return refresh_fetches_; }
 
  private:
   friend class NattoEngine;
@@ -288,6 +293,9 @@ class NattoGateway : public net::Node {
 
   void MaybeSendRound2(TxnId id);
 
+  /// One fetch of the refresh loop; reschedules itself.
+  void RefreshTick();
+
   /// Token-bucket admission for the high-priority quota; returns false when
   /// the transaction must be demoted.
   bool AdmitPrioritized();
@@ -296,6 +304,7 @@ class NattoGateway : public net::Node {
   std::unordered_map<TxnId, ClientTxn> txns_;
   std::unordered_map<int, SimDuration> cached_estimates_;  // partition -> ow
   bool refresh_running_ = false;
+  uint64_t refresh_fetches_ = 0;
   double quota_tokens_ = 0;
   SimTime quota_last_refill_ = 0;
   uint64_t quota_demotions_ = 0;
@@ -338,6 +347,19 @@ class NattoEngine : public txn::TxnEngine {
   /// Aggregated server stats.
   NattoServer::Stats TotalStats() const;
 
+  /// First replication payload id (distinct range from the other engine
+  /// families so mixed-engine Raft logs stay readable).
+  static constexpr uint64_t kPayloadIdBase = 2'000'000'000ull;
+
+  /// Issues a replication payload id unique within this engine instance.
+  /// Must be per-instance (not a process-wide static): two engines in one
+  /// process would otherwise interleave ids, and concurrent engines would
+  /// race on the shared counter.
+  uint64_t NextPayloadId() { return next_payload_id_++; }
+
+  /// Next id to be issued (test hook for the instance-isolation invariant).
+  uint64_t next_payload_id() const { return next_payload_id_; }
+
  private:
   txn::Cluster* cluster_;
   NattoOptions options_;
@@ -347,6 +369,7 @@ class NattoEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<NattoGateway>> gateways_;
   std::unordered_map<net::NodeId, NattoCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, NattoGateway*> gateway_by_node_;
+  uint64_t next_payload_id_ = kPayloadIdBase;
 };
 
 }  // namespace natto::core

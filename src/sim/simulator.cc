@@ -35,6 +35,7 @@ void Simulator::RunUntil(SimTime t) {
   while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
     Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
+    NATTO_DCHECK(ev.time >= now_);
     now_ = ev.time;
     ++executed_;
     ev.cb();

@@ -18,11 +18,6 @@ std::vector<Key> LocalKeys(const std::vector<Key>& keys, int partition,
   return out;
 }
 
-uint64_t NextPayloadId() {
-  static uint64_t next = 1'000'000'000ull;  // distinct range from carousel
-  return next++;
-}
-
 /// Wound-wait age comparison: smaller (ts, id) is older.
 bool Older(SimTime ts_a, TxnId id_a, SimTime ts_b, TxnId id_b) {
   if (ts_a != ts_b) return ts_a < ts_b;
@@ -247,7 +242,7 @@ void SpannerServer::FinishPrepare(TxnId id) {
     return;
   }
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), vote);
+      engine_->NextPayloadId(), vote);
   NATTO_CHECK(s.ok());
 }
 
@@ -261,7 +256,7 @@ void SpannerServer::HandleCommit(TxnId id) {
     return;
   }
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      NextPayloadId(), [this, id]() {
+      engine_->NextPayloadId(), [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         for (const auto& [k, v] : it2->second.writes) kv_.Apply(k, v, id);
@@ -392,7 +387,7 @@ void SpannerCoordinator::MaybeCommit(TxnId id) {
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
   Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-      NextPayloadId(), [this, id]() {
+      engine_->NextPayloadId(), [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         it2->second.own_replicated = true;

@@ -189,6 +189,19 @@ class SpannerEngine : public txn::TxnEngine {
 
   Value DebugValue(Key key) override;
 
+  /// First replication payload id (distinct range from the other engine
+  /// families so mixed-engine Raft logs stay readable).
+  static constexpr uint64_t kPayloadIdBase = 1'000'000'000ull;
+
+  /// Issues a replication payload id unique within this engine instance.
+  /// Must be per-instance (not a process-wide static): two engines in one
+  /// process would otherwise interleave ids, and concurrent engines would
+  /// race on the shared counter.
+  uint64_t NextPayloadId() { return next_payload_id_++; }
+
+  /// Next id to be issued (test hook for the instance-isolation invariant).
+  uint64_t next_payload_id() const { return next_payload_id_; }
+
  private:
   txn::Cluster* cluster_;
   SpannerOptions options_;
@@ -197,6 +210,7 @@ class SpannerEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<SpannerGateway>> gateways_;
   std::unordered_map<net::NodeId, SpannerCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, SpannerGateway*> gateway_by_node_;
+  uint64_t next_payload_id_ = kPayloadIdBase;
 };
 
 }  // namespace natto::spanner

@@ -31,6 +31,22 @@ TEST(NattoTest, EngineNamesFollowAblation) {
             "Natto-RECSF");
 }
 
+TEST(NattoTest, RefreshEstimatesGuardsAgainstDuplicateLoops) {
+  auto cluster = MakeCluster();
+  NattoEngine engine(cluster.get(), NattoOptions::Recsf());
+  NattoGateway* gw = engine.gateway_at(0);
+  // The engine constructor already started the refresh loop. Regression:
+  // a second (and third) call used to spawn extra self-rescheduling loops,
+  // doubling the fetch rate forever; now they are no-ops.
+  gw->RefreshEstimates();
+  gw->RefreshEstimates();
+  cluster->simulator()->RunUntil(Seconds(1));
+  // One loop at the default 100 ms period: the initial fetch plus ~10
+  // rescheduled ones. Duplicate loops would have produced ~2-3x this.
+  EXPECT_GE(gw->refresh_fetches(), 10u);
+  EXPECT_LE(gw->refresh_fetches(), 12u);
+}
+
 TEST(NattoTest, SingleTxnCommitsAtTimestamp) {
   auto cluster = MakeCluster();
   NattoEngine engine(cluster.get(), NattoOptions::Recsf());

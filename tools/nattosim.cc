@@ -40,6 +40,7 @@ struct Flags {
   int duration_s = 24;
   int repeats = 2;
   uint64_t seed = 42;
+  int jobs = 0;  // 0 = NATTO_JOBS env / hardware concurrency
   bool hist = false;
   bool help = false;
 };
@@ -62,6 +63,9 @@ void PrintUsage() {
       "  --duration=N      seconds per run (default 24; 1/6 trimmed each end)\n"
       "  --repeats=N       runs per configuration (default 2)\n"
       "  --seed=N          base seed (default 42)\n"
+      "  --jobs=N          worker threads for the repeat fan-out\n"
+      "                    (default: NATTO_JOBS or all hardware threads;\n"
+      "                    1 = serial; any value is bit-identical)\n"
       "  --hist            print latency histograms per priority class\n");
 }
 
@@ -107,6 +111,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->repeats = std::atoi(v.c_str());
     } else if (ParseFlag(argv[i], "--seed", &v)) {
       flags->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--jobs", &v)) {
+      flags->jobs = std::atoi(v.c_str());
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -214,7 +220,8 @@ int main(int argc, char** argv) {
               system.name.c_str(), flags.workload.c_str(),
               flags.matrix.c_str(), flags.rate, flags.zipf,
               flags.high_fraction);
-  ExperimentResult r = RunExperiment(config, system, workload);
+  ExperimentResult r =
+      RunGrid({GridPoint{config, workload}}, {system}, flags.jobs)[0][0];
   std::printf("\n%22s: %8.1f +- %.0f ms\n", "p95 high-priority",
               r.p95_high_ms.mean, r.p95_high_ms.ci95);
   std::printf("%22s: %8.1f +- %.0f ms\n", "p95 low-priority",
