@@ -1,7 +1,9 @@
 #ifndef NATTO_CAROUSEL_CAROUSEL_H_
 #define NATTO_CAROUSEL_CAROUSEL_H_
 
+#include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -135,11 +137,13 @@ class CarouselCoordinator : public net::Node {
     // count of ok replica votes.
     std::unordered_map<int, int> ok_votes;
     // Fast path: partitions whose fast quorum failed (>=1 replica said no),
-    // and their slow-path state.
-    std::unordered_map<int, int> fail_votes;
+    // and their slow-path state. Ordered: MaybeDecide walks these to start
+    // slow paths, so the message order must be partition order, not hash
+    // order.
+    std::map<int, int> fail_votes;
     std::unordered_map<int, std::vector<std::pair<Key, uint64_t>>>
         fast_versions;
-    std::unordered_set<int> version_mismatch;
+    std::set<int> version_mismatch;
     std::unordered_set<int> slow_pending;
     std::unordered_set<int> slow_ok;
     bool any_fail = false;  // basic path, or slow-path refusal

@@ -170,7 +170,9 @@ class NattoServer : public net::Node {
 
   std::map<OrderKey, TxnState> queue_;    // received, not yet processed
   std::map<OrderKey, TxnState> waiting_;  // processed high-pri, blocked
-  std::unordered_map<TxnId, TxnState> prepared_txns_;
+  // Ordered: ResolveConditions() walks this map and the resulting message
+  // order must not depend on hash layout.
+  std::map<TxnId, TxnState> prepared_txns_;
   std::unordered_set<TxnId> finished_;
   /// Largest prepare timestamp per key (late-arrival ordering checks).
   std::unordered_map<Key, SimTime> key_order_ts_;

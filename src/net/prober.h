@@ -1,7 +1,7 @@
 #ifndef NATTO_NET_PROBER_H_
 #define NATTO_NET_PROBER_H_
 
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "net/delay_estimator.h"
@@ -51,8 +51,10 @@ class Prober : public Node {
 
   Options options_;
   bool running_ = false;
-  std::unordered_map<int, Node*> targets_;
-  std::unordered_map<int, DelayEstimator> estimators_;
+  // Ordered: ProbeAll() walks targets_ and the probe send order must be a
+  // pure function of the target set, never of hash layout.
+  std::map<int, Node*> targets_;
+  std::map<int, DelayEstimator> estimators_;
 };
 
 }  // namespace natto::net

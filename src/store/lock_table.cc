@@ -140,9 +140,9 @@ void LockTable::ReleaseAll(TxnId txn) {
   if (auto it = waits_of_txn_.find(txn); it != waits_of_txn_.end()) {
     waiting.assign(it->second.begin(), it->second.end());
   }
+  // Both vectors arrive in key order (std::set) — cancel/release order, and
+  // therefore grant order, is deterministic.
   for (Key k : waiting) CancelWait(k, txn);
-  // Deterministic release order.
-  std::sort(held.begin(), held.end());
   for (Key k : held) Release(k, txn);
 }
 

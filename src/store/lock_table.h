@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/sim_time.h"
@@ -91,8 +91,11 @@ class LockTable {
   void InsertWaiter(LockState& st, Waiter w);
 
   std::unordered_map<Key, LockState> locks_;
-  std::unordered_map<TxnId, std::unordered_set<Key>> held_by_txn_;
-  std::unordered_map<TxnId, std::unordered_set<Key>> waits_of_txn_;
+  // Inner sets are ordered so ReleaseAll/HeldKeys walk keys in key order:
+  // cancel/release order feeds lock-grant order, which must never depend on
+  // hash layout.
+  std::unordered_map<TxnId, std::set<Key>> held_by_txn_;
+  std::unordered_map<TxnId, std::set<Key>> waits_of_txn_;
   uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,100 @@
+// End-to-end byte-identity regression: the property the nattolint pass
+// exists to protect. A small experiment grid is run serially and with a
+// parallel fan-out (via the NATTO_JOBS env override, the same knob the
+// benches use), each twice, and the *rendered result tables* must be
+// byte-for-byte equal across all runs — parallelism and reruns may never
+// change a printed digit.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/systems.h"
+#include "workload/ycsbt.h"
+
+namespace natto::harness {
+namespace {
+
+ExperimentConfig TinyConfig(double rate) {
+  ExperimentConfig config;
+  config.input_rate_tps = rate;
+  config.duration = Seconds(6);
+  config.warmup = Seconds(1);
+  config.cooldown = Seconds(1);
+  config.drain = Seconds(6);
+  config.repeats = 2;
+  return config;
+}
+
+WorkloadFactory TinyWorkload() {
+  return []() {
+    workload::YcsbTWorkload::Options o;
+    o.num_keys = 100000;
+    return std::make_unique<workload::YcsbTWorkload>(o);
+  };
+}
+
+/// Renders a grid result the way the figure benches do: fixed-precision
+/// printf formatting, one row per datapoint, one column per system. Any
+/// nondeterminism that survives aggregation shows up here as a byte diff.
+std::string RenderTable(const std::vector<GridPoint>& points,
+                        const std::vector<std::vector<ExperimentResult>>& grid) {
+  std::string out;
+  char buf[128];
+  for (size_t p = 0; p < grid.size(); ++p) {
+    std::snprintf(buf, sizeof(buf), "%-10.4g", points[p].config.input_rate_tps);
+    out += buf;
+    for (const ExperimentResult& r : grid[p]) {
+      std::snprintf(buf, sizeof(buf), " %s %10.1f+-%4.0f %10.1f+-%4.0f %16.1f %16.1f %lld",
+                    r.system.c_str(), r.p95_high_ms.mean, r.p95_high_ms.ci95,
+                    r.p95_low_ms.mean, r.p95_low_ms.ci95,
+                    r.goodput_low_tps.mean, r.goodput_total_tps.mean,
+                    static_cast<long long>(r.failed));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+// gtest's ASSERT_* macros need a void function, so this fills `out` instead
+// of returning the table.
+void RunAndRender(const char* jobs, std::string* out) {
+  ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
+  std::vector<System> systems = {MakeSystem(SystemKind::kCarouselBasic),
+                                 MakeSystem(SystemKind::kNattoRecsf)};
+  std::vector<GridPoint> points;
+  points.push_back({TinyConfig(20), TinyWorkload()});
+  points.push_back({TinyConfig(35), TinyWorkload()});
+  // jobs <= 0 routes through DefaultJobs(), which reads NATTO_JOBS — the
+  // exact code path every bench binary and nattosim take.
+  auto grid = RunGrid(points, systems, /*jobs=*/0);
+  *out = RenderTable(points, grid);
+}
+
+TEST(ByteIdentityTest, SerialParallelAndRerunTablesAreByteIdentical) {
+  std::string serial1, serial2, parallel1, parallel2;
+  RunAndRender("1", &serial1);
+  RunAndRender("1", &serial2);
+  RunAndRender("8", &parallel1);
+  RunAndRender("8", &parallel2);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+
+  // Rerun identity (same mode twice)...
+  EXPECT_EQ(serial1, serial2) << "serial rerun changed the rendered table";
+  EXPECT_EQ(parallel1, parallel2) << "parallel rerun changed the table";
+  // ...and the core guarantee: job count never changes a byte.
+  EXPECT_EQ(serial1, parallel1)
+      << "NATTO_JOBS=8 rendered a different table than NATTO_JOBS=1";
+
+  // Sanity: the table is non-trivial (rows rendered, traffic simulated).
+  EXPECT_NE(serial1.find("Carousel"), std::string::npos);
+  EXPECT_NE(serial1.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace natto::harness

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -133,6 +134,48 @@ TEST(RngTest, ParetoMeanMatchesFormula) {
   const int n = 200000;
   for (int i = 0; i < n; ++i) sum += rng.Pareto(xm, alpha);
   EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1), 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Logging
+// ---------------------------------------------------------------------------
+
+int CountingHelper(int* counter) {
+  ++*counter;
+  return 1;
+}
+
+TEST(LoggingTest, DcheckConditionNotEvaluatedInRelease) {
+  int cond_evals = 0;
+  // A passing condition with a counted side effect. In debug builds the
+  // condition must run (and pass); in NDEBUG builds NATTO_DCHECK is a true
+  // no-op and must not evaluate it at all.
+  NATTO_DCHECK(CountingHelper(&cond_evals) == 1);
+#ifdef NDEBUG
+  EXPECT_EQ(cond_evals, 0);
+#else
+  EXPECT_EQ(cond_evals, 1);
+#endif
+}
+
+TEST(LoggingTest, DcheckStreamedArgsNeverEvaluated) {
+  int stream_evals = 0;
+  // Streamed operands only run when a check FAILS (to build the message).
+  // On a passing debug check they are skipped; in NDEBUG the whole
+  // statement is dead code. Either way: zero evaluations.
+  NATTO_DCHECK(1 + 1 == 2) << "unexpected sum " << CountingHelper(&stream_evals);
+  EXPECT_EQ(stream_evals, 0);
+}
+
+TEST(LoggingTest, DcheckCompilesAsSingleStatementInIfElse) {
+  int branch = 0;
+  // Regression guard: the macro must behave as one statement so un-braced
+  // if/else around it keeps its meaning.
+  if (branch == 0)
+    NATTO_DCHECK(branch == 0) << "streamed " << branch;
+  else
+    branch = 2;
+  EXPECT_EQ(branch, 0);
 }
 
 }  // namespace

@@ -1,0 +1,17 @@
+// Fixture: NATTO_CHECK / NATTO_DCHECK with side-effecting conditions
+// (4 violations).
+#include "common/logging.h"
+
+void Violations(int x, int n, bool* done) {
+  NATTO_CHECK(++x > 0);          // increment: flagged
+  NATTO_CHECK(n-- != 0);         // decrement: flagged
+  NATTO_DCHECK(x = n);           // assignment: flagged
+  NATTO_CHECK(*done = true);     // assignment through pointer: flagged
+}
+
+void NotViolations(int x, int n, const bool* done) {
+  NATTO_CHECK(x == n);
+  NATTO_CHECK(x <= n) << "x too large";
+  NATTO_DCHECK(x >= 0 && n != 4);
+  NATTO_CHECK(*done == true);
+}

@@ -1,0 +1,18 @@
+// Fixture: ambient randomness, one kind per line (4 violations).
+#include <cstdlib>
+#include <random>
+
+void RngViolations() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  std::mt19937_64 gen64;
+  int x = std::rand();
+  (void)x;
+}
+
+void NotViolations() {
+  // A seeded engine owned by natto::Rng is the only allowed source; this
+  // fixture just checks identifiers containing the banned words are fine.
+  int my_mt19937_count = 0;  // no left word boundary: not flagged
+  (void)my_mt19937_count;
+}

@@ -1,0 +1,19 @@
+// Fixture: banned tokens inside comments, strings, char and raw literals
+// must be ignored (0 violations).
+//
+// In a comment: std::chrono::system_clock, std::rand(), time(nullptr),
+// static int counter = 0; NATTO_CHECK(++x)
+#include <string>
+
+/* block comment mentioning gettimeofday and std::mt19937_64 engines
+   spanning lines, plus for (auto& kv : some_unordered_map_) */
+
+const char* Banner() {
+  return "uses std::random_device and steady_clock::now() in a string";
+}
+
+std::string Raw() {
+  return R"(raw literal: srand(42); static long hits = 0; time(0))";
+}
+
+char TimeChar() { return 't'; }  // 'time' letters only

@@ -1,0 +1,32 @@
+// Fixture: every rule violated once, every violation suppressed (0 findings
+// expected), plus one mismatched suppression that must NOT work.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+void Suppressed() {
+  auto t = std::chrono::steady_clock::now();  // NOLINT(natto-wallclock)
+  // NOLINTNEXTLINE(natto-ambient-rng)
+  int r = std::rand();
+  static int calls = 0;  // NOLINT(natto-mutable-static)
+  std::unordered_map<int, int> counts;
+  // NOLINTNEXTLINE(natto-unordered-iter): order feeds nothing here
+  for (const auto& [k, v] : counts) (void)k, (void)v;
+  int x = 0;
+  NATTO_CHECK(++x > 0);  // NOLINT(natto-check-side-effect)
+  (void)t, (void)r, (void)calls;
+}
+
+void WildcardAndBare() {
+  auto t = std::chrono::system_clock::now();  // NOLINT(natto-*)
+  int r = std::rand();                        // NOLINT
+  (void)t, (void)r;
+}
+
+void WrongRule(int x) {
+  // A suppression for a different rule must not silence this finding.
+  NATTO_CHECK(++x > 0);  // NOLINT(natto-wallclock) -- still 1 violation
+}

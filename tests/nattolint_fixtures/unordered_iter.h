@@ -1,0 +1,22 @@
+// Fixture header: sibling-header context for unordered_iter_bad.cc.
+#ifndef TESTS_NATTOLINT_FIXTURES_UNORDERED_ITER_H_
+#define TESTS_NATTOLINT_FIXTURES_UNORDERED_ITER_H_
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct TxnState {
+  std::unordered_map<int, int> votes;
+  std::unordered_set<long> mismatches;
+  std::vector<std::pair<int, int>> writes;  // ordered: fine to iterate
+};
+
+class Coordinator {
+ private:
+  std::unordered_map<long, TxnState> txns_;
+  std::map<long, TxnState> queue_;  // ordered: fine to iterate
+};
+
+#endif  // TESTS_NATTOLINT_FIXTURES_UNORDERED_ITER_H_

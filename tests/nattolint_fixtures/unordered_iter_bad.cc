@@ -1,0 +1,34 @@
+// Fixture: range-for over unordered containers (4 violations). The test
+// feeds unordered_iter.h as the sibling-header context.
+#include <unordered_map>
+#include <vector>
+
+#include "unordered_iter.h"
+
+void Violations(TxnState& st, Coordinator* c) {
+  (void)c;
+  for (const auto& [p, v] : st.votes) {        // member field: flagged
+    (void)p, (void)v;
+  }
+  for (long m : st.mismatches) (void)m;        // member field: flagged
+  std::unordered_map<int, double> local_rates;
+  for (const auto& [k, r] : local_rates) {     // local declaration: flagged
+    (void)k, (void)r;
+  }
+}
+
+class Scanner {
+  std::unordered_map<int, int> index_;
+  int Sum() {
+    int total = 0;
+    for (const auto& [k, v] : index_) total += v;  // member by _: flagged
+    return total;
+  }
+};
+
+void NotViolations(TxnState& st, Coordinator& c, std::vector<int> votes) {
+  // Ordered containers and same-named ordered locals are fine.
+  for (const auto& [k, v] : st.writes) (void)k, (void)v;
+  for (int v : votes) (void)v;  // plain local: only .cc declarations count
+  (void)st, (void)c;
+}

@@ -1,0 +1,27 @@
+// Fixture: every banned wall-clock API, one per line (5 violations).
+#include <chrono>
+#include <ctime>
+#include <sys/time.h>
+
+void WallclockViolations() {
+  auto a = std::chrono::system_clock::now();
+  auto b = std::chrono::steady_clock::now();
+  auto c = std::chrono::high_resolution_clock::now();
+  time_t t = time(nullptr);
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);
+  (void)a, (void)b, (void)c, (void)t;
+}
+
+struct Sim {
+  // Declaring a member *named* time( trips the heuristic; call sites like
+  // s.time(0) do not. Suppression is the documented escape hatch.
+  long time(int) { return 0; }  // NOLINT(natto-wallclock)
+};
+
+void NotViolations(Sim& s) {
+  // Member calls and differently-cased names are not wall clocks.
+  long x = s.time(0);
+  long AtLocalTime = 3;  // identifier containing "time" is fine
+  (void)x, (void)AtLocalTime;
+}

@@ -1,0 +1,202 @@
+// Fixture tests for tools/nattolint: every rule fires on its seeded fixture,
+// every suppression path works, and comment/string stripping kills false
+// positives. The fixtures live in tests/nattolint_fixtures/ and are scanned,
+// never compiled.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nattolint_lib.h"
+
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  std::string path = std::string(NATTOLINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<nattolint::Violation> LintFixture(
+    const std::string& name,
+    const std::set<std::string>& header_names = {}) {
+  // Fixtures are linted under a src/-relative pseudo-path so directory
+  // exemptions behave as they do in the real tree.
+  return nattolint::LintContent("src/fixture/" + name, ReadFixture(name),
+                                header_names);
+}
+
+std::map<std::string, int> CountByRule(
+    const std::vector<nattolint::Violation>& vs) {
+  std::map<std::string, int> out;
+  for (const auto& v : vs) out[v.rule] += 1;
+  return out;
+}
+
+std::vector<int> LinesOf(const std::vector<nattolint::Violation>& vs) {
+  std::vector<int> out;
+  for (const auto& v : vs) out.push_back(v.line);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: natto-wallclock
+// ---------------------------------------------------------------------------
+
+TEST(NattolintWallclock, FlagsEveryWallclockApi) {
+  auto vs = LintFixture("wallclock_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-wallclock"], 5) << "system_clock, steady_clock, "
+                                              "high_resolution_clock, time(, "
+                                              "gettimeofday";
+  EXPECT_EQ(static_cast<int>(vs.size()), 5) << "no other rules should fire";
+}
+
+TEST(NattolintWallclock, SimDirectoryIsExempt) {
+  // The same content under src/sim/ is clean: the simulator owns the clock.
+  auto vs = nattolint::LintContent("src/sim/fixture.cc",
+                                   ReadFixture("wallclock_bad.cc"), {});
+  EXPECT_TRUE(vs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: natto-ambient-rng
+// ---------------------------------------------------------------------------
+
+TEST(NattolintRng, FlagsAmbientRandomness) {
+  auto vs = LintFixture("rng_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-ambient-rng"], 4)
+      << "random_device, mt19937, mt19937_64, std::rand";
+  EXPECT_EQ(static_cast<int>(vs.size()), 4);
+}
+
+TEST(NattolintRng, RngHeaderIsExempt) {
+  // common/rng.h is the one place allowed to own a raw engine.
+  auto vs = nattolint::LintContent("src/common/rng.h",
+                                   ReadFixture("rng_bad.cc"), {});
+  EXPECT_TRUE(vs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: natto-mutable-static
+// ---------------------------------------------------------------------------
+
+TEST(NattolintStatic, FlagsMutableStaticsOnly) {
+  auto vs = LintFixture("static_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-mutable-static"], 3)
+      << "local static counter, local static vector, static data member";
+  EXPECT_EQ(static_cast<int>(vs.size()), 3)
+      << "static functions / constexpr / const tables must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: natto-unordered-iter
+// ---------------------------------------------------------------------------
+
+TEST(NattolintUnordered, FlagsRangeForOverUnordered) {
+  std::set<std::string> header_names =
+      nattolint::CollectUnorderedNames(ReadFixture("unordered_iter.h"));
+  EXPECT_TRUE(header_names.count("votes"));
+  EXPECT_TRUE(header_names.count("mismatches"));
+  EXPECT_TRUE(header_names.count("txns_"));
+  EXPECT_FALSE(header_names.count("writes")) << "vector member not collected";
+  EXPECT_FALSE(header_names.count("queue_")) << "std::map member not collected";
+
+  auto vs = LintFixture("unordered_iter_bad.cc", header_names);
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-unordered-iter"], 4)
+      << "two member fields, one unordered local, one _-suffixed member";
+  EXPECT_EQ(static_cast<int>(vs.size()), 4);
+}
+
+TEST(NattolintUnordered, HeadersAreNotScannedForIteration) {
+  // The rule targets translation units; the header itself is clean.
+  auto vs = nattolint::LintContent("src/fixture/unordered_iter.h",
+                                   ReadFixture("unordered_iter.h"), {});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(NattolintUnordered, PlainLocalsIgnoreHeaderContext) {
+  // A plain (non-member) identifier that happens to share a name with an
+  // unordered header member is NOT flagged: only .cc-local declarations
+  // count for plain locals.
+  std::string code =
+      "void F(const std::vector<int>& votes) {\n"
+      "  for (int v : votes) { (void)v; }\n"
+      "}\n";
+  auto vs = nattolint::LintContent("src/fixture/plain.cc", code, {"votes"});
+  EXPECT_TRUE(vs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: natto-check-side-effect
+// ---------------------------------------------------------------------------
+
+TEST(NattolintCheck, FlagsSideEffectingConditions) {
+  auto vs = LintFixture("check_side_effect_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-check-side-effect"], 4)
+      << "++, --, assignment, assignment-through-pointer";
+  EXPECT_EQ(static_cast<int>(vs.size()), 4)
+      << "comparisons (==, <=, >=, !=) must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions & stripping
+// ---------------------------------------------------------------------------
+
+TEST(NattolintSuppression, NolintAndNolintNextlineSuppress) {
+  auto vs = LintFixture("suppressed_ok.cc");
+  ASSERT_EQ(static_cast<int>(vs.size()), 1)
+      << "everything suppressed except the wrong-rule NOLINT";
+  EXPECT_EQ(vs[0].rule, "natto-check-side-effect");
+}
+
+TEST(NattolintSuppression, WrongRuleNolintDoesNotSuppress) {
+  auto vs = LintFixture("suppressed_ok.cc");
+  ASSERT_EQ(static_cast<int>(vs.size()), 1);
+  // The surviving violation is the NATTO_CHECK(++x) guarded only by a
+  // NOLINT(natto-wallclock).
+  EXPECT_NE(std::string::npos, vs[0].message.find("side effects"));
+}
+
+TEST(NattolintStripping, CommentsAndStringsAreInvisible) {
+  auto vs = LintFixture("strings_comments_ok.cc");
+  EXPECT_TRUE(vs.empty()) << (vs.empty() ? ""
+                                         : nattolint::FormatViolation(vs[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Formatting / plumbing
+// ---------------------------------------------------------------------------
+
+TEST(NattolintFormat, ViolationRendersPathLineRule) {
+  auto vs = LintFixture("static_bad.cc");
+  ASSERT_FALSE(vs.empty());
+  std::string s = nattolint::FormatViolation(vs[0]);
+  EXPECT_NE(std::string::npos, s.find("static_bad.cc:"));
+  EXPECT_NE(std::string::npos, s.find("[natto-mutable-static]"));
+}
+
+TEST(NattolintFormat, ViolationLinesAreOneBasedAndSorted) {
+  auto vs = LintFixture("wallclock_bad.cc");
+  auto lines = LinesOf(vs);
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_GE(lines.front(), 1);
+  EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+}
+
+// The real-tree guarantee (zero violations in src/ bench/ tools/) is its own
+// ctest entry: the `nattolint` test runs `nattolint --root <repo>` directly.
+
+}  // namespace

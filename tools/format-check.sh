@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Checks that every tracked C++ source file satisfies the repo .clang-format
+# (Google style, 80 cols). Read-only: uses --dry-run -Werror, never rewrites.
+#
+# Usage: tools/format-check.sh [--fix]
+#   --fix  rewrite files in place instead of checking.
+#
+# Exits 0 when clean (or when clang-format is not installed — the check is
+# advisory on dev boxes without LLVM; CI installs clang-format and enforces).
+set -u
+
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format > /dev/null 2>&1; then
+  echo "format-check: clang-format not found; skipping (CI enforces)." >&2
+  exit 0
+fi
+
+mode="--dry-run -Werror"
+if [ "${1:-}" = "--fix" ]; then
+  mode="-i"
+fi
+
+# Tracked sources only: fixtures under tests/nattolint_fixtures/ are linter
+# inputs with deliberate style crimes, so they are excluded.
+files=$(git ls-files 'src/**/*.h' 'src/**/*.cc' 'bench/*.cpp' 'bench/*.h' \
+  'tools/**/*.h' 'tools/**/*.cc' 'tests/*.cc' 'tests/*.h' 'examples/*.cpp')
+
+status=0
+# shellcheck disable=SC2086
+for f in $files; do
+  if ! clang-format $mode --style=file "$f"; then
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "format-check: style violations found; run tools/format-check.sh --fix" >&2
+fi
+exit "$status"

@@ -1,0 +1,93 @@
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nattolint_lib.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "nattolint: determinism/invariant static analysis for this repo.\n"
+      "\n"
+      "Usage:\n"
+      "  nattolint --root <repo-root>     lint src/ bench/ tools/ under root\n"
+      "  nattolint <file>...              lint individual files\n"
+      "\n"
+      "Exit status: 0 = clean, 1 = violations found, 2 = usage error.\n"
+      "Suppress a finding with // NOLINT(natto-<rule>) on the line or\n"
+      "// NOLINTNEXTLINE(natto-<rule>) on the line before.\n"
+      "Rules: natto-wallclock, natto-ambient-rng, natto-mutable-static,\n"
+      "       natto-unordered-iter, natto-check-side-effect.\n");
+}
+
+std::string ReadFileOrDie(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return "";
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *ok = true;
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nattolint: --root needs a value\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "nattolint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (root.empty() && files.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  std::vector<nattolint::Violation> violations;
+  if (!root.empty()) {
+    violations = nattolint::LintTree(root);
+  }
+  for (const std::string& f : files) {
+    bool ok = false;
+    std::string content = ReadFileOrDie(f, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "nattolint: cannot read '%s'\n", f.c_str());
+      return 2;
+    }
+    std::vector<nattolint::Violation> v = nattolint::LintContent(f, content, {});
+    violations.insert(violations.end(), v.begin(), v.end());
+  }
+
+  for (const nattolint::Violation& v : violations) {
+    std::fprintf(stderr, "%s\n", nattolint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::fprintf(stderr, "nattolint: %zu violation(s)\n", violations.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,737 @@
+#include "nattolint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace nattolint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True iff `text` contains `word` with identifier boundaries on both sides.
+bool ContainsWord(const std::string& text, const std::string& word) {
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    size_t end = pos + word.size();
+    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+size_t SkipSpaces(const std::string& s, size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+std::string ReadIdent(const std::string& s, size_t i) {
+  size_t start = i;
+  while (i < s.size() && IsIdentChar(s[i])) ++i;
+  return s.substr(start, i - start);
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+/// Normalizes a path for textual matching: backslashes to slashes, strips
+/// leading "./".
+std::string NormPath(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  while (HasPrefix(p, "./")) p = p.substr(2);
+  return p;
+}
+
+bool PathContainsDir(const std::string& norm, const std::string& dir) {
+  // Matches "dir/" either at the start or after a '/'.
+  if (HasPrefix(norm, dir + "/")) return true;
+  return norm.find("/" + dir + "/") != std::string::npos;
+}
+
+bool IsTranslationUnit(const std::string& norm) {
+  return HasSuffix(norm, ".cc") || HasSuffix(norm, ".cpp");
+}
+
+bool IsSourceFile(const std::string& norm) {
+  return IsTranslationUnit(norm) || HasSuffix(norm, ".h") ||
+         HasSuffix(norm, ".hpp");
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+/// Parses the NOLINT rule list out of one line's comment text. Returns true
+/// if `rule` is suppressed: bare NOLINT and NOLINT(natto-*) suppress every
+/// natto rule, NOLINT(natto-foo) only that one. `marker` is "NOLINT" or
+/// "NOLINTNEXTLINE".
+bool CommentSuppresses(const std::string& comment, const std::string& marker,
+                       const std::string& rule) {
+  size_t pos = 0;
+  while ((pos = comment.find(marker, pos)) != std::string::npos) {
+    size_t end = pos + marker.size();
+    // Reject NOLINTNEXTLINE when looking for NOLINT.
+    if (end < comment.size() && IsIdentChar(comment[end]) &&
+        comment[end] != '(') {
+      pos = end;
+      continue;
+    }
+    if (end >= comment.size() || comment[end] != '(') {
+      if (marker == "NOLINT" && end < comment.size() &&
+          HasPrefix(comment.substr(pos), "NOLINTNEXTLINE")) {
+        pos = end;
+        continue;
+      }
+      return true;  // bare marker: suppress everything
+    }
+    size_t close = comment.find(')', end);
+    if (close == std::string::npos) return true;  // malformed: be lenient
+    std::string list = comment.substr(end + 1, close - end - 1);
+    std::istringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      size_t a = item.find_first_not_of(" \t");
+      size_t b = item.find_last_not_of(" \t");
+      if (a == std::string::npos) continue;
+      item = item.substr(a, b - a + 1);
+      if (item == rule || item == "natto-*") return true;
+    }
+    pos = close;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+/// Wall-clock call tokens banned outside src/sim/. `time(` and friends need
+/// a word boundary and must not be member accesses (`.time(`, `->time(`,
+/// `::time(` on a non-std qualifier are still flagged only for the exact
+/// libc spellings below).
+const char* const kWallclockTokens[] = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "gettimeofday",  "clock_gettime", "localtime",
+    "gmtime",        "mktime",        "strftime",
+};
+
+bool LineHasWallclock(const std::string& code, std::string* what) {
+  for (const char* tok : kWallclockTokens) {
+    if (ContainsWord(code, tok)) {
+      *what = tok;
+      return true;
+    }
+  }
+  // Bare `time(`: word-bounded, not a member/qualified call like `.time(`.
+  size_t pos = 0;
+  while ((pos = code.find("time", pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + 4;
+    size_t after = SkipSpaces(code, end);
+    bool calls = after < code.size() && code[after] == '(';
+    if (left_ok && calls) {
+      // Allow member access: scan backwards over whitespace for '.', "->",
+      // or ':' (method calls and qualified non-libc names).
+      size_t b = pos;
+      while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1]))) {
+        --b;
+      }
+      bool member = b > 0 && (code[b - 1] == '.' || code[b - 1] == ':' ||
+                              (b > 1 && code[b - 2] == '-' &&
+                               code[b - 1] == '>'));
+      if (!member) {
+        *what = "time(";
+        return true;
+      }
+    }
+    pos = end;
+  }
+  return false;
+}
+
+const char* const kRngTokens[] = {
+    "std::rand",   "srand",         "random_device", "default_random_engine",
+    "mt19937",     "minstd_rand",   "ranlux24",      "ranlux48",
+    "knuth_b",
+};
+
+bool LineHasAmbientRng(const std::string& code, std::string* what) {
+  for (const char* tok : kRngTokens) {
+    // mt19937 must also catch mt19937_64: match by prefix with a left
+    // boundary only.
+    size_t pos = 0;
+    while ((pos = code.find(tok, pos)) != std::string::npos) {
+      bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+      // "std::rand" needs a right boundary so "std::random_device" is not
+      // double-reported under it; prefix tokens (mt19937*) do not.
+      std::string t(tok);
+      bool needs_right = (t == "std::rand" || t == "srand" || t == "knuth_b");
+      size_t end = pos + t.size();
+      bool right_ok =
+          !needs_right || end >= code.size() || !IsIdentChar(code[end]);
+      if (left_ok && right_ok) {
+        *what = t;
+        return true;
+      }
+      pos += 1;
+    }
+  }
+  return false;
+}
+
+/// Mutable static detection. Finds a word-bounded `static`, skips
+/// storage/qualifier tokens that keep it mutable (`inline`, `thread_local`),
+/// and bails on `const`/`constexpr`/`constinit`/`static_assert`. Then scans
+/// the rest of the line: hitting `(` first means a function declaration
+/// (fine); hitting `=`, `{`, `;`, or end-of-line means a variable
+/// declaration (flagged).
+bool LineHasMutableStatic(const std::string& code) {
+  size_t pos = 0;
+  while ((pos = code.find("static", pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + 6;
+    if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
+      pos = end;  // static_assert, static_cast, SomeStaticName, ...
+      continue;
+    }
+    size_t i = SkipSpaces(code, end);
+    // Skip qualifiers that do not affect mutability.
+    for (;;) {
+      std::string word = ReadIdent(code, i);
+      if (word == "inline" || word == "thread_local") {
+        i = SkipSpaces(code, i + word.size());
+        continue;
+      }
+      if (word == "const" || word == "constexpr" || word == "constinit") {
+        return false;  // immutable: fine
+      }
+      break;
+    }
+    // First structural character decides: '(' = function, else variable.
+    for (size_t j = i; j < code.size(); ++j) {
+      char c = code[j];
+      if (c == '(') return false;
+      if (c == '=' || c == '{' || c == ';') return true;
+      if (c == '<') {
+        // Balance template args so Foo<decltype(x)> parens don't fool us.
+        int depth = 1;
+        ++j;
+        while (j < code.size() && depth > 0) {
+          if (code[j] == '<') ++depth;
+          if (code[j] == '>') --depth;
+          ++j;
+        }
+        --j;
+      }
+    }
+    return true;  // declaration continues on the next line: be conservative
+  }
+  return false;
+}
+
+/// Extracts identifiers declared with unordered container types from one
+/// file. Understands `std::unordered_map<...> name1, name2;` including
+/// nested templates; skips `::iterator` uses and function declarations.
+void CollectUnorderedNamesInto(const std::string& content,
+                               std::set<std::string>* out) {
+  static const char* const kTypes[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (const char* type : kTypes) {
+    size_t pos = 0;
+    std::string needle = std::string(type) + "<";
+    while ((pos = content.find(needle, pos)) != std::string::npos) {
+      bool left_ok = pos == 0 || !IsIdentChar(content[pos - 1]);
+      size_t i = pos + needle.size();
+      pos = i;
+      if (!left_ok) continue;
+      // Balance angle brackets to find the end of the template args.
+      int depth = 1;
+      while (i < content.size() && depth > 0) {
+        if (content[i] == '<') ++depth;
+        if (content[i] == '>') --depth;
+        ++i;
+      }
+      if (depth != 0) continue;
+      i = SkipSpaces(content, i);
+      if (i + 1 < content.size() && content[i] == ':' &&
+          content[i + 1] == ':') {
+        continue;  // ...>::iterator etc.
+      }
+      // Declarator list: name [, name]*; references/pointers included.
+      for (;;) {
+        while (i < content.size() &&
+               (content[i] == '&' || content[i] == '*')) {
+          i = SkipSpaces(content, i + 1);
+        }
+        if (i >= content.size() || !IsIdentStart(content[i])) break;
+        std::string name = ReadIdent(content, i);
+        i += name.size();
+        size_t after = SkipSpaces(content, i);
+        if (after < content.size() && content[after] == '(') {
+          break;  // function returning an unordered container
+        }
+        out->insert(name);
+        if (after < content.size() && content[after] == ',') {
+          i = SkipSpaces(content, after + 1);
+          continue;
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Finds every range-for in `code` (one scrubbed line) and reports the
+/// iterated expression(s). Only single-line `for (decl : expr)` headers are
+/// recognized — the codebase's formatter keeps them on one line.
+std::vector<std::string> RangeForExprs(const std::string& code) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = code.find("for", pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t end = pos + 3;
+    if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
+      pos = end;
+      continue;
+    }
+    size_t open = SkipSpaces(code, end);
+    if (open >= code.size() || code[open] != '(') {
+      pos = end;
+      continue;
+    }
+    int depth = 1;
+    size_t i = open + 1;
+    size_t colon = std::string::npos;
+    while (i < code.size() && depth > 0) {
+      char c = code[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') --depth;
+      if (c == ':' && depth == 1) {
+        bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
+                   (i > 0 && code[i - 1] == ':');
+        if (!dbl && colon == std::string::npos) colon = i;
+      }
+      ++i;
+    }
+    if (depth == 0 && colon != std::string::npos) {
+      std::string expr = code.substr(colon + 1, (i - 1) - (colon + 1));
+      size_t a = expr.find_first_not_of(" \t");
+      size_t b = expr.find_last_not_of(" \t");
+      if (a != std::string::npos) out.push_back(expr.substr(a, b - a + 1));
+    }
+    pos = i;
+  }
+  return out;
+}
+
+/// Resolves a range-for expression to the name checked against the unordered
+/// context. Returns {name, is_field_or_member}: `st.votes` -> {"votes",
+/// true}, `queue_` -> {"queue_", true}, `reads` -> {"reads", false}.
+/// Expressions the scanner cannot type (calls, indexing, casts) return "".
+std::pair<std::string, bool> IterTargetName(std::string expr) {
+  if (expr.find('(') != std::string::npos ||
+      expr.find('[') != std::string::npos) {
+    return {"", false};
+  }
+  while (!expr.empty() && (expr[0] == '*' || expr[0] == '&')) {
+    expr = expr.substr(1);
+  }
+  bool field = false;
+  size_t dot = expr.rfind('.');
+  size_t arrow = expr.rfind("->");
+  size_t cut = std::string::npos;
+  if (dot != std::string::npos) cut = dot + 1;
+  if (arrow != std::string::npos && (cut == std::string::npos || arrow + 2 > cut)) {
+    cut = arrow + 2;
+  }
+  if (cut != std::string::npos) {
+    expr = expr.substr(cut);
+    field = true;
+  }
+  if (expr.empty() || !IsIdentStart(expr[0])) return {"", false};
+  for (char c : expr) {
+    if (!IsIdentChar(c)) return {"", false};
+  }
+  // Trailing-underscore identifiers are members by convention.
+  if (!field && HasSuffix(expr, "_")) field = true;
+  return {expr, field};
+}
+
+/// Balanced argument text of each `MACRO(...)` occurrence in `code`.
+std::vector<std::string> MacroArgs(const std::string& code,
+                                   const std::string& macro) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = code.find(macro, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    size_t open = pos + macro.size();
+    if (!left_ok || open >= code.size() || code[open] != '(') {
+      pos = open;
+      continue;
+    }
+    int depth = 1;
+    size_t i = open + 1;
+    while (i < code.size() && depth > 0) {
+      if (code[i] == '(') ++depth;
+      if (code[i] == ')') --depth;
+      ++i;
+    }
+    out.push_back(code.substr(open + 1, (i - 1) - (open + 1)));
+    pos = i;
+  }
+  return out;
+}
+
+/// True if a check condition contains ++, --, or an assignment (including
+/// compound assignments, which also mutate). Comparison operators ==, !=,
+/// <=, >= and the spaceship are not flagged.
+bool HasSideEffect(const std::string& arg) {
+  for (size_t i = 0; i + 1 < arg.size(); ++i) {
+    if ((arg[i] == '+' && arg[i + 1] == '+') ||
+        (arg[i] == '-' && arg[i + 1] == '-')) {
+      return true;
+    }
+  }
+  for (size_t i = 0; i < arg.size(); ++i) {
+    if (arg[i] != '=') continue;
+    char prev = i > 0 ? arg[i - 1] : ' ';
+    char next = i + 1 < arg.size() ? arg[i + 1] : ' ';
+    if (next == '=') {
+      ++i;  // skip the second '=' of ==
+      continue;
+    }
+    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') continue;
+    if (prev == '[') continue;  // lambda capture [=]
+    return true;  // plain or compound assignment
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scrub
+// ---------------------------------------------------------------------------
+
+std::vector<ScrubbedLine> Scrub(const std::string& content) {
+  std::vector<ScrubbedLine> lines;
+  lines.emplace_back();
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  size_t i = 0;
+  auto cur = [&]() -> ScrubbedLine& { return lines.back(); };
+  while (i < content.size()) {
+    char c = content[i];
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      // Unterminated ordinary literals do not span lines.
+      if (state == State::kString || state == State::kChar) {
+        state = State::kCode;
+      }
+      lines.emplace_back();
+      ++i;
+      continue;
+    }
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kLineComment;
+          cur().code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          state = State::kBlockComment;
+          cur().code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == 'R' && i + 1 < content.size() && content[i + 1] == '"' &&
+            (i == 0 || !IsIdentChar(content[i - 1]))) {
+          size_t open = content.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
+            state = State::kRawString;
+            cur().code += std::string(open - i + 1, ' ');
+            i = open + 1;
+            continue;
+          }
+        }
+        if (c == '"') {
+          state = State::kString;
+          cur().code += ' ';
+          ++i;
+          continue;
+        }
+        if (c == '\'') {
+          state = State::kChar;
+          cur().code += ' ';
+          ++i;
+          continue;
+        }
+        cur().code += c;
+        ++i;
+        break;
+      }
+      case State::kLineComment:
+        cur().comment += c;
+        cur().code += ' ';
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          state = State::kCode;
+          cur().code += "  ";
+          i += 2;
+          continue;
+        }
+        cur().comment += c;
+        cur().code += ' ';
+        ++i;
+        break;
+      case State::kString:
+      case State::kChar: {
+        char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && i + 1 < content.size()) {
+          cur().code += "  ";
+          i += 2;
+          continue;
+        }
+        if (c == quote) state = State::kCode;
+        cur().code += ' ';
+        ++i;
+        break;
+      }
+      case State::kRawString: {
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          state = State::kCode;
+          cur().code += std::string(raw_delim.size(), ' ');
+          i += raw_delim.size();
+          continue;
+        }
+        cur().code += ' ';
+        ++i;
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+std::set<std::string> CollectUnorderedNames(const std::string& content) {
+  std::vector<ScrubbedLine> lines = Scrub(content);
+  std::string code;
+  for (const ScrubbedLine& l : lines) {
+    code += l.code;
+    code += '\n';
+  }
+  std::set<std::string> out;
+  CollectUnorderedNamesInto(code, &out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LintContent
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> LintContent(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& header_unordered_names) {
+  std::vector<Violation> out;
+  std::string norm = NormPath(path);
+  if (!IsSourceFile(norm)) return out;
+
+  bool wallclock_exempt = PathContainsDir(norm, "src/sim") ||
+                          HasPrefix(norm, "sim/");
+  bool rng_exempt = HasSuffix(norm, "common/rng.h");
+  bool is_tu = IsTranslationUnit(norm);
+
+  std::vector<ScrubbedLine> lines = Scrub(content);
+
+  // Names declared unordered in this very file (any scope — the scanner does
+  // not track scopes): plain locals are checked against these only, while
+  // member accesses also consult the sibling-header context.
+  std::set<std::string> local_names;
+  {
+    std::string all_code;
+    for (const ScrubbedLine& l : lines) {
+      all_code += l.code;
+      all_code += '\n';
+    }
+    CollectUnorderedNamesInto(all_code, &local_names);
+  }
+  std::set<std::string> unordered_names = header_unordered_names;
+  unordered_names.insert(local_names.begin(), local_names.end());
+
+  auto suppressed = [&](size_t idx, const std::string& rule) {
+    if (CommentSuppresses(lines[idx].comment, "NOLINT", rule)) return true;
+    if (idx > 0 &&
+        CommentSuppresses(lines[idx - 1].comment, "NOLINTNEXTLINE", rule)) {
+      return true;
+    }
+    return false;
+  };
+  auto add = [&](size_t idx, const std::string& rule, std::string msg) {
+    if (suppressed(idx, rule)) return;
+    out.push_back(Violation{path, static_cast<int>(idx) + 1, rule,
+                            std::move(msg)});
+  };
+
+  for (size_t idx = 0; idx < lines.size(); ++idx) {
+    const std::string& code = lines[idx].code;
+    if (code.find_first_not_of(" \t") == std::string::npos) continue;
+
+    if (!wallclock_exempt) {
+      std::string what;
+      if (LineHasWallclock(code, &what)) {
+        add(idx, "natto-wallclock",
+            "wall-clock API '" + what +
+                "' outside src/sim/; simulations must use SimTime "
+                "(sim/clock.h)");
+      }
+    }
+    if (!rng_exempt) {
+      std::string what;
+      if (LineHasAmbientRng(code, &what)) {
+        add(idx, "natto-ambient-rng",
+            "ambient randomness '" + what +
+                "'; all RNG must flow through a seeded natto::Rng "
+                "(common/rng.h)");
+      }
+    }
+    if (LineHasMutableStatic(code)) {
+      add(idx, "natto-mutable-static",
+          "mutable static state; engines must be instance-isolated "
+          "(state shared across simulation cells breaks run identity)");
+    }
+    if (is_tu) {
+      for (const std::string& expr : RangeForExprs(code)) {
+        auto [name, is_member] = IterTargetName(expr);
+        if (name.empty()) continue;
+        bool hit = is_member ? (unordered_names.count(name) > 0)
+                             : (local_names.count(name) > 0);
+        if (hit) {
+          add(idx, "natto-unordered-iter",
+              "range-for over unordered container '" + expr +
+                  "'; iteration order is hash-dependent — use std::map/"
+                  "std::set or iterate sorted keys");
+        }
+      }
+    }
+    for (const char* macro : {"NATTO_CHECK", "NATTO_DCHECK"}) {
+      for (const std::string& arg : MacroArgs(code, macro)) {
+        if (HasSideEffect(arg)) {
+          add(idx, "natto-check-side-effect",
+              std::string(macro) +
+                  " condition has side effects (++/--/assignment); DCHECKs "
+                  "vanish in release builds and CHECK args must be pure");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LintTree
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  // directory -> (header names union, TU paths)
+  std::map<std::string, std::set<std::string>> dir_header_names;
+  std::vector<fs::path> tus;
+  std::vector<fs::path> headers;
+
+  for (const char* sub : {"src", "bench", "tools"}) {
+    fs::path base = fs::path(root) / sub;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      std::string norm = NormPath(entry.path().string());
+      if (!IsSourceFile(norm)) continue;
+      if (IsTranslationUnit(norm)) {
+        tus.push_back(entry.path());
+      } else {
+        headers.push_back(entry.path());
+      }
+    }
+  }
+
+  auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+  auto rel = [&](const fs::path& p) {
+    std::error_code ec;
+    fs::path r = fs::relative(p, root, ec);
+    return NormPath((ec || r.empty()) ? p.string() : r.string());
+  };
+
+  std::map<fs::path, std::string> header_content;
+  for (const fs::path& h : headers) {
+    std::string content = read_file(h);
+    CollectUnorderedNamesInto(
+        [&] {
+          std::string code;
+          for (const ScrubbedLine& l : Scrub(content)) {
+            code += l.code;
+            code += '\n';
+          }
+          return code;
+        }(),
+        &dir_header_names[NormPath(h.parent_path().string())]);
+    header_content[h] = std::move(content);
+  }
+
+  std::sort(tus.begin(), tus.end());
+  std::sort(headers.begin(), headers.end());
+  for (const fs::path& h : headers) {
+    std::vector<Violation> v = LintContent(rel(h), header_content[h], {});
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  for (const fs::path& tu : tus) {
+    const std::set<std::string>& names =
+        dir_header_names[NormPath(tu.parent_path().string())];
+    std::vector<Violation> v = LintContent(rel(tu), read_file(tu), names);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream ss;
+  ss << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return ss.str();
+}
+
+}  // namespace nattolint

@@ -1,0 +1,72 @@
+#ifndef NATTO_TOOLS_NATTOLINT_NATTOLINT_LIB_H_
+#define NATTO_TOOLS_NATTOLINT_NATTOLINT_LIB_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+/// nattolint: an in-repo static-analysis pass that enforces the repo's
+/// determinism and safety invariants as hard build failures. It is a
+/// token/regex-lite scanner, not a compiler plugin: comments and string
+/// literals are stripped before matching, per-line `// NOLINT(natto-<rule>)`
+/// (or `NOLINTNEXTLINE`) suppresses a finding, and the heuristics are tuned
+/// to the idioms this codebase actually uses.
+///
+/// Rules (all documented in DESIGN.md "Determinism invariants"):
+///   natto-wallclock          wall-clock APIs outside src/sim/
+///   natto-ambient-rng        ambient randomness outside common/rng.h
+///   natto-mutable-static     mutable static state (the PR 1 bug class)
+///   natto-unordered-iter     range-for over unordered containers in
+///                            translation units (.cc/.cpp)
+///   natto-check-side-effect  NATTO_CHECK / NATTO_DCHECK whose condition has
+///                            side effects (++/--/assignment)
+namespace nattolint {
+
+struct Violation {
+  std::string file;  // path as given to the linter
+  int line = 0;      // 1-based
+  std::string rule;  // e.g. "natto-wallclock"
+  std::string message;
+};
+
+/// One logical line of a source file after comment/string stripping.
+struct ScrubbedLine {
+  std::string code;          // original text with comments/literals blanked
+  std::string comment;       // concatenated comment text on this line
+  bool suppress_next = false;  // carries NOLINTNEXTLINE state (internal)
+};
+
+/// Strips //, /* */ comments, "..." and '...' literals, and R"(...)" raw
+/// strings from `content`, preserving line structure. Stripped characters
+/// become spaces so columns keep their meaning; comment text is kept
+/// separately so NOLINT markers survive.
+std::vector<ScrubbedLine> Scrub(const std::string& content);
+
+/// Returns identifiers declared in `content` (a scrubbed or raw file) with a
+/// std::unordered_{map,set,multimap,multiset} type: members, locals, and
+/// file-scope variables. Function declarations returning unordered types and
+/// `::iterator` mentions are excluded. Used to build the name context for
+/// the natto-unordered-iter rule.
+std::set<std::string> CollectUnorderedNames(const std::string& content);
+
+/// Lints one file's `content`. `path` decides extension- and
+/// directory-based rule applicability (it is matched textually, so pass
+/// repo-relative paths like "src/sim/clock.h"). `header_unordered_names`
+/// are names declared unordered in sibling headers (same directory), merged
+/// with names declared in the file itself for the unordered-iter rule.
+std::vector<Violation> LintContent(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& header_unordered_names);
+
+/// Recursively lints `root`'s src/, bench/, and tools/ trees (.cc, .cpp,
+/// .h). For each translation unit the unordered-name context is the union of
+/// all headers in its own directory. Returns findings sorted by path then
+/// line.
+std::vector<Violation> LintTree(const std::string& root);
+
+/// Renders one finding as "path:line: [rule] message".
+std::string FormatViolation(const Violation& v);
+
+}  // namespace nattolint
+
+#endif  // NATTO_TOOLS_NATTOLINT_NATTOLINT_LIB_H_
