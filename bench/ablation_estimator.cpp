@@ -13,7 +13,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<double> quantiles = {0.50, 0.75, 0.90, 0.95, 0.99};
 
   auto workload = []() {
@@ -21,6 +23,7 @@ int main() {
         workload::YcsbTWorkload::Options{});
   };
   ExperimentConfig config = QuickConfig();
+  ApplyTraceArgs(trace_args, &config);
   config.input_rate_tps = 350;
   config.cluster.delay_variance_ratio = 0.15;
   // One "system" per estimator quantile; a one-point grid fans them out.
@@ -36,17 +39,19 @@ int main() {
   }
   std::vector<std::vector<ExperimentResult>> results =
       RunGrid({GridPoint{config, workload}}, systems);
+  CollectTraces(results, &traces);
 
   std::printf(
       "=== Estimator ablation: quantile vs latency/aborts "
       "(YCSB+T @350, 15%% delay variance) ===\n");
   std::printf("%-10s %12s %12s %14s\n", "quantile", "p95hi(ms)", "p95lo(ms)",
-              "aborts/txn");
+              "abort frac");
   for (size_t i = 0; i < quantiles.size(); ++i) {
     const ExperimentResult& r = results[0][i];
     std::printf("%-10.2f %12.1f %12.1f %14.2f\n", quantiles[i],
-                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_rate.mean);
+                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_fraction.mean);
   }
   std::fflush(stdout);
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -16,9 +16,11 @@ using namespace natto::harness;
 
 namespace {
 
-/// Runs one seed and returns per-level p95.
+/// Runs one seed and returns per-level p95 (plus the cell's sampled traces
+/// when tracing is enabled in the config).
 std::map<int, double> RunLevels(const ExperimentConfig& config,
-                                const System& system, uint64_t seed) {
+                                const System& system, uint64_t seed,
+                                std::vector<obs::TxnTrace>* traces) {
   txn::Topology topo = txn::Topology::Spread(
       config.num_partitions, config.num_replicas, config.matrix.num_sites());
   txn::ClusterOptions copts = config.cluster;
@@ -53,6 +55,7 @@ std::map<int, double> RunLevels(const ExperimentConfig& config,
     }
   }
   cluster.simulator()->RunUntil(config.duration + config.drain);
+  if (obs::Tracer* tr = cluster.tracer()) *traces = tr->Drain();
 
   std::map<int, double> out;
   for (auto& [level, lat] : stats.latencies_by_level_ms) {
@@ -63,8 +66,10 @@ std::map<int, double> RunLevels(const ExperimentConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
   ExperimentConfig config = QuickConfig();
+  ApplyTraceArgs(trace_args, &config);
   config.input_rate_tps = 350;
 
   std::vector<System> systems;
@@ -77,21 +82,30 @@ int main() {
   // Fan the (system, repeat) cells out directly through the runner: this
   // bench bypasses RunGrid because it collects per-level latency maps
   // rather than the standard ExperimentResult metrics.
-  std::vector<std::map<int, double>> levels(systems.size() *
-                                            static_cast<size_t>(config.repeats));
+  size_t num_slots = systems.size() * static_cast<size_t>(config.repeats);
+  std::vector<std::map<int, double>> levels(num_slots);
+  // Per-slot trace buffers, concatenated in slot order after the fan-out so
+  // the trace stream stays deterministic for any job count.
+  std::vector<std::vector<obs::TxnTrace>> slot_traces(num_slots);
   std::vector<std::function<void()>> tasks;
   for (size_t s = 0; s < systems.size(); ++s) {
     for (int r = 0; r < config.repeats; ++r) {
       size_t slot = s * static_cast<size_t>(config.repeats) +
                     static_cast<size_t>(r);
-      tasks.push_back([&config, &systems, &levels, s, r, slot]() {
+      tasks.push_back([&config, &systems, &levels, &slot_traces, s, r,
+                       slot]() {
         levels[slot] = RunLevels(
             config, systems[s],
-            CellSeed(config.seed, static_cast<int>(s), /*x_index=*/0, r));
+            CellSeed(config.seed, static_cast<int>(s), /*x_index=*/0, r),
+            &slot_traces[slot]);
       });
     }
   }
   ParallelRunner().Run(std::move(tasks));
+  std::vector<obs::TxnTrace> traces;
+  for (auto& st : slot_traces) {
+    traces.insert(traces.end(), st.begin(), st.end());
+  }
 
   std::printf("=== Multi-level extension: per-level 95P latency, YCSB+T "
               "70/20/10 @350 (ms) ===\n");
@@ -108,5 +122,6 @@ int main() {
                 Aggregated(per_level[2]).mean);
     std::fflush(stdout);
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

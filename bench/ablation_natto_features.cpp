@@ -66,7 +66,9 @@ core::NattoServer::Stats CounterRun(const ExperimentConfig& config,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<Variant> variants = {
       {"Natto-TS", core::NattoOptions::TsOnly()},
       {"Natto-LECSF", core::NattoOptions::Lecsf()},
@@ -82,6 +84,7 @@ int main() {
   };
 
   ExperimentConfig config = QuickConfig();
+  ApplyTraceArgs(trace_args, &config);
   config.input_rate_tps = 50;
 
   // One "system" per ablation variant; the whole variant sweep is a
@@ -97,6 +100,7 @@ int main() {
   }
   std::vector<std::vector<ExperimentResult>> results =
       RunGrid({GridPoint{config, MakeWorkload}}, systems);
+  CollectTraces(results, &traces);
 
   std::vector<core::NattoServer::Stats> counters(variants.size());
   {
@@ -131,5 +135,6 @@ int main() {
         static_cast<unsigned long long>(stats.order_violation_aborts));
     std::fflush(stdout);
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -2,11 +2,13 @@
 #define NATTO_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.h"
 #include "harness/systems.h"
+#include "obs/trace.h"
 
 namespace natto::bench {
 
@@ -49,6 +51,77 @@ inline void PrintCellValue(double v) { std::printf(" %16.1f", v); }
 inline void EndRow() {
   std::printf("\n");
   std::fflush(stdout);
+}
+
+/// Command-line tracing knobs shared by the figure benches:
+///   --trace=<path>       write sampled transaction traces after the run
+///                        (a `.jsonl` path selects flat JSON lines; anything
+///                        else selects Chrome trace_event JSON)
+///   --trace-sample=<N>   record 1-in-N transactions (default 64)
+/// Tracing is off unless --trace is given, and enabling it changes none of
+/// the printed numbers: the tracer only buffers events against sim time.
+struct TraceArgs {
+  std::string path;
+  int sample_period = 64;
+  bool enabled() const { return !path.empty(); }
+};
+
+inline TraceArgs ParseTraceArgs(int argc, char** argv) {
+  TraceArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      args.path = arg.substr(8);
+    } else if (arg.rfind("--trace-sample=", 0) == 0) {
+      args.sample_period = std::atoi(arg.c_str() + 15);
+      if (args.sample_period < 1) args.sample_period = 1;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument %s (supported: --trace=<path>, "
+                   "--trace-sample=<N>)\n",
+                   arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+inline void ApplyTraceArgs(const TraceArgs& args,
+                           harness::ExperimentConfig* config) {
+  config->cluster.trace.enabled = args.enabled();
+  config->cluster.trace.sample_period = args.sample_period;
+}
+
+/// Appends the traces of a RunGrid result grid in row-major (point, then
+/// system) order — the same deterministic order the grid itself merges in.
+inline void CollectTraces(
+    const std::vector<std::vector<harness::ExperimentResult>>& results,
+    std::vector<obs::TxnTrace>* out) {
+  for (const auto& row : results) {
+    for (const auto& r : row) {
+      out->insert(out->end(), r.traces.begin(), r.traces.end());
+    }
+  }
+}
+
+/// Writes the collected traces to args.path. No-op when tracing is off.
+inline void WriteTraces(const TraceArgs& args,
+                        const std::vector<obs::TxnTrace>& traces) {
+  if (!args.enabled()) return;
+  const std::string& p = args.path;
+  const bool jsonl =
+      p.size() >= 6 && p.compare(p.size() - 6, 6, ".jsonl") == 0;
+  const std::string out =
+      jsonl ? obs::TraceJsonLines(traces) : obs::ChromeTraceJson(traces);
+  std::FILE* f = std::fopen(p.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", p.c_str());
+    std::exit(1);
+  }
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu transaction traces to %s\n", traces.size(),
+               p.c_str());
 }
 
 }  // namespace natto::bench

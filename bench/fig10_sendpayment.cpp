@@ -10,7 +10,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = PrioritySystems();
   std::vector<double> rates = {100, 1500};
 
@@ -24,6 +26,7 @@ int main() {
   std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.repeats = 1;  // wide rate sweep; single seed per point
     config.duration = Seconds(10);
     config.warmup = Seconds(2);
@@ -34,6 +37,7 @@ int main() {
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
   std::vector<std::vector<double>> p95(rates.size());
   for (size_t i = 0; i < rates.size(); ++i) {
     for (const auto& r : results[i]) p95[i].push_back(r.p95_high_ms.mean);
@@ -57,5 +61,6 @@ int main() {
     for (size_t s = 0; s < systems.size(); ++s) PrintCellValue(p95[i][s]);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

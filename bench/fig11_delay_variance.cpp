@@ -10,7 +10,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
   std::vector<double> variances = {0, 5, 15, 25, 40};  // percent
 
@@ -21,11 +23,13 @@ int main() {
   std::vector<GridPoint> points;
   for (double var : variances) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = 350;
     config.cluster.delay_variance_ratio = var / 100.0;
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 11: 95P HIGH-priority latency vs delay variance, "
               "YCSB+T @350 (ms)",
@@ -35,5 +39,6 @@ int main() {
     for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

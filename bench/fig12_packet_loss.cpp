@@ -12,7 +12,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
   std::vector<double> losses = {0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0};  // percent
 
@@ -23,6 +25,7 @@ int main() {
   std::vector<GridPoint> points;
   for (double loss : losses) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = 100;
     config.cluster.transport.packet_loss = loss / 100.0;
     // 1 Gbps local cluster links (Sec 5.1).
@@ -31,6 +34,7 @@ int main() {
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 12: 95P HIGH-priority latency vs packet loss, "
               "YCSB+T @100 (ms)",
@@ -45,5 +49,6 @@ int main() {
     std::printf("\n");
     std::fflush(stdout);
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

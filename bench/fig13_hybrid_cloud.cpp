@@ -12,10 +12,13 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
 
   ExperimentConfig config = QuickConfig();
+  ApplyTraceArgs(trace_args, &config);
   config.input_rate_tps = 1000;
   config.matrix = net::LatencyMatrix::HybridAwsAzure();
   config.cluster.uniform_jitter = 0.05;  // +-5% per-message jitter
@@ -27,6 +30,7 @@ int main() {
 
   std::vector<std::vector<ExperimentResult>> results =
       RunGrid({GridPoint{config, workload}}, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 13: 95P HIGH-priority latency, hybrid AWS+Azure, "
               "Retwis @1000 (ms)",
@@ -34,5 +38,6 @@ int main() {
   PrintRowStart(0);
   for (const auto& r : results[0]) PrintCell(r.p95_high_ms);
   EndRow();
+  WriteTraces(trace_args, traces);
   return 0;
 }

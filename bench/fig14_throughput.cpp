@@ -13,7 +13,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
   std::vector<int> partition_counts = {2, 4, 8};
   std::vector<double> offered = {4000, 10000};
@@ -33,6 +35,7 @@ int main() {
   for (int parts : partition_counts) {
     for (double rate : offered) {
       ExperimentConfig config = QuickConfig();
+      ApplyTraceArgs(trace_args, &config);
       config.repeats = 1;
       config.duration = Seconds(6);
       config.warmup = Seconds(2);
@@ -48,6 +51,7 @@ int main() {
     }
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 14: peak committed throughput vs #partitions, Retwis "
               "uniform (txn/s)",
@@ -64,5 +68,6 @@ int main() {
     }
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

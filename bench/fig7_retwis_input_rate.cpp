@@ -9,7 +9,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
   std::vector<double> rates = {100, 500, 1000, 1500};
 
@@ -21,10 +23,12 @@ int main() {
   std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = rate;
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 7(c): 95P latency, HIGH priority, Retwis (ms)", "txn/s",
               systems);
@@ -49,5 +53,6 @@ int main() {
     for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -10,7 +10,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AzureSystems();
   std::vector<double> rates = {500, 1000, 1500, 2000};
 
@@ -22,6 +24,7 @@ int main() {
   std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = rate;
     // Accounts start with the workload's initial balance.
     Value initial = wopts.initial_balance;
@@ -29,6 +32,7 @@ int main() {
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 7(e): 95P latency, HIGH priority, SmallBank (ms)",
               "txn/s", systems);
@@ -53,5 +57,6 @@ int main() {
     for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -12,7 +12,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = AllSystems();
   std::vector<double> rates = {50, 150, 250, 350};
 
@@ -24,10 +26,12 @@ int main() {
   std::vector<GridPoint> points;
   for (double rate : rates) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = rate;
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 7(a): 95P latency, HIGH priority, YCSB+T (ms)",
               "txn/s", systems);
@@ -52,5 +56,6 @@ int main() {
     for (const auto& r : results[i]) PrintCellValue(r.goodput_low_tps.mean);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

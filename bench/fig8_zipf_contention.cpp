@@ -11,7 +11,9 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<double> thetas = {0.65, 0.75, 0.85, 0.95};
 
   {
@@ -19,6 +21,7 @@ int main() {
     std::vector<GridPoint> points;
     for (double theta : thetas) {
       ExperimentConfig config = QuickConfig();
+      ApplyTraceArgs(trace_args, &config);
       config.input_rate_tps = 50;
       auto workload = [theta]() {
         workload::YcsbTWorkload::Options o;
@@ -29,6 +32,7 @@ int main() {
     }
     std::vector<std::vector<ExperimentResult>> results =
         RunGrid(points, systems);
+    CollectTraces(results, &traces);
     PrintHeader("Fig 8(a): 95P HIGH-priority latency vs Zipf, YCSB+T @50 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {
@@ -43,6 +47,7 @@ int main() {
     std::vector<GridPoint> points;
     for (double theta : thetas) {
       ExperimentConfig config = QuickConfig();
+      ApplyTraceArgs(trace_args, &config);
       config.input_rate_tps = 100;
       auto workload = [theta]() {
         workload::RetwisWorkload::Options o;
@@ -53,6 +58,7 @@ int main() {
     }
     std::vector<std::vector<ExperimentResult>> results =
         RunGrid(points, systems);
+    CollectTraces(results, &traces);
     PrintHeader("Fig 8(b): 95P HIGH-priority latency vs Zipf, Retwis @100 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {
@@ -61,5 +67,6 @@ int main() {
       EndRow();
     }
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -9,13 +9,16 @@ using namespace natto;
 using namespace natto::bench;
 using namespace natto::harness;
 
-int main() {
+int main(int argc, char** argv) {
+  TraceArgs trace_args = ParseTraceArgs(argc, argv);
+  std::vector<obs::TxnTrace> traces;
   std::vector<System> systems = PrioritySystems();
   std::vector<double> percentages = {10, 20, 40, 60, 80, 100};
 
   std::vector<GridPoint> points;
   for (double pct : percentages) {
     ExperimentConfig config = QuickConfig();
+    ApplyTraceArgs(trace_args, &config);
     config.input_rate_tps = 350;
     auto workload = [pct]() {
       workload::YcsbTWorkload::Options o;
@@ -25,6 +28,7 @@ int main() {
     points.push_back({config, workload});
   }
   std::vector<std::vector<ExperimentResult>> results = RunGrid(points, systems);
+  CollectTraces(results, &traces);
 
   PrintHeader("Fig 9: 95P HIGH-priority latency vs high-priority %, "
               "YCSB+T @350 (ms)",
@@ -34,5 +38,6 @@ int main() {
     for (const auto& r : results[i]) PrintCell(r.p95_high_ms);
     EndRow();
   }
+  WriteTraces(trace_args, traces);
   return 0;
 }

@@ -71,14 +71,14 @@ int main() {
   };
 
   std::printf("\n%-16s %14s %14s %12s\n", "system", "p95 high (ms)",
-              "p95 low (ms)", "aborts/txn");
+              "p95 low (ms)", "abort frac");
   for (harness::SystemKind kind : {harness::SystemKind::kCarouselBasic,
                                    harness::SystemKind::kNattoRecsf}) {
     harness::System system = harness::MakeSystem(kind);
     harness::ExperimentResult r =
         harness::RunExperiment(config, system, workload);
     std::printf("%-16s %14.1f %14.1f %12.2f\n", r.system.c_str(),
-                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_rate.mean);
+                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_fraction.mean);
   }
   return 0;
 }

@@ -79,7 +79,7 @@ int main() {
   std::printf("Social feed, %g txn/s, VIP posts prioritized over engagement\n",
               config.input_rate_tps);
   std::printf("%-16s %14s %14s %12s\n", "system", "post p95 (ms)",
-              "engage p95 (ms)", "aborts/txn");
+              "engage p95 (ms)", "abort frac");
   for (harness::SystemKind kind :
        {harness::SystemKind::kTapir, harness::SystemKind::kCarouselBasic,
         harness::SystemKind::kNattoRecsf}) {
@@ -87,7 +87,7 @@ int main() {
     harness::ExperimentResult r =
         harness::RunExperiment(config, system, workload);
     std::printf("%-16s %14.1f %14.1f %12.2f\n", r.system.c_str(),
-                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_rate.mean);
+                r.p95_high_ms.mean, r.p95_low_ms.mean, r.abort_fraction.mean);
   }
   return 0;
 }

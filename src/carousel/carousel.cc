@@ -40,7 +40,14 @@ CarouselServer::CarouselServer(CarouselEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
-      kv_(engine->cluster()->options().default_value) {}
+      kv_(engine->cluster()->options().default_value) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix =
+      "carousel.server.p" + std::to_string(partition) + ".";
+  occ_vote_no_ = m->GetCounter(prefix + "occ_vote_no");
+  stale_vote_no_ = m->GetCounter(prefix + "stale_vote_no");
+  replication_fail_vote_no_ = m->GetCounter(prefix + "replication_fail");
+}
 
 void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
   const txn::Topology& topo = engine_->cluster()->topology();
@@ -53,9 +60,27 @@ void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
 
   if (finished_.contains(id) || prepared_.HasConflict(reads, writes)) {
     // OCC conflict (or the txn already aborted): vote no. No read results.
+    // In the basic protocol one no vote aborts the transaction, so the
+    // abort is attributed here at its origin.
+    obs::AbortCause cause;
+    if (finished_.contains(id)) {
+      stale_vote_no_->Inc();
+      cause = obs::AbortCause::kStaleRetry;
+    } else {
+      occ_vote_no_->Inc();
+      cause = obs::AbortCause::kOccConflict;
+    }
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->Instant(id,
+                  cause == obs::AbortCause::kOccConflict
+                      ? "occ_conflict"
+                      : "stale_retry_refused",
+                  partition, TrueNow());
+      tr->AttributeAbort(id, cause);
+    }
     auto* co = engine_->coordinator_by_node(coord);
-    SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
-      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false);
+    SendTo(coord, kMessageHeaderBytes, [co, id, partition, cause]() {
+      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false, {}, cause);
     });
     return;
   }
@@ -77,17 +102,29 @@ void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
          });
 
   // Replicate the prepare record; vote once durable.
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(id, "prepare", partition_, TrueNow());
+  }
   auto* co = engine_->coordinator_by_node(coord);
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
       engine_->NextPayloadId(), [this, co, coord, id, partition]() {
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, "prepare", partition, TrueNow());
+        }
         SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
           co->HandleVote(id, partition, /*replica=*/0, /*ok=*/true);
         });
       });
   if (!s.ok()) {
+    replication_fail_vote_no_->Inc();
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanEnd(id, "prepare", partition_, TrueNow());
+      tr->AttributeAbort(id, obs::AbortCause::kReplicationFailed);
+    }
     prepared_.Remove(id);
     SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
-      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false);
+      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false, {},
+                     obs::AbortCause::kReplicationFailed);
     });
   }
 }
@@ -123,7 +160,14 @@ CarouselFastReplica::CarouselFastReplica(CarouselEngine* engine, int partition,
       engine_(engine),
       partition_(partition),
       replica_(replica),
-      kv_(engine->cluster()->options().default_value) {}
+      kv_(engine->cluster()->options().default_value) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "carousel.replica.p" + std::to_string(partition) +
+                             ".r" + std::to_string(replica) + ".";
+  fast_vote_no_ = m->GetCounter(prefix + "fast_vote_no");
+  slow_vote_no_ = m->GetCounter(prefix + "slow_vote_no");
+  slow_stale_read_ = m->GetCounter(prefix + "slow_stale_read");
+}
 
 void CarouselFastReplica::HandleReadPrepare(const WireTxn& txn) {
   const txn::Topology& topo = engine_->cluster()->topology();
@@ -136,6 +180,15 @@ void CarouselFastReplica::HandleReadPrepare(const WireTxn& txn) {
   int replica = replica_;
 
   bool ok = !finished_.contains(id) && !prepared_.HasConflict(reads, writes);
+  // A fast no vote is not yet an abort (the slow path may still prepare),
+  // so the cause travels with the vote and is attributed only if the
+  // coordinator actually decides to abort.
+  obs::AbortCause cause = obs::AbortCause::kNone;
+  if (!ok) {
+    fast_vote_no_->Inc();
+    cause = finished_.contains(id) ? obs::AbortCause::kStaleRetry
+                                   : obs::AbortCause::kOccConflict;
+  }
   if (ok) prepared_.Add(id, reads, writes);
   // Each replica serves reads from its (possibly stale) local state even
   // when its prepare vote is no — the client needs round 1 to complete so
@@ -155,8 +208,8 @@ void CarouselFastReplica::HandleReadPrepare(const WireTxn& txn) {
            gw->HandleReadResults(id, partition, results);
          });
   SendTo(txn.coordinator, kMessageHeaderBytes + versions.size() * 8,
-         [co, id, partition, replica, ok, versions]() {
-           co->HandleVote(id, partition, replica, ok, versions);
+         [co, id, partition, replica, ok, versions, cause]() {
+           co->HandleVote(id, partition, replica, ok, versions, cause);
          });
 }
 
@@ -167,14 +220,26 @@ void CarouselFastReplica::HandleSlowPrepare(
   NATTO_DCHECK(replica_ == 0) << "slow path is arbitrated by the leader";
   auto* co = engine_->coordinator_by_node(coordinator);
   int partition = partition_;
-  auto vote = [this, co, coordinator, id, partition](bool ok) {
-    SendTo(coordinator, kMessageHeaderBytes, [co, id, partition, ok]() {
-      co->HandleSlowVote(id, partition, ok);
+  auto vote = [this, co, coordinator, id, partition](bool ok,
+                                                     obs::AbortCause cause) {
+    SendTo(coordinator, kMessageHeaderBytes, [co, id, partition, ok, cause]() {
+      co->HandleSlowVote(id, partition, ok, cause);
     });
+  };
+  // A slow no vote is a definite abort (there is no further fallback), so
+  // causes are attributed here at their origin.
+  auto refuse = [this, &vote](TxnId txn_id, obs::AbortCause cause,
+                              const char* instant) {
+    slow_vote_no_->Inc();
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->Instant(txn_id, instant, partition_, TrueNow());
+      tr->AttributeAbort(txn_id, cause);
+    }
+    vote(false, cause);
   };
 
   if (finished_.contains(id)) {
-    vote(false);
+    refuse(id, obs::AbortCause::kStaleRetry, "stale_retry_refused");
     return;
   }
   // The client's reads came from a possibly stale replica: validate them
@@ -183,22 +248,31 @@ void CarouselFastReplica::HandleSlowPrepare(
   // may have been fresher than the (first-reply) reads the client used.
   for (const auto& [k, version] : read_versions) {
     if (kv_.Get(k).version > version) {
-      vote(false);
+      slow_stale_read_->Inc();
+      refuse(id, obs::AbortCause::kFastPathFailed, "slow_validation_fail");
       return;
     }
   }
   if (prepared_.Contains(id)) {
     // Already prepared here by the fast round; versions checked above.
-    vote(true);
+    vote(true, obs::AbortCause::kNone);
     return;
   }
   if (prepared_.HasConflict(read_keys, write_keys)) {
-    vote(false);
+    refuse(id, obs::AbortCause::kOccConflict, "occ_conflict");
     return;
   }
   prepared_.Add(id, read_keys, write_keys);
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(id, "slow_prepare", partition_, TrueNow());
+  }
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), [vote]() { vote(true); });
+      engine_->NextPayloadId(), [this, vote, id, partition]() {
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, "slow_prepare", partition, TrueNow());
+        }
+        vote(true, obs::AbortCause::kNone);
+      });
   NATTO_CHECK(s.ok());
 }
 
@@ -223,7 +297,14 @@ void CarouselFastReplica::HandleAbort(TxnId id) {
 CarouselCoordinator::CarouselCoordinator(CarouselEngine* engine, int site,
                                          sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {}
+      engine_(engine) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "carousel.coord.s" + std::to_string(site) + ".";
+  slow_path_starts_ = m->GetCounter(prefix + "slow_path_starts");
+  version_mismatches_ = m->GetCounter(prefix + "version_mismatches");
+  commits_ = m->GetCounter(prefix + "commits");
+  aborts_ = m->GetCounter(prefix + "aborts");
+}
 
 void CarouselCoordinator::HandleBegin(const WireTxn& txn,
                                       std::vector<int> participants) {
@@ -237,7 +318,7 @@ void CarouselCoordinator::HandleBegin(const WireTxn& txn,
 
 void CarouselCoordinator::HandleVote(
     TxnId id, int partition, int replica, bool ok,
-    std::vector<std::pair<Key, uint64_t>> versions) {
+    std::vector<std::pair<Key, uint64_t>> versions, obs::AbortCause cause) {
   (void)replica;
   if (decided_.contains(id)) return;
   // Votes can overtake the Begin message under jitter: create state lazily.
@@ -252,6 +333,7 @@ void CarouselCoordinator::HandleVote(
       if (fv == st.fast_versions.end()) {
         st.fast_versions[partition] = std::move(versions);
       } else if (fv->second != versions) {
+        version_mismatches_->Inc();
         st.version_mismatch.insert(partition);
         MaybeStartSlowPath(id, partition);
       }
@@ -263,6 +345,7 @@ void CarouselCoordinator::HandleVote(
     MaybeStartSlowPath(id, partition);
   } else {
     st.any_fail = true;
+    if (st.fail_cause == obs::AbortCause::kNone) st.fail_cause = cause;
   }
   MaybeDecide(id);
 }
@@ -276,6 +359,10 @@ void CarouselCoordinator::MaybeStartSlowPath(TxnId id, int partition) {
     return;
   }
   st.slow_pending.insert(partition);
+  slow_path_starts_->Inc();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(id, "slow_path", partition, TrueNow());
+  }
   const txn::Topology& topo = engine_->cluster()->topology();
   std::vector<Key> read_keys = LocalKeys(st.txn.read_set, partition, topo);
   std::vector<Key> write_keys = LocalKeys(st.txn.write_set, partition, topo);
@@ -291,15 +378,21 @@ void CarouselCoordinator::MaybeStartSlowPath(TxnId id, int partition) {
          });
 }
 
-void CarouselCoordinator::HandleSlowVote(TxnId id, int partition, bool ok) {
+void CarouselCoordinator::HandleSlowVote(TxnId id, int partition, bool ok,
+                                         obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   TxnState& st = it->second;
-  st.slow_pending.erase(partition);
+  if (st.slow_pending.erase(partition) > 0) {
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanEnd(id, "slow_path", partition, TrueNow());
+    }
+  }
   if (ok) {
     st.slow_ok.insert(partition);
   } else {
     st.any_fail = true;
+    if (st.fail_cause == obs::AbortCause::kNone) st.fail_cause = cause;
   }
   MaybeDecide(id);
 }
@@ -349,11 +442,14 @@ void CarouselCoordinator::MaybeDecide(TxnId id) {
   TxnState& st = it->second;
   if (!st.begun) return;  // need the client/participant info first
   if (st.user_abort) {
-    Decide(id, /*commit=*/false, "user abort");
+    Decide(id, /*commit=*/false, "user abort", obs::AbortCause::kUserAbort);
     return;
   }
   if (st.any_fail) {
-    Decide(id, /*commit=*/false, "prepare conflict");
+    Decide(id, /*commit=*/false, "prepare conflict",
+           st.fail_cause == obs::AbortCause::kNone
+               ? obs::AbortCause::kOccConflict
+               : st.fail_cause);
     return;
   }
   if (st.participants.empty() || !st.have_writes || !st.own_replicated) return;
@@ -370,16 +466,22 @@ void CarouselCoordinator::MaybeDecide(TxnId id) {
       if (v == st.ok_votes.end() || v->second < 1) return;
     }
   }
-  Decide(id, /*commit=*/true, "");
+  Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
 }
 
 void CarouselCoordinator::Decide(TxnId id, bool commit,
-                                 const std::string& reason) {
+                                 const std::string& reason,
+                                 obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   TxnState st = std::move(it->second);
   txns_.erase(it);
   decided_.insert(id);
+
+  (commit ? commits_ : aborts_)->Inc();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(id, commit ? "decide_commit" : "decide_abort", -1, TrueNow());
+  }
 
   const txn::Topology& topo = engine_->cluster()->topology();
 
@@ -389,9 +491,10 @@ void CarouselCoordinator::Decide(TxnId id, bool commit,
       commit ? txn::TxnOutcome::kCommitted
              : (st.user_abort ? txn::TxnOutcome::kUserAborted
                               : txn::TxnOutcome::kAborted);
-  SendTo(st.txn.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
-    gw->HandleDecision(id, outcome, reason);
-  });
+  SendTo(st.txn.client, kMessageHeaderBytes,
+         [gw, id, outcome, reason, cause]() {
+           gw->HandleDecision(id, outcome, reason, cause);
+         });
 
   // Asynchronously commit/abort at the participants.
   for (int p : st.participants) {
@@ -446,6 +549,11 @@ void CarouselGateway::StartTxn(const txn::TxnRequest& request,
   std::vector<int> participants =
       topo.Participants(request.read_set, request.write_set);
 
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->TxnBegin(request.id, txn::PriorityLevel(request.priority), TrueNow());
+    tr->SpanBegin(request.id, "round1", /*partition=*/-1, TrueNow());
+  }
+
   ClientTxn st;
   st.request = request;
   st.done = std::move(done);
@@ -487,6 +595,9 @@ void CarouselGateway::MaybeFinishRound1(TxnId id) {
   ClientTxn& st = it->second;
   if (!st.awaiting.empty() || st.sent_round2) return;
   st.sent_round2 = true;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanEnd(id, "round1", /*partition=*/-1, TrueNow());
+  }
 
   // Reads ordered as declared in the request.
   std::vector<txn::ReadResult> ordered;
@@ -521,15 +632,26 @@ void CarouselGateway::MaybeFinishRound1(TxnId id) {
 }
 
 void CarouselGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
-                                     std::string reason) {
+                                     std::string reason,
+                                     obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   ClientTxn st = std::move(it->second);
   txns_.erase(it);
 
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    const char* name = outcome == txn::TxnOutcome::kCommitted ? "committed"
+                       : outcome == txn::TxnOutcome::kUserAborted
+                           ? "user_aborted"
+                           : "aborted";
+    tr->TxnEnd(id, name, cause, TrueNow());
+  }
+
   txn::TxnResult result;
   result.outcome = outcome;
   result.abort_reason = std::move(reason);
+  result.abort_cause =
+      outcome == txn::TxnOutcome::kCommitted ? obs::AbortCause::kNone : cause;
   if (outcome == txn::TxnOutcome::kCommitted) {
     for (Key k : st.request.read_set) {
       auto r = st.reads.find(k);

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/abort_cause.h"
+#include "obs/metrics.h"
 #include "store/kv_store.h"
 #include "store/prepared_set.h"
 #include "txn/cluster.h"
@@ -62,6 +64,11 @@ class CarouselServer : public net::Node {
   store::KvStore kv_;
   store::PreparedSet prepared_;
   std::unordered_set<TxnId> finished_;  // tombstones for late arrivals
+
+  // Registered under carousel.server.p<N>.
+  obs::Counter* occ_vote_no_ = nullptr;
+  obs::Counter* stale_vote_no_ = nullptr;
+  obs::Counter* replication_fail_vote_no_ = nullptr;
 };
 
 /// One replica in the fast path: validates and votes independently; applies
@@ -94,6 +101,11 @@ class CarouselFastReplica : public net::Node {
   store::KvStore kv_;
   store::PreparedSet prepared_;
   std::unordered_set<TxnId> finished_;
+
+  // Registered under carousel.replica.p<N>.r<M>.
+  obs::Counter* fast_vote_no_ = nullptr;
+  obs::Counter* slow_vote_no_ = nullptr;
+  obs::Counter* slow_stale_read_ = nullptr;
 };
 
 /// 2PC coordinator colocated with the clients of one datacenter; replicates
@@ -109,9 +121,11 @@ class CarouselCoordinator : public net::Node {
   /// Fast-path OK votes carry the replica's versions of the transaction's
   /// read keys: the fast path only holds if every replica reports the same
   /// versions (otherwise some replica served a stale read and the slow path
-  /// must re-validate at the leader).
+  /// must re-validate at the leader). No votes carry the refusing server's
+  /// abort cause so the decision can attribute the abort.
   void HandleVote(TxnId id, int partition, int replica, bool ok,
-                  std::vector<std::pair<Key, uint64_t>> versions = {});
+                  std::vector<std::pair<Key, uint64_t>> versions = {},
+                  obs::AbortCause cause = obs::AbortCause::kNone);
 
   /// Client's round-2 message: write values (plus the versions of the reads
   /// they were computed from, used by the fast path's slow fallback), or a
@@ -122,7 +136,8 @@ class CarouselCoordinator : public net::Node {
                            bool user_abort);
 
   /// Outcome of a slow-path fallback prepare at a partition leader.
-  void HandleSlowVote(TxnId id, int partition, bool ok);
+  void HandleSlowVote(TxnId id, int partition, bool ok,
+                      obs::AbortCause cause = obs::AbortCause::kNone);
 
  private:
   friend class CarouselEngine;
@@ -147,6 +162,8 @@ class CarouselCoordinator : public net::Node {
     std::unordered_set<int> slow_pending;
     std::unordered_set<int> slow_ok;
     bool any_fail = false;  // basic path, or slow-path refusal
+    /// Cause of the first failed vote (first-wins; kNone until any_fail).
+    obs::AbortCause fail_cause = obs::AbortCause::kNone;
     bool have_writes = false;
     bool own_replicated = false;
     bool user_abort = false;
@@ -157,11 +174,18 @@ class CarouselCoordinator : public net::Node {
 
   void MaybeStartSlowPath(TxnId id, int partition);
   void MaybeDecide(TxnId id);
-  void Decide(TxnId id, bool commit, const std::string& reason);
+  void Decide(TxnId id, bool commit, const std::string& reason,
+              obs::AbortCause cause);
 
   CarouselEngine* engine_;
   std::unordered_map<TxnId, TxnState> txns_;
   std::unordered_set<TxnId> decided_;  // ignore late messages
+
+  // Registered under carousel.coord.s<site>.
+  obs::Counter* slow_path_starts_ = nullptr;
+  obs::Counter* version_mismatches_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* aborts_ = nullptr;
 };
 
 /// Client-side library instance for one datacenter: issues read-and-prepare
@@ -175,7 +199,8 @@ class CarouselGateway : public net::Node {
 
   void HandleReadResults(TxnId id, int partition,
                          std::vector<txn::ReadResult> reads);
-  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
+  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason,
+                      obs::AbortCause cause = obs::AbortCause::kNone);
 
  private:
   friend class CarouselEngine;

@@ -1,5 +1,6 @@
 #include "harness/client.h"
 
+#include <string>
 #include <utility>
 
 #include "common/types.h"
@@ -8,13 +9,23 @@ namespace natto::harness {
 
 Client::Client(sim::Simulator* simulator, txn::TxnEngine* engine,
                workload::Workload* workload, Options options, Rng rng,
-               RunStats* stats)
+               RunStats* stats, obs::MetricsRegistry* registry)
     : simulator_(simulator),
       engine_(engine),
       workload_(workload),
       options_(options),
       rng_(std::move(rng)),
-      stats_(stats) {}
+      stats_(stats) {
+  if (registry == nullptr) return;
+  for (int c = 0; c < static_cast<int>(obs::AbortCause::kNumCauses); ++c) {
+    auto cause = static_cast<obs::AbortCause>(c);
+    const char* name = cause == obs::AbortCause::kNone
+                           ? "unknown"
+                           : obs::AbortCauseName(cause);
+    abort_cause_[c] =
+        registry->GetCounter(std::string("client.abort_cause.") + name);
+  }
+}
 
 void Client::Start() { ScheduleNext(); }
 
@@ -61,10 +72,18 @@ void Client::Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
       }
       case txn::TxnOutcome::kUserAborted: {
         if (in_window) ++stats_->user_aborted;
+        if (abort_cause_[0] != nullptr) {
+          abort_cause_[static_cast<int>(obs::AbortCause::kUserAbort)]->Inc();
+        }
         return;
       }
       case txn::TxnOutcome::kAborted: {
         if (in_window) ++stats_->aborted_attempts;
+        // Counted outside the measurement window too: the registry records
+        // system behavior over the whole run, not the sampled window.
+        if (abort_cause_[0] != nullptr) {
+          abort_cause_[static_cast<int>(result.abort_cause)]->Inc();
+        }
         if (attempt >= options_.max_attempts) {
           if (in_window) ++stats_->failed;
           return;

@@ -5,6 +5,8 @@
 
 #include "common/rng.h"
 #include "harness/stats.h"
+#include "obs/abort_cause.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "txn/transaction.h"
 #include "workload/workload.h"
@@ -33,9 +35,14 @@ class Client {
     int promote_after_aborts = 0;
   };
 
+  /// `registry` is optional; when given, the client registers one counter
+  /// per abort cause (`client.abort_cause.<name>`) and counts every aborted
+  /// attempt against the cause the engine reported. A system abort reported
+  /// with `AbortCause::kNone` counts as `client.abort_cause.unknown`, which
+  /// the taxonomy tests pin to zero.
   Client(sim::Simulator* simulator, txn::TxnEngine* engine,
          workload::Workload* workload, Options options, Rng rng,
-         RunStats* stats);
+         RunStats* stats, obs::MetricsRegistry* registry = nullptr);
 
   /// Schedules the first arrival.
   void Start();
@@ -55,6 +62,10 @@ class Client {
   Rng rng_;
   RunStats* stats_;
   uint32_t next_seq_ = 1;
+  /// Per-cause abort counters, indexed by AbortCause; all null when no
+  /// registry was given. Slot 0 (kNone) is `client.abort_cause.unknown`.
+  obs::Counter* abort_cause_[static_cast<int>(obs::AbortCause::kNumCauses)] =
+      {};
 };
 
 }  // namespace natto::harness

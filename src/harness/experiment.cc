@@ -50,12 +50,14 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
       opts.promote_after_aborts = config.promote_after_aborts;
       clients.push_back(std::make_unique<Client>(
           cluster.simulator(), engine.get(), workload.get(), opts,
-          client_seed_rng.Fork(), &stats));
+          client_seed_rng.Fork(), &stats, cluster.metrics()));
       clients.back()->Start();
     }
   }
 
   cluster.simulator()->RunUntil(config.duration + config.drain);
+  stats.metrics = cluster.metrics()->Snapshot();
+  if (obs::Tracer* tr = cluster.tracer()) stats.traces = tr->Drain();
   return stats;
 }
 
@@ -64,7 +66,8 @@ ExperimentResult AggregateRuns(const std::string& system_name,
   ExperimentResult result;
   result.system = system_name;
   std::vector<double> p95_high, p95_low, mean_high, mean_low, goodput_low,
-      goodput_total, abort_rate;
+      goodput_total, abort_fraction;
+  result.metrics.runs = 0;  // accumulator: MergeFrom sums the runs back in
   for (const RunStats& run : runs) {
     p95_high.push_back(Percentile(run.latencies_high_ms, 0.95));
     p95_low.push_back(Percentile(run.latencies_low_ms, 0.95));
@@ -73,12 +76,15 @@ ExperimentResult AggregateRuns(const std::string& system_name,
     goodput_low.push_back(run.GoodputLow());
     goodput_total.push_back(run.GoodputTotal());
     int64_t committed = run.committed_high + run.committed_low;
-    abort_rate.push_back(
-        committed > 0
-            ? static_cast<double>(run.aborted_attempts) /
-                  static_cast<double>(committed)
-            : 0);
+    int64_t attempts = run.aborted_attempts + committed;
+    abort_fraction.push_back(
+        attempts > 0 ? static_cast<double>(run.aborted_attempts) /
+                           static_cast<double>(attempts)
+                     : 0);
     result.failed += run.failed;
+    result.metrics.MergeFrom(run.metrics);
+    result.traces.insert(result.traces.end(), run.traces.begin(),
+                         run.traces.end());
   }
   result.p95_high_ms = Aggregated(p95_high);
   result.p95_low_ms = Aggregated(p95_low);
@@ -86,7 +92,7 @@ ExperimentResult AggregateRuns(const std::string& system_name,
   result.mean_low_ms = Aggregated(mean_low);
   result.goodput_low_tps = Aggregated(goodput_low);
   result.goodput_total_tps = Aggregated(goodput_total);
-  result.abort_rate = Aggregated(abort_rate);
+  result.abort_fraction = Aggregated(abort_fraction);
   return result;
 }
 

@@ -51,8 +51,16 @@ struct ExperimentResult {
   Aggregate mean_low_ms;
   Aggregate goodput_low_tps;
   Aggregate goodput_total_tps;
-  Aggregate abort_rate;  // aborted attempts per committed txn
-  int64_t failed = 0;    // total across repeats
+  /// Fraction of attempts that aborted: aborted / (aborted + committed),
+  /// in [0, 1]. (Formerly `abort_rate` = aborted / committed, which
+  /// exceeded 1.0 under contention and read 0 when everything aborted.)
+  Aggregate abort_fraction;
+  int64_t failed = 0;  // total across repeats
+  /// Registry snapshots of all repeats, merged in repeat order.
+  obs::MetricsSnapshot metrics;
+  /// Sampled transaction traces from all repeats, concatenated in repeat
+  /// order. Empty unless tracing was enabled in the cluster options.
+  std::vector<obs::TxnTrace> traces;
 };
 
 /// Runs one run (single seed) and returns its stats. Exposed for tests.

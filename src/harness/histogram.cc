@@ -55,12 +55,17 @@ double LatencyHistogram::mean() const {
 
 double LatencyHistogram::Percentile(double q) const {
   if (count_ == 0) return 0;
-  auto target = static_cast<uint64_t>(q * static_cast<double>(count_));
-  if (target >= count_) target = count_ - 1;
+  // Nearest-rank: report the bucket holding the ceil(q*n)-th sample. The
+  // previous `seen > floor(q*n)` form skewed one sample high (p50 of two
+  // samples in distinct buckets landed in the upper bucket).
+  auto target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count_)));
+  if (target < 1) target = 1;
+  if (target > count_) target = count_;
   uint64_t seen = 0;
   for (size_t b = 0; b < buckets_.size(); ++b) {
     seen += buckets_[b];
-    if (seen > target) {
+    if (seen >= target) {
       // Geometric midpoint of the bucket.
       double lo = BucketLow(static_cast<int>(b));
       double hi = BucketHigh(static_cast<int>(b));

@@ -7,7 +7,12 @@ namespace natto::harness {
 
 double Percentile(std::vector<double> values, double q) {
   if (values.empty()) return 0;
-  size_t rank = static_cast<size_t>(q * static_cast<double>(values.size()));
+  // Nearest-rank: the smallest value with at least ceil(q*n) values <= it,
+  // i.e. zero-based index ceil(q*n) - 1. floor(q*n) would over-report at
+  // small n (p50 of {1, 2} must be 1, not 2).
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
   if (rank >= values.size()) rank = values.size() - 1;
   std::nth_element(values.begin(),
                    values.begin() + static_cast<long>(rank), values.end());

@@ -5,6 +5,9 @@
 #include <map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace natto::harness {
 
 /// Latencies and counters collected from one experiment run.
@@ -19,6 +22,11 @@ struct RunStats {
   int64_t user_aborted = 0;
   int64_t failed = 0;  // gave up after the retry limit
   double measured_seconds = 0;
+
+  /// Snapshot of the cell's metrics registry, taken after the run drains.
+  obs::MetricsSnapshot metrics;
+  /// Sampled transaction traces (empty unless tracing was enabled).
+  std::vector<obs::TxnTrace> traces;
 
   double GoodputLow() const {
     return measured_seconds > 0 ? static_cast<double>(committed_low) /

@@ -72,7 +72,38 @@ NattoServer::NattoServer(NattoEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
-      kv_(engine->cluster()->options().default_value) {}
+      kv_(engine->cluster()->options().default_value) {
+  obs::MetricsRegistry* reg = engine->cluster()->metrics();
+  const std::string prefix =
+      "natto.server.p" + std::to_string(partition) + ".";
+  stats_.priority_aborts = reg->GetCounter(prefix + "priority_aborts");
+  stats_.pa_suppressed = reg->GetCounter(prefix + "pa_suppressed");
+  stats_.conditional_prepares =
+      reg->GetCounter(prefix + "conditional_prepares");
+  stats_.cp_satisfied = reg->GetCounter(prefix + "cp_satisfied");
+  stats_.cp_failed = reg->GetCounter(prefix + "cp_failed");
+  stats_.order_violation_aborts =
+      reg->GetCounter(prefix + "order_violation_aborts");
+  stats_.occ_aborts = reg->GetCounter(prefix + "occ_aborts");
+  stats_.recsf_forwards = reg->GetCounter(prefix + "recsf_forwards");
+  stats_.stale_retries = reg->GetCounter(prefix + "stale_retries");
+}
+
+NattoServer::Stats NattoServer::stats() const {
+  Stats s;
+  s.priority_aborts = static_cast<uint64_t>(stats_.priority_aborts->value());
+  s.pa_suppressed = static_cast<uint64_t>(stats_.pa_suppressed->value());
+  s.conditional_prepares =
+      static_cast<uint64_t>(stats_.conditional_prepares->value());
+  s.cp_satisfied = static_cast<uint64_t>(stats_.cp_satisfied->value());
+  s.cp_failed = static_cast<uint64_t>(stats_.cp_failed->value());
+  s.order_violation_aborts =
+      static_cast<uint64_t>(stats_.order_violation_aborts->value());
+  s.occ_aborts = static_cast<uint64_t>(stats_.occ_aborts->value());
+  s.recsf_forwards = static_cast<uint64_t>(stats_.recsf_forwards->value());
+  s.stale_retries = static_cast<uint64_t>(stats_.stale_retries->value());
+  return s;
+}
 
 bool NattoServer::ConflictsLocal(const TxnState& a, const TxnState& b) const {
   return Overlaps(a.local_writes, b.local_writes) ||
@@ -88,11 +119,17 @@ void NattoServer::HandleReadPrepare(const NattoWireTxn& txn) {
   st.local_writes = LocalKeys(txn.write_set, partition_, topo);
 
   if (finished_.contains(txn.id)) {
+    stats_.stale_retries->Inc();
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->Instant(txn.id, "stale_retry_refused", partition_, TrueNow());
+      tr->AttributeAbort(txn.id, obs::AbortCause::kStaleRetry);
+    }
     NattoVote v;
     v.id = txn.id;
     v.partition = partition_;
     v.ok = false;
     v.reason = "transaction already finished here";
+    v.cause = obs::AbortCause::kStaleRetry;
     auto* co = engine_->coordinator_by_node(txn.coordinator);
     SendTo(txn.coordinator, kMessageHeaderBytes, [co, v]() { co->HandleVote(v); });
     return;
@@ -118,13 +155,18 @@ void NattoServer::Enqueue(TxnState st) {
       if (it != key_order_ts_.end() && it->second > w.ts) violated = true;
     }
     if (violated) {
-      ++stats_.order_violation_aborts;
+      stats_.order_violation_aborts->Inc();
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->Instant(w.id, "order_violation", partition_, TrueNow());
+        tr->AttributeAbort(w.id, obs::AbortCause::kOrderViolation);
+      }
       finished_.insert(w.id);
       NattoVote v;
       v.id = w.id;
       v.partition = partition_;
       v.ok = false;
       v.reason = "timestamp order violation (late arrival)";
+      v.cause = obs::AbortCause::kOrderViolation;
       auto* co = engine_->coordinator_by_node(w.coordinator);
       SendTo(w.coordinator, kMessageHeaderBytes,
              [co, v]() { co->HandleVote(v); });
@@ -146,7 +188,7 @@ void NattoServer::Enqueue(TxnState st) {
         if (!ConflictsLocal(st, other)) continue;
         if (engine_->options().pa_completion_estimate &&
             LowWillFinishInTime(other, st)) {
-          ++stats_.pa_suppressed;
+          stats_.pa_suppressed->Inc();
           continue;
         }
         victims.push_back(key);
@@ -169,7 +211,7 @@ void NattoServer::Enqueue(TxnState st) {
           if (!ConflictsLocal(st, other)) continue;
           if (engine_->options().pa_completion_estimate &&
               LowWillFinishInTime(st, other)) {
-            ++stats_.pa_suppressed;
+            stats_.pa_suppressed->Inc();
             continue;
           }
           return true;
@@ -184,6 +226,9 @@ void NattoServer::Enqueue(TxnState st) {
   }
 
   OrderKey key{w.ts, w.id};
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(w.id, "queue", partition_, TrueNow());
+  }
   queue_.emplace(key, std::move(st));
   if (now >= w.ts) {
     DrainReady();
@@ -196,6 +241,9 @@ void NattoServer::DrainReady() {
   while (!queue_.empty() && queue_.begin()->first.first <= LocalNow()) {
     TxnState st = std::move(queue_.begin()->second);
     queue_.erase(queue_.begin());
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanEnd(st.txn.id, "queue", partition_, TrueNow());
+    }
     ProcessTxn(std::move(st));
   }
 }
@@ -214,13 +262,18 @@ void NattoServer::ProcessTxn(TxnState st) {
     // Carousel-style OCC for base-level transactions.
     if (conflicts_waiting ||
         prepared_.HasConflict(st.local_reads, st.local_writes)) {
-      ++stats_.occ_aborts;
+      stats_.occ_aborts->Inc();
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->Instant(st.txn.id, "occ_conflict", partition_, TrueNow());
+        tr->AttributeAbort(st.txn.id, obs::AbortCause::kOccConflict);
+      }
       finished_.insert(st.txn.id);
       NattoVote v;
       v.id = st.txn.id;
       v.partition = partition_;
       v.ok = false;
       v.reason = "OCC conflict";
+      v.cause = obs::AbortCause::kOccConflict;
       auto* co = engine_->coordinator_by_node(st.txn.coordinator);
       SendTo(st.txn.coordinator, kMessageHeaderBytes,
              [co, v]() { co->HandleVote(v); });
@@ -233,6 +286,9 @@ void NattoServer::ProcessTxn(TxnState st) {
   // High priority: locking-based. Wait (never abort) on conflicts.
   if (conflicts_waiting) {
     OrderKey key{st.txn.ts, st.txn.id};
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanBegin(st.txn.id, "blocked", partition_, TrueNow());
+    }
     waiting_.emplace(key, std::move(st));
     return;
   }
@@ -265,6 +321,9 @@ void NattoServer::ProcessTxn(TxnState st) {
     }
   }
   OrderKey key{st.txn.ts, st.txn.id};
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(st.txn.id, "blocked", partition_, TrueNow());
+  }
   waiting_.emplace(key, std::move(st));
 }
 
@@ -284,7 +343,11 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
     SimTime& t = key_order_ts_[k];
     t = std::max(t, st.txn.ts);
   }
-  if (conditional) ++stats_.conditional_prepares;
+  if (conditional) stats_.conditional_prepares->Inc();
+  const char* span_name = conditional ? "conditional_prepare" : "prepare";
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(id, span_name, partition_, TrueNow());
+  }
 
   int version = st.read_version;
   net::NodeId coord = st.txn.coordinator;
@@ -296,7 +359,10 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
   // replication completes so it reflects the *current* conditional state:
   // a condition may resolve (or fail) while the prepare is replicating.
   Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), [this, id, version, coord]() {
+      engine_->NextPayloadId(), [this, id, version, coord, span_name]() {
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, span_name, partition_, TrueNow());
+        }
         auto it = prepared_txns_.find(id);
         if (it == prepared_txns_.end()) return;  // aborted or CP discarded
         if (it->second.read_version != version) return;  // superseded
@@ -333,7 +399,11 @@ void NattoServer::ServeReads(TxnState& st) {
 
 void NattoServer::PriorityAbort(const TxnState& victim, const char* why) {
   (void)why;
-  ++stats_.priority_aborts;
+  stats_.priority_aborts->Inc();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(victim.txn.id, "priority_abort", partition_, TrueNow());
+    tr->AttributeAbort(victim.txn.id, obs::AbortCause::kPriorityAbort);
+  }
   finished_.insert(victim.txn.id);
   TxnId id = victim.txn.id;
   auto* co = engine_->coordinator_by_node(victim.txn.coordinator);
@@ -406,7 +476,7 @@ void NattoServer::ResolveConditions(TxnId low, bool low_aborted) {
     int partition = partition_;
     if (low_aborted) {
       // Condition satisfied: the conditional prepare becomes firm.
-      ++stats_.cp_satisfied;
+      stats_.cp_satisfied->Inc();
       st.conditional = false;
       st.condition_on = 0;
       auto* co = engine_->coordinator_by_node(coord);
@@ -417,7 +487,7 @@ void NattoServer::ResolveConditions(TxnId low, bool low_aborted) {
       // Condition failed: discard the conditional prepare and re-run the
       // normal path (the blocker just committed, so the retry will read its
       // writes once applied).
-      ++stats_.cp_failed;
+      stats_.cp_failed->Inc();
       TxnState moved = std::move(st);
       prepared_.Remove(id);
       prepared_txns_.erase(id);
@@ -428,6 +498,9 @@ void NattoServer::ResolveConditions(TxnId low, bool low_aborted) {
         co->HandleConditionResolved(id, partition, /*satisfied=*/false);
       });
       OrderKey key{moved.txn.ts, moved.txn.id};
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->SpanBegin(moved.txn.id, "blocked", partition_, TrueNow());
+      }
       waiting_.emplace(key, std::move(moved));
     }
   }
@@ -451,6 +524,9 @@ void NattoServer::RescanWaiting() {
       if (prepared_.HasConflict(st.local_reads, st.local_writes)) continue;
       TxnState ready = std::move(st);
       waiting_.erase(it);
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->SpanEnd(ready.txn.id, "blocked", partition_, TrueNow());
+      }
       PrepareNow(std::move(ready), /*conditional=*/false, 0);
       progress = true;
       break;  // iterators invalidated; restart scan
@@ -508,7 +584,7 @@ bool NattoServer::EstimatePriorityAbortElsewhere(const TxnState& high,
 
 void NattoServer::ForwardReadsRemote(const TxnState& high,
                                      const TxnState& blocker) {
-  ++stats_.recsf_forwards;
+  stats_.recsf_forwards->Inc();
   // Keys the blocker will overwrite are served by the blocker's coordinator
   // as soon as it commits; the rest are unaffected by the blocker and can be
   // read here immediately.
@@ -568,11 +644,12 @@ void NattoCoordinator::HandleBegin(const NattoWireTxn& txn,
   st.begun = true;
   st.participants = std::move(participants);
   if (st.priority_aborted) {
-    Decide(txn.id, /*commit=*/false, "priority abort");
+    Decide(txn.id, /*commit=*/false, "priority abort",
+           obs::AbortCause::kPriorityAbort);
     return;
   }
   if (st.failed) {
-    Decide(txn.id, /*commit=*/false, st.failed_reason);
+    Decide(txn.id, /*commit=*/false, st.failed_reason, st.failed_cause);
     return;
   }
   MaybeDecide(txn.id);
@@ -586,7 +663,8 @@ void NattoCoordinator::HandleVote(const NattoVote& vote) {
   if (!vote.ok) {
     st.failed = true;
     st.failed_reason = vote.reason;
-    if (st.begun) Decide(vote.id, /*commit=*/false, vote.reason);
+    st.failed_cause = vote.cause;
+    if (st.begun) Decide(vote.id, /*commit=*/false, vote.reason, vote.cause);
     return;
   }
   VoteState& vs = st.votes[vote.partition];
@@ -623,7 +701,8 @@ void NattoCoordinator::HandlePriorityAbort(TxnId id) {
     it->second.priority_aborted = true;
     return;
   }
-  Decide(id, /*commit=*/false, "priority abort");
+  Decide(id, /*commit=*/false, "priority abort",
+         obs::AbortCause::kPriorityAbort);
 }
 
 void NattoCoordinator::HandleRound2(TxnId id,
@@ -635,7 +714,9 @@ void NattoCoordinator::HandleRound2(TxnId id,
   TxnState& st = it->second;
   if (user_abort) {
     st.user_abort = true;
-    if (st.begun) Decide(id, /*commit=*/false, "user abort");
+    if (st.begun) {
+      Decide(id, /*commit=*/false, "user abort", obs::AbortCause::kUserAbort);
+    }
     return;
   }
   st.have_writes = true;
@@ -668,7 +749,7 @@ void NattoCoordinator::MaybeDecide(TxnId id) {
   TxnState& st = it->second;
   if (!st.begun) return;
   if (st.user_abort) {
-    Decide(id, /*commit=*/false, "user abort");
+    Decide(id, /*commit=*/false, "user abort", obs::AbortCause::kUserAbort);
     return;
   }
   if (st.participants.empty() || !st.have_writes) return;
@@ -682,11 +763,11 @@ void NattoCoordinator::MaybeDecide(TxnId id) {
       return;  // client's writes were computed from superseded reads
     }
   }
-  Decide(id, /*commit=*/true, "");
+  Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
 }
 
-void NattoCoordinator::Decide(TxnId id, bool commit,
-                              const std::string& reason) {
+void NattoCoordinator::Decide(TxnId id, bool commit, const std::string& reason,
+                              obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   TxnState st = std::move(it->second);
@@ -695,14 +776,19 @@ void NattoCoordinator::Decide(TxnId id, bool commit,
 
   const txn::Topology& topo = engine_->cluster()->topology();
 
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(id, commit ? "decide_commit" : "decide_abort", -1, TrueNow());
+  }
+
   auto* gw = engine_->gateway_by_node(st.txn.client);
   txn::TxnOutcome outcome =
       commit ? txn::TxnOutcome::kCommitted
              : (st.user_abort ? txn::TxnOutcome::kUserAborted
                               : txn::TxnOutcome::kAborted);
-  SendTo(st.txn.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
-    gw->HandleDecision(id, outcome, reason);
-  });
+  SendTo(st.txn.client, kMessageHeaderBytes,
+         [gw, id, outcome, reason, cause]() {
+           gw->HandleDecision(id, outcome, reason, cause);
+         });
 
   for (int p : st.participants) {
     auto* srv = engine_->server(p);
@@ -781,7 +867,12 @@ void NattoCoordinator::ServeRecsf(
 
 NattoGateway::NattoGateway(NattoEngine* engine, int site, sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {}
+      engine_(engine) {
+  obs::MetricsRegistry* reg = engine->cluster()->metrics();
+  const std::string prefix = "natto.gateway.s" + std::to_string(site) + ".";
+  refresh_fetches_metric_ = reg->GetCounter(prefix + "refresh_fetches");
+  quota_demotions_metric_ = reg->GetCounter(prefix + "quota_demotions");
+}
 
 void NattoGateway::RefreshEstimates() {
   if (refresh_running_) return;  // a refresh loop is already scheduled
@@ -790,7 +881,7 @@ void NattoGateway::RefreshEstimates() {
 }
 
 void NattoGateway::RefreshTick() {
-  ++refresh_fetches_;
+  refresh_fetches_metric_->Inc();
   auto* proxy = engine_->proxy_at(site());
   // Fetch the proxy's current estimates with a local round trip.
   SendTo(proxy->id(), kMessageHeaderBytes, [this, proxy]() {
@@ -830,7 +921,7 @@ bool NattoGateway::AdmitPrioritized() {
     quota_tokens_ -= 1.0;
     return true;
   }
-  ++quota_demotions_;
+  quota_demotions_metric_->Inc();
   return false;
 }
 
@@ -864,6 +955,10 @@ void NattoGateway::StartTxn(const txn::TxnRequest& request,
     max_est = std::max(max_est, est);
   }
   w.ts = now + max_est + engine_->options().extra_ts_slack;
+
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->TxnBegin(request.id, txn::PriorityLevel(w.priority), TrueNow());
+  }
 
   ClientTxn st;
   st.request = request;
@@ -944,15 +1039,25 @@ void NattoGateway::MaybeSendRound2(TxnId id) {
 }
 
 void NattoGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
-                                  std::string reason) {
+                                  std::string reason, obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   ClientTxn st = std::move(it->second);
   txns_.erase(it);
 
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    const char* name = outcome == txn::TxnOutcome::kCommitted ? "committed"
+                       : outcome == txn::TxnOutcome::kUserAborted
+                           ? "user_aborted"
+                           : "aborted";
+    tr->TxnEnd(id, name, cause, TrueNow());
+  }
+
   txn::TxnResult result;
   result.outcome = outcome;
   result.abort_reason = std::move(reason);
+  result.abort_cause =
+      outcome == txn::TxnOutcome::kCommitted ? obs::AbortCause::kNone : cause;
   if (outcome == txn::TxnOutcome::kCommitted) {
     const txn::Topology& topo = engine_->cluster()->topology();
     for (Key k : st.request.read_set) {
@@ -1054,7 +1159,7 @@ Value NattoEngine::DebugValue(Key key) {
 NattoServer::Stats NattoEngine::TotalStats() const {
   NattoServer::Stats total;
   for (const auto& s : servers_) {
-    const NattoServer::Stats& st = s->stats();
+    const NattoServer::Stats st = s->stats();
     total.priority_aborts += st.priority_aborts;
     total.pa_suppressed += st.pa_suppressed;
     total.conditional_prepares += st.conditional_prepares;
@@ -1063,6 +1168,7 @@ NattoServer::Stats NattoEngine::TotalStats() const {
     total.order_violation_aborts += st.order_violation_aborts;
     total.occ_aborts += st.occ_aborts;
     total.recsf_forwards += st.recsf_forwards;
+    total.stale_retries += st.stale_retries;
   }
   return total;
 }

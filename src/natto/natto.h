@@ -10,6 +10,8 @@
 
 #include "net/node.h"
 #include "net/prober.h"
+#include "obs/abort_cause.h"
+#include "obs/metrics.h"
 #include "store/kv_store.h"
 #include "store/prepared_set.h"
 #include "txn/cluster.h"
@@ -81,6 +83,8 @@ struct NattoVote {
   bool conditional = false;      // conditional prepare (Sec 3.3.2)
   TxnId condition_on = 0;        // ...on this txn being priority-aborted
   std::string reason;
+  /// Taxonomy cause when ok == false.
+  obs::AbortCause cause = obs::AbortCause::kNone;
 };
 
 /// Natto partition leader: timestamp-ordered transaction queue, OCC for
@@ -100,7 +104,9 @@ class NattoServer : public net::Node {
   size_t queue_size() const { return queue_.size(); }
   size_t waiting_size() const { return waiting_.size(); }
 
-  /// Counters for tests and the ablation benches.
+  /// Counter values for tests and the ablation benches. Backed by the
+  /// cluster's metrics registry (`natto.server.p<N>.<field>`); this struct
+  /// is a value snapshot assembled on demand.
   struct Stats {
     uint64_t priority_aborts = 0;
     uint64_t pa_suppressed = 0;       // completion-estimate suppressions
@@ -110,8 +116,9 @@ class NattoServer : public net::Node {
     uint64_t order_violation_aborts = 0;
     uint64_t occ_aborts = 0;
     uint64_t recsf_forwards = 0;
+    uint64_t stale_retries = 0;  // duplicate attempts refused as finished
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   friend class NattoEngine;
@@ -177,7 +184,19 @@ class NattoServer : public net::Node {
   /// Largest prepare timestamp per key (late-arrival ordering checks).
   std::unordered_map<Key, SimTime> key_order_ts_;
 
-  Stats stats_;
+  /// Registry-backed stat counters (see stats()).
+  struct StatCounters {
+    obs::Counter* priority_aborts;
+    obs::Counter* pa_suppressed;
+    obs::Counter* conditional_prepares;
+    obs::Counter* cp_satisfied;
+    obs::Counter* cp_failed;
+    obs::Counter* order_violation_aborts;
+    obs::Counter* occ_aborts;
+    obs::Counter* recsf_forwards;
+    obs::Counter* stale_retries;
+  };
+  StatCounters stats_;
 };
 
 /// Natto transaction coordinator: Carousel-style 2PC with conditional-vote
@@ -219,6 +238,7 @@ class NattoCoordinator : public net::Node {
     bool begun = false;
     bool failed = false;            // a vote refused before Begin arrived
     std::string failed_reason;
+    obs::AbortCause failed_cause = obs::AbortCause::kNone;
     bool priority_aborted = false;  // PA notice arrived before Begin
     std::vector<int> participants;
     std::unordered_map<int, VoteState> votes;
@@ -239,7 +259,8 @@ class NattoCoordinator : public net::Node {
   };
 
   void MaybeDecide(TxnId id);
-  void Decide(TxnId id, bool commit, const std::string& reason);
+  void Decide(TxnId id, bool commit, const std::string& reason,
+              obs::AbortCause cause);
   void ServeRecsf(const PendingRecsf& req,
                   const std::vector<std::pair<Key, Value>>& writes);
 
@@ -261,7 +282,8 @@ class NattoGateway : public net::Node {
   void StartTxn(const txn::TxnRequest& request, txn::TxnCallback done);
   void HandleReadResults(TxnId id, int partition, int read_version,
                          std::vector<txn::ReadResult> reads);
-  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
+  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason,
+                      obs::AbortCause cause);
 
   /// Starts the periodic estimate-refresh loop from the proxy. Idempotent:
   /// a second call while the loop is running is a no-op (without the guard
@@ -271,10 +293,14 @@ class NattoGateway : public net::Node {
   SimDuration EstimatedOneWay(int partition) const;
 
   /// Prioritized transactions demoted to low priority by the quota.
-  uint64_t quota_demotions() const { return quota_demotions_; }
+  uint64_t quota_demotions() const {
+    return static_cast<uint64_t>(quota_demotions_metric_->value());
+  }
 
   /// Refresh fetches issued so far (test hook for the re-entrancy guard).
-  uint64_t refresh_fetches() const { return refresh_fetches_; }
+  uint64_t refresh_fetches() const {
+    return static_cast<uint64_t>(refresh_fetches_metric_->value());
+  }
 
  private:
   friend class NattoEngine;
@@ -306,10 +332,10 @@ class NattoGateway : public net::Node {
   std::unordered_map<TxnId, ClientTxn> txns_;
   std::unordered_map<int, SimDuration> cached_estimates_;  // partition -> ow
   bool refresh_running_ = false;
-  uint64_t refresh_fetches_ = 0;
+  obs::Counter* refresh_fetches_metric_;
   double quota_tokens_ = 0;
   SimTime quota_last_refill_ = 0;
-  uint64_t quota_demotions_ = 0;
+  obs::Counter* quota_demotions_metric_;
 };
 
 /// Natto (SIGMOD'22): geo-distributed transaction processing with

@@ -1,6 +1,7 @@
 #include "net/delay_estimator.h"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "common/logging.h"
@@ -19,8 +20,10 @@ void DelayEstimator::AddSample(SimTime now, SimDuration delay) {
 }
 
 void DelayEstimator::Evict(SimTime now) const {
+  // Keep the full closed window [now - window, now]: a sample taken exactly
+  // at the cutoff is still inside the probe window.
   SimTime cutoff = now - window_;
-  while (!samples_.empty() && samples_.front().first <= cutoff) {
+  while (!samples_.empty() && samples_.front().first < cutoff) {
     samples_.pop_front();
   }
 }
@@ -36,8 +39,10 @@ SimDuration DelayEstimator::Estimate(SimTime now) const {
   std::vector<SimDuration> values;
   values.reserve(samples_.size());
   for (const auto& [t, d] : samples_) values.push_back(d);
-  // Index of the quantile element (nearest-rank method).
-  size_t rank = static_cast<size_t>(quantile_ * static_cast<double>(values.size()));
+  // Index of the quantile element (nearest-rank method): ceil(q*n) - 1.
+  size_t rank = static_cast<size_t>(
+      std::ceil(quantile_ * static_cast<double>(values.size())));
+  if (rank > 0) --rank;
   if (rank >= values.size()) rank = values.size() - 1;
   std::nth_element(values.begin(), values.begin() + rank, values.end());
   return values[rank];

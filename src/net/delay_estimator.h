@@ -27,7 +27,7 @@ class DelayEstimator {
 
   bool HasSamples(SimTime now) const;
 
-  /// The configured quantile of samples in (now - window, now]. Requires at
+  /// The configured quantile of samples in [now - window, now]. Requires at
   /// least one in-window sample (check HasSamples()); returns 0 otherwise.
   SimDuration Estimate(SimTime now) const;
 

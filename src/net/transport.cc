@@ -70,9 +70,20 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
                      std::function<void()> deliver) {
   NATTO_DCHECK(from >= 0 && from < num_nodes());
   NATTO_DCHECK(to >= 0 && to < num_nodes());
+  // A crashed endpoint means nothing enters the network: count the message
+  // as a drop, not as sent traffic (a crashed sender must not inflate the
+  // traffic stats).
+  if (node_crashed_[from] || node_crashed_[to]) {
+    ++messages_dropped_;
+    if (messages_dropped_metric_) messages_dropped_metric_->Inc();
+    return;
+  }
   ++messages_sent_;
   bytes_sent_ += bytes;
-  if (node_crashed_[from] || node_crashed_[to]) return;
+  if (messages_sent_metric_) {
+    messages_sent_metric_->Inc();
+    bytes_sent_metric_->Inc(static_cast<int64_t>(bytes));
+  }
 
   int sa = node_sites_[from];
   int sb = node_sites_[to];
@@ -103,6 +114,7 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     SimDuration rto = options_.retransmit_timeout;
     while (rng_.Bernoulli(options_.packet_loss)) {
       ++messages_lost_;
+      if (messages_lost_metric_) messages_lost_metric_->Inc();
       if (first) {
         delay += std::max<SimDuration>(rtt, Millis(1));
         first = false;
@@ -127,9 +139,25 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   }
 
   simulator_->ScheduleAt(done, [this, to, deliver = std::move(deliver)]() {
-    if (node_crashed_[to]) return;
+    if (node_crashed_[to]) {
+      ++messages_dropped_;
+      if (messages_dropped_metric_) messages_dropped_metric_->Inc();
+      return;
+    }
     deliver();
   });
+}
+
+void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
+  NATTO_CHECK(registry != nullptr);
+  messages_sent_metric_ = registry->GetCounter("net.messages_sent");
+  bytes_sent_metric_ = registry->GetCounter("net.bytes_sent");
+  messages_dropped_metric_ = registry->GetCounter("net.messages_dropped");
+  messages_lost_metric_ = registry->GetCounter("net.messages_lost");
+  messages_sent_metric_->Inc(static_cast<int64_t>(messages_sent_));
+  bytes_sent_metric_->Inc(static_cast<int64_t>(bytes_sent_));
+  messages_dropped_metric_->Inc(static_cast<int64_t>(messages_dropped_));
+  messages_lost_metric_->Inc(static_cast<int64_t>(messages_lost_));
 }
 
 }  // namespace natto::net

@@ -10,6 +10,7 @@
 #include "common/sim_time.h"
 #include "net/delay_model.h"
 #include "net/latency_matrix.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace natto::net {
@@ -79,11 +80,20 @@ class Transport {
   void SetNodeCrashed(NodeId node, bool crashed);
   bool IsNodeCrashed(NodeId node) const;
 
+  /// Mirrors the traffic counters into `registry` (`net.messages_sent`,
+  /// `net.bytes_sent`, `net.messages_dropped`, `net.messages_lost`).
+  /// Optional: transports built directly in tests skip this.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
+
   sim::Simulator* simulator() { return simulator_; }
   const LatencyMatrix& matrix() const { return *matrix_; }
 
+  /// Traffic that actually entered the network. Messages refused because an
+  /// endpoint was crashed at send time, or whose receiver was crashed at
+  /// delivery time, count as drops instead.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t messages_lost() const { return messages_lost_; }
 
  private:
@@ -105,7 +115,14 @@ class Transport {
 
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
   uint64_t messages_lost_ = 0;
+
+  // Registry mirrors; null until RegisterMetrics.
+  obs::Counter* messages_sent_metric_ = nullptr;
+  obs::Counter* bytes_sent_metric_ = nullptr;
+  obs::Counter* messages_dropped_metric_ = nullptr;
+  obs::Counter* messages_lost_metric_ = nullptr;
 };
 
 }  // namespace natto::net

@@ -1,0 +1,70 @@
+#ifndef NATTO_OBS_ABORT_CAUSE_H_
+#define NATTO_OBS_ABORT_CAUSE_H_
+
+namespace natto::obs {
+
+/// Why a transaction attempt aborted. Every abort path in every engine maps
+/// to exactly one cause; the harness client counts aborts per cause into the
+/// metrics registry (`client.abort_cause.<name>`), which is what makes an
+/// abort-rate regression debuggable without printf. `kNone` is reserved for
+/// non-aborted outcomes — an engine that reports a system abort with
+/// `kNone` shows up as `client.abort_cause.unknown`, which the taxonomy
+/// tests pin to zero.
+enum class AbortCause : int {
+  kNone = 0,
+  /// The client's write computation chose to abort after round 1.
+  kUserAbort,
+  /// OCC validation failed: conflict with a prepared/waiting transaction, or
+  /// a stale read version (Carousel basic, Natto low-priority path, TAPIR).
+  kOccConflict,
+  /// Natto priority abort (Sec 3.3.1): preempted by, or arrived conflicting
+  /// with, a strictly higher-priority transaction.
+  kPriorityAbort,
+  /// Natto late arrival (Sec 2.2): the request arrived after its execution
+  /// timestamp and a conflicting larger-timestamp transaction had already
+  /// prepared.
+  kOrderViolation,
+  /// A participant had already finished (committed/aborted) this txn id and
+  /// tombstoned it; the duplicate attempt is refused.
+  kStaleRetry,
+  /// Carousel fast path: the leader-arbitrated slow-path fallback refused
+  /// the prepare (stale client reads or a conflict at the leader).
+  kFastPathFailed,
+  /// 2PL wound-wait / priority preemption: a participant wounded the
+  /// transaction on behalf of a higher-priority or older one.
+  kWound,
+  /// The prepare record could not be replicated (leader lost its group).
+  kReplicationFailed,
+  kNumCauses,  // sentinel, keep last
+};
+
+/// Stable lowercase name used in metric keys and trace output.
+inline const char* AbortCauseName(AbortCause c) {
+  switch (c) {
+    case AbortCause::kNone:
+      return "none";
+    case AbortCause::kUserAbort:
+      return "user_abort";
+    case AbortCause::kOccConflict:
+      return "occ_conflict";
+    case AbortCause::kPriorityAbort:
+      return "priority_abort";
+    case AbortCause::kOrderViolation:
+      return "order_violation";
+    case AbortCause::kStaleRetry:
+      return "stale_retry";
+    case AbortCause::kFastPathFailed:
+      return "fast_path_failed";
+    case AbortCause::kWound:
+      return "wound";
+    case AbortCause::kReplicationFailed:
+      return "replication_failed";
+    case AbortCause::kNumCauses:
+      break;
+  }
+  return "unknown";
+}
+
+}  // namespace natto::obs
+
+#endif  // NATTO_OBS_ABORT_CAUSE_H_

@@ -35,7 +35,13 @@ SpannerServer::SpannerServer(SpannerEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
-      kv_(engine->cluster()->options().default_value) {}
+      kv_(engine->cluster()->options().default_value) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "spanner.p" + std::to_string(partition) + ".";
+  wounds_issued_ = m->GetCounter(prefix + "wounds_issued");
+  stale_vote_no_ = m->GetCounter(prefix + "stale_vote_no");
+  locks_.RegisterMetrics(m, prefix + "locks");
+}
 
 int SpannerServer::LockPriority(const SpannerTxnMeta& meta) const {
   if (engine_->options().policy == PreemptPolicy::kNone) return 0;
@@ -49,6 +55,9 @@ void SpannerServer::HandleReadLock(const SpannerTxnMeta& meta,
   lt.meta = meta;
   lt.read_keys = keys;
   TxnId id = meta.id;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(id, "read_lock", partition_, TrueNow());
+  }
   AcquireAll(id, keys, store::LockMode::kShared,
              [this, id]() { ServeReads(id); });
 }
@@ -168,6 +177,13 @@ void SpannerServer::ResolveBlockers(const SpannerTxnMeta& meta,
 void SpannerServer::WoundLocal(TxnId victim) {
   auto it = txns_.find(victim);
   if (it == txns_.end()) return;
+  wounds_issued_->Inc();
+  // The wound is not yet a definite abort (the coordinator ignores it if
+  // the transaction already committed), so only an instant is recorded;
+  // cause attribution happens at the coordinator's decision.
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(victim, "wound", partition_, TrueNow());
+  }
   // A participant cannot unilaterally abort a transaction that may be
   // prepared elsewhere: the wound is routed through the victim's
   // coordinator, which aborts it globally iff it has not committed yet.
@@ -186,6 +202,9 @@ void SpannerServer::ServeReads(TxnId id) {
   LocalTxn& lt = it->second;
   if (lt.reads_served) return;
   lt.reads_served = true;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanEnd(id, "read_lock", partition_, TrueNow());
+  }
   std::vector<txn::ReadResult> results;
   results.reserve(lt.read_keys.size());
   for (Key k : lt.read_keys) {
@@ -204,11 +223,12 @@ void SpannerServer::HandlePrepare(const SpannerTxnMeta& meta,
                                   std::vector<std::pair<Key, Value>> writes) {
   if (finished_.contains(meta.id)) {
     // Wounded before the prepare arrived: vote no.
+    stale_vote_no_->Inc();
     auto* co = engine_->coordinator_by_node(meta.coordinator);
     int partition = partition_;
     TxnId id = meta.id;
     SendTo(meta.coordinator, kMessageHeaderBytes, [co, id, partition]() {
-      co->HandleVote(id, partition, /*ok=*/false);
+      co->HandleVote(id, partition, /*ok=*/false, obs::AbortCause::kWound);
     });
     return;
   }
@@ -216,6 +236,9 @@ void SpannerServer::HandlePrepare(const SpannerTxnMeta& meta,
   lt.meta = meta;
   lt.writes = std::move(writes);
   lt.preparing = true;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanBegin(meta.id, "prepare", partition_, TrueNow());
+  }
   std::vector<Key> write_keys;
   write_keys.reserve(lt.writes.size());
   for (const auto& [k, v] : lt.writes) write_keys.push_back(k);
@@ -229,6 +252,9 @@ void SpannerServer::FinishPrepare(TxnId id) {
   if (it == txns_.end()) return;
   LocalTxn& lt = it->second;
   auto vote = [this, id, coord = lt.meta.coordinator]() {
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanEnd(id, "prepare", partition_, TrueNow());
+    }
     auto* co = engine_->coordinator_by_node(coord);
     int partition = partition_;
     SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
@@ -280,7 +306,13 @@ void SpannerServer::HandleAbort(TxnId id) {
 SpannerCoordinator::SpannerCoordinator(SpannerEngine* engine, int site,
                                        sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {}
+      engine_(engine) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "spanner.coord.s" + std::to_string(site) + ".";
+  wounds_received_ = m->GetCounter(prefix + "wounds_received");
+  commits_ = m->GetCounter(prefix + "commits");
+  aborts_ = m->GetCounter(prefix + "aborts");
+}
 
 void SpannerCoordinator::HandleBegin(const SpannerTxnMeta& meta,
                                      std::vector<int> participants) {
@@ -291,15 +323,18 @@ void SpannerCoordinator::HandleBegin(const SpannerTxnMeta& meta,
   st.participants = std::move(participants);
   if (early_wounds_.erase(meta.id) > 0 || st.wounded) {
     // Wounded before the begin arrived (possible under jitter).
-    Decide(meta.id, /*commit=*/false, "wounded");
+    Decide(meta.id, /*commit=*/false, "wounded", obs::AbortCause::kWound);
     return;
   }
   if (st.user_abort) {
-    Decide(meta.id, /*commit=*/false, "user abort");
+    Decide(meta.id, /*commit=*/false, "user abort",
+           obs::AbortCause::kUserAbort);
     return;
   }
   if (st.any_fail) {
-    Decide(meta.id, /*commit=*/false, "prepare refused");
+    Decide(meta.id, /*commit=*/false, "prepare refused",
+           st.fail_cause == obs::AbortCause::kNone ? obs::AbortCause::kWound
+                                                   : st.fail_cause);
     return;
   }
   if (st.have_round2 && !st.prepare_started) StartPrepareRound(meta.id);
@@ -315,7 +350,9 @@ void SpannerCoordinator::HandleRound2(TxnId id,
   st.have_round2 = true;
   if (user_abort) {
     st.user_abort = true;
-    if (st.begun) Decide(id, /*commit=*/false, "user abort");
+    if (st.begun) {
+      Decide(id, /*commit=*/false, "user abort", obs::AbortCause::kUserAbort);
+    }
     return;
   }
   st.writes = std::move(writes);
@@ -341,13 +378,19 @@ void SpannerCoordinator::StartPrepareRound(TxnId id) {
   MaybeCommit(id);
 }
 
-void SpannerCoordinator::HandleVote(TxnId id, int partition, bool ok) {
+void SpannerCoordinator::HandleVote(TxnId id, int partition, bool ok,
+                                    obs::AbortCause cause) {
   if (decided_.contains(id)) return;
   auto it = txns_.try_emplace(id).first;
   TxnState& st = it->second;
   if (!ok) {
     st.any_fail = true;
-    if (st.begun) Decide(id, /*commit=*/false, "prepare refused");
+    if (st.fail_cause == obs::AbortCause::kNone) st.fail_cause = cause;
+    if (st.begun) {
+      Decide(id, /*commit=*/false, "prepare refused",
+             st.fail_cause == obs::AbortCause::kNone ? obs::AbortCause::kWound
+                                                     : st.fail_cause);
+    }
     return;
   }
   st.ok_votes.insert(partition);
@@ -356,6 +399,7 @@ void SpannerCoordinator::HandleVote(TxnId id, int partition, bool ok) {
 
 void SpannerCoordinator::HandleWound(TxnId id) {
   if (decided_.contains(id)) return;
+  wounds_received_->Inc();
   auto it = txns_.find(id);
   if (it == txns_.end()) {
     early_wounds_.insert(id);
@@ -365,7 +409,7 @@ void SpannerCoordinator::HandleWound(TxnId id) {
     it->second.wounded = true;
     return;
   }
-  Decide(id, /*commit=*/false, "wounded");
+  Decide(id, /*commit=*/false, "wounded", obs::AbortCause::kWound);
 }
 
 void SpannerCoordinator::MaybeCommit(TxnId id) {
@@ -375,11 +419,11 @@ void SpannerCoordinator::MaybeCommit(TxnId id) {
   if (!st.begun || !st.prepare_started) return;
   if (st.ok_votes.size() != st.participants.size()) return;
   if (st.writes.empty()) {
-    Decide(id, /*commit=*/true, "");
+    Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
     return;
   }
   if (st.own_replicated) {
-    Decide(id, /*commit=*/true, "");
+    Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
     return;
   }
   // Replicate the commit decision + write data at the coordinator, then
@@ -391,27 +435,34 @@ void SpannerCoordinator::MaybeCommit(TxnId id) {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         it2->second.own_replicated = true;
-        Decide(id, /*commit=*/true, "");
+        Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
       });
   NATTO_CHECK(s.ok());
 }
 
 void SpannerCoordinator::Decide(TxnId id, bool commit,
-                                const std::string& reason) {
+                                const std::string& reason,
+                                obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   TxnState st = std::move(it->second);
   txns_.erase(it);
   decided_.insert(id);
 
+  (commit ? commits_ : aborts_)->Inc();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(id, commit ? "decide_commit" : "decide_abort", -1, TrueNow());
+  }
+
   auto* gw = engine_->gateway_by_node(st.meta.client);
   txn::TxnOutcome outcome =
       commit ? txn::TxnOutcome::kCommitted
              : (st.user_abort ? txn::TxnOutcome::kUserAborted
                               : txn::TxnOutcome::kAborted);
-  SendTo(st.meta.client, kMessageHeaderBytes, [gw, id, outcome, reason]() {
-    gw->HandleDecision(id, outcome, reason);
-  });
+  SendTo(st.meta.client, kMessageHeaderBytes,
+         [gw, id, outcome, reason, cause]() {
+           gw->HandleDecision(id, outcome, reason, cause);
+         });
 
   for (int p : st.participants) {
     auto* srv = engine_->server(p);
@@ -449,6 +500,11 @@ void SpannerGateway::StartTxn(const txn::TxnRequest& request,
   std::vector<int> participants =
       topo.Participants(request.read_set, request.write_set);
   std::vector<int> read_partitions = topo.Participants(request.read_set, {});
+
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->TxnBegin(request.id, txn::PriorityLevel(request.priority), TrueNow());
+    tr->SpanBegin(request.id, "round1", /*partition=*/-1, TrueNow());
+  }
 
   ClientTxn st;
   st.request = request;
@@ -489,6 +545,9 @@ void SpannerGateway::MaybeFinishRound1(TxnId id) {
   ClientTxn& st = it->second;
   if (!st.awaiting_reads.empty() || st.sent_round2) return;
   st.sent_round2 = true;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanEnd(id, "round1", /*partition=*/-1, TrueNow());
+  }
 
   std::vector<txn::ReadResult> ordered;
   ordered.reserve(st.request.read_set.size());
@@ -513,15 +572,26 @@ void SpannerGateway::MaybeFinishRound1(TxnId id) {
 }
 
 void SpannerGateway::HandleDecision(TxnId id, txn::TxnOutcome outcome,
-                                    std::string reason) {
+                                    std::string reason,
+                                    obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   ClientTxn st = std::move(it->second);
   txns_.erase(it);
 
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    const char* name = outcome == txn::TxnOutcome::kCommitted ? "committed"
+                       : outcome == txn::TxnOutcome::kUserAborted
+                           ? "user_aborted"
+                           : "aborted";
+    tr->TxnEnd(id, name, cause, TrueNow());
+  }
+
   txn::TxnResult result;
   result.outcome = outcome;
   result.abort_reason = std::move(reason);
+  result.abort_cause =
+      outcome == txn::TxnOutcome::kCommitted ? obs::AbortCause::kNone : cause;
   if (outcome == txn::TxnOutcome::kCommitted) {
     for (Key k : st.request.read_set) {
       auto r = st.reads.find(k);

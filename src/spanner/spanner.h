@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/abort_cause.h"
+#include "obs/metrics.h"
 #include "store/kv_store.h"
 #include "store/lock_table.h"
 #include "txn/cluster.h"
@@ -100,6 +102,11 @@ class SpannerServer : public net::Node {
   store::LockTable locks_;
   std::unordered_map<TxnId, LocalTxn> txns_;
   std::unordered_set<TxnId> finished_;
+
+  // Registered under spanner.p<N>. (lock-table contention counters live
+  // under spanner.p<N>.locks.).
+  obs::Counter* wounds_issued_ = nullptr;
+  obs::Counter* stale_vote_no_ = nullptr;
 };
 
 /// 2PC coordinator colocated with the client's datacenter.
@@ -110,7 +117,9 @@ class SpannerCoordinator : public net::Node {
   void HandleBegin(const SpannerTxnMeta& meta, std::vector<int> participants);
   void HandleRound2(TxnId id, std::vector<std::pair<Key, Value>> writes,
                     bool user_abort);
-  void HandleVote(TxnId id, int partition, bool ok);
+  /// No votes carry the refusing server's abort cause for attribution.
+  void HandleVote(TxnId id, int partition, bool ok,
+                  obs::AbortCause cause = obs::AbortCause::kNone);
   /// A participant wounded/preempted the transaction.
   void HandleWound(TxnId id);
 
@@ -123,6 +132,8 @@ class SpannerCoordinator : public net::Node {
     std::vector<int> participants;
     std::unordered_set<int> ok_votes;
     bool any_fail = false;
+    /// Cause of the first failed vote (first-wins; kNone until any_fail).
+    obs::AbortCause fail_cause = obs::AbortCause::kNone;
     bool have_round2 = false;
     bool prepare_started = false;
     bool own_replicated = false;
@@ -133,12 +144,18 @@ class SpannerCoordinator : public net::Node {
 
   void StartPrepareRound(TxnId id);
   void MaybeCommit(TxnId id);
-  void Decide(TxnId id, bool commit, const std::string& reason);
+  void Decide(TxnId id, bool commit, const std::string& reason,
+              obs::AbortCause cause);
 
   SpannerEngine* engine_;
   std::unordered_map<TxnId, TxnState> txns_;
   std::unordered_set<TxnId> early_wounds_;
   std::unordered_set<TxnId> decided_;
+
+  // Registered under spanner.coord.s<site>.
+  obs::Counter* wounds_received_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* aborts_ = nullptr;
 };
 
 /// Client library: runs the sequential phases and reports the outcome.
@@ -149,7 +166,8 @@ class SpannerGateway : public net::Node {
   void StartTxn(const txn::TxnRequest& request, txn::TxnCallback done);
   void HandleReadResults(TxnId id, int partition,
                          std::vector<txn::ReadResult> reads);
-  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason);
+  void HandleDecision(TxnId id, txn::TxnOutcome outcome, std::string reason,
+                      obs::AbortCause cause = obs::AbortCause::kNone);
 
  private:
   struct ClientTxn {

@@ -6,6 +6,16 @@
 
 namespace natto::store {
 
+void LockTable::RegisterMetrics(obs::MetricsRegistry* registry,
+                                const std::string& prefix) {
+  NATTO_CHECK(registry != nullptr);
+  acquired_immediate_metric_ =
+      registry->GetCounter(prefix + ".acquired_immediate");
+  queued_metric_ = registry->GetCounter(prefix + ".queued");
+  granted_after_wait_metric_ =
+      registry->GetCounter(prefix + ".granted_after_wait");
+}
+
 bool LockTable::Compatible(const LockState& st, TxnId txn,
                            LockMode mode) const {
   for (const HolderInfo& h : st.holders) {
@@ -34,6 +44,7 @@ LockTable::AcquireResult LockTable::Acquire(
     // Upgrade S -> X: possible iff sole holder.
     if (st.holders.size() == 1) {
       own->mode = LockMode::kExclusive;
+      if (acquired_immediate_metric_) acquired_immediate_metric_->Inc();
       return AcquireResult{true, {}};
     }
     AcquireResult res;
@@ -44,6 +55,7 @@ LockTable::AcquireResult LockTable::Acquire(
              std::move(on_granted)};
     InsertWaiter(st, std::move(w));
     waits_of_txn_[txn].insert(key);
+    if (queued_metric_) queued_metric_->Inc();
     return res;
   }
 
@@ -60,6 +72,7 @@ LockTable::AcquireResult LockTable::Acquire(
   if (!queue_blocks && Compatible(st, txn, mode)) {
     st.holders.push_back(HolderInfo{txn, mode, priority, ts});
     held_by_txn_[txn].insert(key);
+    if (acquired_immediate_metric_) acquired_immediate_metric_->Inc();
     return AcquireResult{true, {}};
   }
 
@@ -69,6 +82,7 @@ LockTable::AcquireResult LockTable::Acquire(
            std::move(on_granted)};
   InsertWaiter(st, std::move(w));
   waits_of_txn_[txn].insert(key);
+  if (queued_metric_) queued_metric_->Inc();
   return res;
 }
 
@@ -97,6 +111,7 @@ void LockTable::GrantWaiters(Key key, std::vector<std::function<void()>>* fired)
         if (w.on_granted) fired->push_back(std::move(w.on_granted));
         waits_of_txn_[w.txn].erase(key);
         st.waiters.pop_front();
+        if (granted_after_wait_metric_) granted_after_wait_metric_->Inc();
         progress = true;
       }
       continue;  // an ungrantable upgrade at the head blocks the queue
@@ -107,6 +122,7 @@ void LockTable::GrantWaiters(Key key, std::vector<std::function<void()>>* fired)
       if (w.on_granted) fired->push_back(std::move(w.on_granted));
       waits_of_txn_[w.txn].erase(key);
       st.waiters.pop_front();
+      if (granted_after_wait_metric_) granted_after_wait_metric_->Inc();
       progress = true;
     }
   }

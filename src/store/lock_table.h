@@ -10,6 +10,7 @@
 
 #include "common/sim_time.h"
 #include "common/types.h"
+#include "obs/metrics.h"
 
 namespace natto::store {
 
@@ -70,6 +71,13 @@ class LockTable {
 
   size_t num_locked_keys() const { return locks_.size(); }
 
+  /// Registers contention counters under `<prefix>.` (e.g.
+  /// `spanner.p0.locks.`): `acquired_immediate`, `queued`,
+  /// `granted_after_wait`. Optional — tables built directly in tests keep
+  /// working without a registry.
+  void RegisterMetrics(obs::MetricsRegistry* registry,
+                       const std::string& prefix);
+
  private:
   struct Waiter {
     TxnId txn;
@@ -97,6 +105,11 @@ class LockTable {
   std::unordered_map<TxnId, std::set<Key>> held_by_txn_;
   std::unordered_map<TxnId, std::set<Key>> waits_of_txn_;
   uint64_t next_seq_ = 0;
+
+  // Nullable registry handles (see RegisterMetrics).
+  obs::Counter* acquired_immediate_metric_ = nullptr;
+  obs::Counter* queued_metric_ = nullptr;
+  obs::Counter* granted_after_wait_metric_ = nullptr;
 };
 
 }  // namespace natto::store

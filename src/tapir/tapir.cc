@@ -30,7 +30,12 @@ TapirReplica::TapirReplica(TapirEngine* engine, int partition, int replica,
       engine_(engine),
       partition_(partition),
       replica_(replica),
-      kv_(engine->cluster()->options().default_value) {}
+      kv_(engine->cluster()->options().default_value) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "tapir.replica.p" + std::to_string(partition) +
+                             ".r" + std::to_string(replica) + ".";
+  prepare_vote_no_ = m->GetCounter(prefix + "prepare_vote_no");
+}
 
 void TapirReplica::HandleGet(TxnId id, std::vector<Key> keys,
                              net::NodeId reply_to) {
@@ -62,6 +67,15 @@ void TapirReplica::HandlePrepare(
     TxnId id, std::vector<std::pair<Key, uint64_t>> read_versions,
     std::vector<Key> write_keys, net::NodeId reply_to) {
   bool ok = !finished_.contains(id) && Validates(read_versions, write_keys);
+  // A single no vote is not an abort (a prepare majority may still form),
+  // so the cause travels with the vote and is attributed only when the
+  // gateway actually decides to abort.
+  obs::AbortCause cause = obs::AbortCause::kNone;
+  if (!ok) {
+    prepare_vote_no_->Inc();
+    cause = finished_.contains(id) ? obs::AbortCause::kStaleRetry
+                                   : obs::AbortCause::kOccConflict;
+  }
   if (ok) {
     std::vector<Key> read_keys;
     read_keys.reserve(read_versions.size());
@@ -71,9 +85,10 @@ void TapirReplica::HandlePrepare(
   auto* gw = engine_->gateway_by_node(reply_to);
   int partition = partition_;
   int replica = replica_;
-  SendTo(reply_to, kMessageHeaderBytes, [gw, id, partition, replica, ok]() {
-    gw->HandlePrepareVote(id, partition, replica, ok);
-  });
+  SendTo(reply_to, kMessageHeaderBytes,
+         [gw, id, partition, replica, ok, cause]() {
+           gw->HandlePrepareVote(id, partition, replica, ok, cause);
+         });
 }
 
 void TapirReplica::HandleFinalizePrepare(
@@ -114,11 +129,21 @@ void TapirReplica::HandleAbort(TxnId id) {
 
 TapirGateway::TapirGateway(TapirEngine* engine, int site, sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {}
+      engine_(engine) {
+  obs::MetricsRegistry* m = engine->cluster()->metrics();
+  const std::string prefix = "tapir.gateway.s" + std::to_string(site) + ".";
+  slow_path_starts_ = m->GetCounter(prefix + "slow_path_starts");
+  commits_ = m->GetCounter(prefix + "commits");
+  aborts_ = m->GetCounter(prefix + "aborts");
+}
 
 void TapirGateway::StartTxn(const txn::TxnRequest& request,
                             txn::TxnCallback done) {
   const txn::Topology& topo = engine_->cluster()->topology();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->TxnBegin(request.id, txn::PriorityLevel(request.priority), TrueNow());
+    tr->SpanBegin(request.id, "round1", /*partition=*/-1, TrueNow());
+  }
   ClientTxn st;
   st.request = request;
   st.done = std::move(done);
@@ -161,6 +186,9 @@ void TapirGateway::StartPrepareRound(TxnId id) {
   if (it == txns_.end()) return;
   ClientTxn& st = it->second;
   st.prepare_sent = true;
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->SpanEnd(id, "round1", /*partition=*/-1, TrueNow());
+  }
 
   std::vector<txn::ReadResult> ordered;
   ordered.reserve(st.request.read_set.size());
@@ -171,8 +199,13 @@ void TapirGateway::StartPrepareRound(TxnId id) {
   }
   txn::WriteDecision d = st.request.compute_writes(ordered);
   if (d.user_abort) {
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->AttributeAbort(id, obs::AbortCause::kUserAbort);
+      tr->TxnEnd(id, "user_aborted", obs::AbortCause::kUserAbort, TrueNow());
+    }
     txn::TxnResult result;
     result.outcome = txn::TxnOutcome::kUserAborted;
+    result.abort_cause = obs::AbortCause::kUserAbort;
     auto done = std::move(st.done);
     txns_.erase(it);
     done(result);
@@ -190,6 +223,9 @@ void TapirGateway::StartPrepareRound(TxnId id) {
     }
     std::vector<Key> write_keys = LocalKeys(st.request.write_set, p, topo);
     size_t bytes = WireKeysBytes(read_versions.size() + write_keys.size());
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanBegin(id, "prepare", p, TrueNow());
+    }
     for (int r = 0; r < topo.num_replicas(); ++r) {
       auto* rep = engine_->replica(p, r);
       SendTo(rep->id(), bytes,
@@ -201,7 +237,7 @@ void TapirGateway::StartPrepareRound(TxnId id) {
 }
 
 void TapirGateway::HandlePrepareVote(TxnId id, int partition, int replica,
-                                     bool ok) {
+                                     bool ok, obs::AbortCause cause) {
   (void)replica;
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
@@ -214,6 +250,7 @@ void TapirGateway::HandlePrepareVote(TxnId id, int partition, int replica,
     ++ps.ok_votes;
   } else {
     ++ps.fail_votes;
+    if (st.fail_cause == obs::AbortCause::kNone) st.fail_cause = cause;
   }
   OnPartitionUpdate(id, partition);
 }
@@ -231,12 +268,22 @@ void TapirGateway::OnPartitionUpdate(TxnId id, int partition) {
     if (ps.ok_votes == n) {
       // Fast path: unanimous matching PREPARE-OK.
       ps.phase = PartitionPhase::kPreparedOk;
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->SpanEnd(id, "prepare", partition, TrueNow());
+      }
     } else if (ps.fail_votes >= majority) {
       ps.phase = PartitionPhase::kAborted;
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->SpanEnd(id, "prepare", partition, TrueNow());
+      }
     } else if (ps.ok_votes >= majority && ps.fail_votes > 0) {
       // Fast quorum impossible but a prepare majority exists: start the
       // slow path immediately (one consensus round to make it durable).
       ps.phase = PartitionPhase::kSlowPath;
+      slow_path_starts_->Inc();
+      if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+        tr->SpanBegin(id, "slow_path", partition, TrueNow());
+      }
       std::vector<std::pair<Key, uint64_t>> read_versions;
       for (Key k : LocalKeys(st.request.read_set, partition, topo)) {
         read_versions.emplace_back(k, st.reads[k].version);
@@ -268,6 +315,10 @@ void TapirGateway::HandleFinalizeAck(TxnId id, int partition, int replica) {
   const txn::Topology& topo = engine_->cluster()->topology();
   if (++ps.finalize_acks >= topo.num_replicas() / 2 + 1) {
     ps.phase = PartitionPhase::kPreparedOk;
+    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+      tr->SpanEnd(id, "slow_path", partition, TrueNow());
+      tr->SpanEnd(id, "prepare", partition, TrueNow());
+    }
   }
   MaybeDecide(id);
 }
@@ -281,19 +332,30 @@ void TapirGateway::MaybeDecide(TxnId id) {
   for (int p : st.participants) {
     PartitionPhase phase = st.partitions[p].phase;
     if (phase == PartitionPhase::kAborted) {
-      Decide(id, /*commit=*/false, "prepare conflict");
+      Decide(id, /*commit=*/false, "prepare conflict",
+             st.fail_cause == obs::AbortCause::kNone
+                 ? obs::AbortCause::kOccConflict
+                 : st.fail_cause);
       return;
     }
     if (phase != PartitionPhase::kPreparedOk) all_ok = false;
   }
-  if (all_ok) Decide(id, /*commit=*/true, "");
+  if (all_ok) Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
 }
 
-void TapirGateway::Decide(TxnId id, bool commit, const std::string& reason) {
+void TapirGateway::Decide(TxnId id, bool commit, const std::string& reason,
+                          obs::AbortCause cause) {
   auto it = txns_.find(id);
   if (it == txns_.end()) return;
   ClientTxn st = std::move(it->second);
   txns_.erase(it);
+
+  (commit ? commits_ : aborts_)->Inc();
+  if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+    tr->Instant(id, commit ? "decide_commit" : "decide_abort", -1, TrueNow());
+    if (!commit) tr->AttributeAbort(id, cause);
+    tr->TxnEnd(id, commit ? "committed" : "aborted", cause, TrueNow());
+  }
 
   const txn::Topology& topo = engine_->cluster()->topology();
   for (int p : st.participants) {
@@ -317,6 +379,7 @@ void TapirGateway::Decide(TxnId id, bool commit, const std::string& reason) {
   result.outcome =
       commit ? txn::TxnOutcome::kCommitted : txn::TxnOutcome::kAborted;
   result.abort_reason = reason;
+  result.abort_cause = commit ? obs::AbortCause::kNone : cause;
   if (commit) {
     for (Key k : st.request.read_set) {
       auto r = st.reads.find(k);

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "net/node.h"
+#include "obs/abort_cause.h"
+#include "obs/metrics.h"
 #include "store/kv_store.h"
 #include "store/prepared_set.h"
 #include "txn/cluster.h"
@@ -56,6 +58,9 @@ class TapirReplica : public net::Node {
   store::KvStore kv_;
   store::PreparedSet prepared_;
   std::unordered_set<TxnId> finished_;
+
+  // Registered under tapir.replica.p<N>.r<M>.
+  obs::Counter* prepare_vote_no_ = nullptr;
 };
 
 /// Client library + 2PC coordinator in one (TAPIR offloads coordination to
@@ -70,7 +75,9 @@ class TapirGateway : public net::Node {
   void StartTxn(const txn::TxnRequest& request, txn::TxnCallback done);
 
   void HandleReadReply(TxnId id, std::vector<txn::ReadResult> reads);
-  void HandlePrepareVote(TxnId id, int partition, int replica, bool ok);
+  /// No votes carry the refusing replica's abort cause for attribution.
+  void HandlePrepareVote(TxnId id, int partition, int replica, bool ok,
+                         obs::AbortCause cause = obs::AbortCause::kNone);
   void HandleFinalizeAck(TxnId id, int partition, int replica);
 
  private:
@@ -93,15 +100,23 @@ class TapirGateway : public net::Node {
     std::unordered_map<int, PartitionState> partitions;
     bool prepare_sent = false;
     bool decided = false;
+    /// Cause of the first failed vote (first-wins; kNone until a no vote).
+    obs::AbortCause fail_cause = obs::AbortCause::kNone;
   };
 
   void StartPrepareRound(TxnId id);
   void OnPartitionUpdate(TxnId id, int partition);
   void MaybeDecide(TxnId id);
-  void Decide(TxnId id, bool commit, const std::string& reason);
+  void Decide(TxnId id, bool commit, const std::string& reason,
+              obs::AbortCause cause);
 
   TapirEngine* engine_;
   std::unordered_map<TxnId, ClientTxn> txns_;
+
+  // Registered under tapir.gateway.s<site>.
+  obs::Counter* slow_path_starts_ = nullptr;
+  obs::Counter* commits_ = nullptr;
+  obs::Counter* aborts_ = nullptr;
 };
 
 /// TAPIR (SOSP'15) baseline.

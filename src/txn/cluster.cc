@@ -26,9 +26,13 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
       rng_(options_.seed) {
   NATTO_CHECK(topology_.num_sites() <= matrix_.num_sites())
       << "topology uses more sites than the latency matrix defines";
+  if (options_.trace.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(options_.trace);
+  }
   transport_ = std::make_unique<net::Transport>(
       &simulator_, &matrix_, MakeDelayModel(options_), options_.transport,
       rng_.Fork().engine()());
+  transport_->RegisterMetrics(&metrics_);
   for (int p = 0; p < topology_.num_partitions(); ++p) {
     groups_.push_back(std::make_unique<raft::RaftGroup>(
         transport_.get(), topology_.ReplicaSites(p), options_.raft, rng_,

@@ -10,6 +10,8 @@
 #include "net/delay_model.h"
 #include "net/latency_matrix.h"
 #include "net/transport.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "raft/group.h"
 #include "sim/simulator.h"
 #include "txn/topology.h"
@@ -36,6 +38,9 @@ struct ClusterOptions {
   /// Initial value of never-written keys (workload-dependent).
   std::function<Value(Key)> default_value;
 
+  /// Transaction-lifecycle tracing (off by default; see src/obs/trace.h).
+  obs::TraceOptions trace;
+
   uint64_t seed = 1;
 };
 
@@ -49,6 +54,14 @@ class Cluster {
   const net::LatencyMatrix& matrix() const { return matrix_; }
   const Topology& topology() const { return topology_; }
   const ClusterOptions& options() const { return options_; }
+
+  /// Per-cell metrics registry; engines and the harness client register
+  /// their instruments here.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Lifecycle tracer, or nullptr when tracing is disabled — instrumented
+  /// paths guard with `if (auto* t = cluster->tracer())`.
+  obs::Tracer* tracer() { return tracer_.get(); }
 
   raft::RaftGroup* group(int partition) { return groups_[partition].get(); }
 
@@ -71,6 +84,8 @@ class Cluster {
   ClusterOptions options_;
   sim::Simulator simulator_;
   Rng rng_;
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<raft::RaftGroup>> groups_;
 };

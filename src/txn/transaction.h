@@ -7,6 +7,7 @@
 
 #include "common/sim_time.h"
 #include "common/types.h"
+#include "obs/abort_cause.h"
 
 namespace natto::txn {
 
@@ -77,6 +78,10 @@ struct TxnResult {
   TxnOutcome outcome = TxnOutcome::kAborted;
   /// Why the attempt aborted (engine-specific, for diagnostics).
   std::string abort_reason;
+  /// Taxonomy cause for aborted outcomes (kNone when committed). Engines
+  /// must attribute every system abort; the harness counts per-cause
+  /// metrics and the taxonomy tests pin the `unknown` bucket to zero.
+  obs::AbortCause abort_cause = obs::AbortCause::kNone;
   /// Round-1 reads observed by a committed transaction (checker input).
   std::vector<ReadResult> reads;
   /// Writes applied by a committed transaction (checker input).

@@ -19,8 +19,9 @@ namespace {
 TEST(StatsTest, PercentileNearestRank) {
   std::vector<double> v;
   for (int i = 1; i <= 100; ++i) v.push_back(i);
-  EXPECT_DOUBLE_EQ(Percentile(v, 0.95), 96.0);
-  EXPECT_DOUBLE_EQ(Percentile(v, 0.50), 51.0);
+  // Nearest rank = ceil(q * n): of 100 samples, p95 is the 95th.
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.95), 95.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.50), 50.0);
   EXPECT_DOUBLE_EQ(Percentile(v, 1.00), 100.0);
 }
 

@@ -172,7 +172,7 @@ TEST(RunGridTest, SerialAndParallelResultsAreBitIdentical) {
       ExpectAggregateEq(a.mean_low_ms, b.mean_low_ms);
       ExpectAggregateEq(a.goodput_low_tps, b.goodput_low_tps);
       ExpectAggregateEq(a.goodput_total_tps, b.goodput_total_tps);
-      ExpectAggregateEq(a.abort_rate, b.abort_rate);
+      ExpectAggregateEq(a.abort_fraction, b.abort_fraction);
       EXPECT_EQ(a.failed, b.failed);
     }
   }

@@ -8,6 +8,8 @@
 //   nattosim --system=carousel-basic --workload=smallbank --rate=1000 \
 //            --matrix=azure --repeats=3
 //   nattosim --system=2pl-p --workload=retwis --rate=500 --variance=0.15
+//   nattosim --system=natto-recsf --workload=ycsbt --trace=run.json
+//   nattosim --system=carousel-fast --workload=retwis --timeline
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,6 +19,7 @@
 #include "harness/experiment.h"
 #include "harness/histogram.h"
 #include "harness/systems.h"
+#include "obs/trace.h"
 #include "workload/retwis.h"
 #include "workload/smallbank.h"
 #include "workload/ycsbt.h"
@@ -43,6 +46,10 @@ struct Flags {
   int jobs = 0;  // 0 = NATTO_JOBS env / hardware concurrency
   bool hist = false;
   bool help = false;
+  std::string trace_path;    // empty = no trace file
+  int trace_sample = 1;      // 1-in-N sampling when tracing
+  bool timeline = false;     // print one transaction's span timeline
+  uint64_t timeline_txn = 0; // 0 = first finished sampled transaction
 };
 
 void PrintUsage() {
@@ -66,7 +73,13 @@ void PrintUsage() {
       "  --jobs=N          worker threads for the repeat fan-out\n"
       "                    (default: NATTO_JOBS or all hardware threads;\n"
       "                    1 = serial; any value is bit-identical)\n"
-      "  --hist            print latency histograms per priority class\n");
+      "  --hist            print latency histograms per priority class\n"
+      "  --trace=PATH      write sampled transaction traces after the run\n"
+      "                    (.jsonl = flat JSON lines, else Chrome\n"
+      "                    trace_event JSON for chrome://tracing)\n"
+      "  --trace-sample=N  record 1-in-N transactions (default 1 = all)\n"
+      "  --timeline[=ID]   print the span timeline of transaction ID\n"
+      "                    (default: first finished sampled transaction)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -113,6 +126,16 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--jobs", &v)) {
       flags->jobs = std::atoi(v.c_str());
+    } else if (ParseFlag(argv[i], "--trace", &v)) {
+      flags->trace_path = v;
+    } else if (ParseFlag(argv[i], "--trace-sample", &v)) {
+      flags->trace_sample = std::atoi(v.c_str());
+      if (flags->trace_sample < 1) flags->trace_sample = 1;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      flags->timeline = true;
+    } else if (ParseFlag(argv[i], "--timeline", &v)) {
+      flags->timeline = true;
+      flags->timeline_txn = std::strtoull(v.c_str(), nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -189,6 +212,8 @@ int main(int argc, char** argv) {
   config.seed = flags.seed;
   config.cluster.delay_variance_ratio = flags.variance;
   config.cluster.transport.packet_loss = flags.loss;
+  config.cluster.trace.enabled = !flags.trace_path.empty() || flags.timeline;
+  config.cluster.trace.sample_period = flags.trace_sample;
 
   WorkloadFactory workload;
   if (flags.workload == "ycsbt") {
@@ -232,8 +257,8 @@ int main(int argc, char** argv) {
               r.mean_low_ms.mean, r.mean_low_ms.ci95);
   std::printf("%22s: %8.1f txn/s\n", "goodput (total)",
               r.goodput_total_tps.mean);
-  std::printf("%22s: %8.2f aborts/committed txn\n", "abort rate",
-              r.abort_rate.mean);
+  std::printf("%22s: %8.2f of attempts\n", "abort fraction",
+              r.abort_fraction.mean);
   std::printf("%22s: %8lld\n", "failed transactions",
               static_cast<long long>(r.failed));
 
@@ -246,6 +271,40 @@ int main(int argc, char** argv) {
                 high.ToAscii().c_str());
     std::printf("\n--- low-priority latency distribution (one run) ---\n%s",
                 low.ToAscii().c_str());
+  }
+
+  if (!flags.trace_path.empty()) {
+    const std::string& p = flags.trace_path;
+    const bool jsonl =
+        p.size() >= 6 && p.compare(p.size() - 6, 6, ".jsonl") == 0;
+    const std::string out =
+        jsonl ? obs::TraceJsonLines(r.traces) : obs::ChromeTraceJson(r.traces);
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", p.c_str());
+      return 1;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %zu transaction traces to %s\n",
+                 r.traces.size(), p.c_str());
+  }
+
+  if (flags.timeline) {
+    const obs::TxnTrace* pick = nullptr;
+    for (const obs::TxnTrace& t : r.traces) {
+      if (flags.timeline_txn != 0 ? t.id == flags.timeline_txn
+                                  : !t.outcome.empty()) {
+        pick = &t;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      std::printf("\nno traced transaction matches --timeline\n");
+    } else {
+      std::printf("\n--- transaction timeline ---\n%s",
+                  obs::RenderTimeline(*pick).c_str());
+    }
   }
   return 0;
 }
