@@ -106,27 +106,29 @@ void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
     tr->SpanBegin(id, "prepare", partition_, TrueNow());
   }
   auto* co = engine_->coordinator_by_node(coord);
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), [this, co, coord, id, partition]() {
+  engine_->cluster()->group(partition_)->Propose(
+      engine_->NextPayloadId(),
+      [this, co, coord, id, partition]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, "prepare", partition, TrueNow());
         }
         SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
           co->HandleVote(id, partition, /*replica=*/0, /*ok=*/true);
         });
+      },
+      [this, co, coord, id, partition](bool timed_out) {
+        replication_fail_vote_no_->Inc();
+        obs::AbortCause cause = timed_out ? obs::AbortCause::kLeaderFailover
+                                          : obs::AbortCause::kReplicationFailed;
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, "prepare", partition_, TrueNow());
+          tr->AttributeAbort(id, cause);
+        }
+        prepared_.Remove(id);
+        SendTo(coord, kMessageHeaderBytes, [co, id, partition, cause]() {
+          co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false, {}, cause);
+        });
       });
-  if (!s.ok()) {
-    replication_fail_vote_no_->Inc();
-    if (obs::Tracer* tr = engine_->cluster()->tracer()) {
-      tr->SpanEnd(id, "prepare", partition_, TrueNow());
-      tr->AttributeAbort(id, obs::AbortCause::kReplicationFailed);
-    }
-    prepared_.Remove(id);
-    SendTo(coord, kMessageHeaderBytes, [co, id, partition]() {
-      co->HandleVote(id, partition, /*replica=*/0, /*ok=*/false, {},
-                     obs::AbortCause::kReplicationFailed);
-    });
-  }
 }
 
 void CarouselServer::HandleCommit(TxnId id,
@@ -135,13 +137,14 @@ void CarouselServer::HandleCommit(TxnId id,
   // Replicate the write data, then apply and release the footprint. Results
   // become visible to other transactions only after replication (this is
   // exactly the wait Natto's LECSF removes).
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+  // The commit decision is already fixed at the coordinator, so the write
+  // data must eventually replicate even across leader changes.
+  engine_->cluster()->group(partition_)->ProposeWithRetry(
       engine_->NextPayloadId(), [this, id, writes = std::move(writes)]() {
         for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
         prepared_.Remove(id);
         finished_.insert(id);
       });
-  NATTO_CHECK(s.ok()) << "leader lost during fault-free run";
 }
 
 void CarouselServer::HandleAbort(TxnId id) {
@@ -266,14 +269,25 @@ void CarouselFastReplica::HandleSlowPrepare(
   if (obs::Tracer* tr = engine_->cluster()->tracer()) {
     tr->SpanBegin(id, "slow_prepare", partition_, TrueNow());
   }
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), [this, vote, id, partition]() {
+  engine_->cluster()->group(partition_)->Propose(
+      engine_->NextPayloadId(),
+      [this, vote, id, partition]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, "slow_prepare", partition, TrueNow());
         }
         vote(true, obs::AbortCause::kNone);
+      },
+      [this, vote, id, partition](bool timed_out) {
+        slow_vote_no_->Inc();
+        obs::AbortCause cause = timed_out ? obs::AbortCause::kLeaderFailover
+                                          : obs::AbortCause::kReplicationFailed;
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, "slow_prepare", partition, TrueNow());
+          tr->AttributeAbort(id, cause);
+        }
+        prepared_.Remove(id);
+        vote(false, cause);
       });
-  NATTO_CHECK(s.ok());
 }
 
 void CarouselFastReplica::HandleCommit(
@@ -424,14 +438,23 @@ void CarouselCoordinator::HandleCommitRequest(
     int local_partition =
         engine_->cluster()->topology().PartitionLedAt(site());
     NATTO_CHECK(local_partition >= 0);
-    Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-        engine_->NextPayloadId(), [this, id]() {
+    engine_->cluster()->group(local_partition)->Propose(
+        engine_->NextPayloadId(),
+        [this, id]() {
           auto it2 = txns_.find(id);
           if (it2 == txns_.end()) return;
           it2->second.own_replicated = true;
           MaybeDecide(id);
+        },
+        [this, id](bool timed_out) {
+          auto it2 = txns_.find(id);
+          if (it2 == txns_.end()) return;
+          it2->second.any_fail = true;
+          it2->second.fail_cause = timed_out
+                                       ? obs::AbortCause::kLeaderFailover
+                                       : obs::AbortCause::kReplicationFailed;
+          MaybeDecide(id);
         });
-    NATTO_CHECK(s.ok());
   }
   MaybeDecide(id);
 }

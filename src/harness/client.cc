@@ -1,5 +1,6 @@
 #include "harness/client.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -7,13 +8,27 @@
 
 namespace natto::harness {
 
+namespace {
+
+/// splitmix64: the retry jitter must be deterministic and must not consume
+/// the client's RNG stream (a fork or draw here would perturb the Poisson
+/// arrivals of every later transaction).
+uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 Client::Client(sim::Simulator* simulator, txn::TxnEngine* engine,
                workload::Workload* workload, Options options, Rng rng,
                RunStats* stats, obs::MetricsRegistry* registry)
     : simulator_(simulator),
       engine_(engine),
       workload_(workload),
-      options_(options),
+      options_(std::move(options)),
       rng_(std::move(rng)),
       stats_(stats) {
   if (registry == nullptr) return;
@@ -24,6 +39,11 @@ Client::Client(sim::Simulator* simulator, txn::TxnEngine* engine,
                            : obs::AbortCauseName(cause);
     abort_cause_[c] =
         registry->GetCounter(std::string("client.abort_cause.") + name);
+  }
+  // Registered only when re-routing is wired (fault runs), so fault-free
+  // registries carry exactly the pre-fault-layer instrument set.
+  if (options_.route_origin) {
+    reroutes_ = registry->GetCounter("client.reroutes");
   }
 }
 
@@ -48,57 +68,162 @@ void Client::BeginTransaction() {
 
 void Client::Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
                      txn::Priority original_priority) {
-  request.id = MakeTxnId(options_.client_id, next_seq_++);
-  engine_->Execute(request, [this, request, first_start, attempt,
-                             original_priority](const txn::TxnResult& result) {
-    bool in_window = first_start >= options_.measure_start &&
-                     first_start < options_.measure_end;
-    switch (result.outcome) {
-      case txn::TxnOutcome::kCommitted: {
-        if (in_window) {
-          double latency_ms =
-              ToMillis(simulator_->Now() - first_start);
-          if (txn::IsPrioritized(original_priority)) {
-            stats_->latencies_high_ms.push_back(latency_ms);
-            ++stats_->committed_high;
-          } else {
-            stats_->latencies_low_ms.push_back(latency_ms);
-            ++stats_->committed_low;
-          }
-          stats_->latencies_by_level_ms[txn::PriorityLevel(original_priority)]
-              .push_back(latency_ms);
-        }
-        return;
+  if (options_.route_origin) {
+    int routed = options_.route_origin(options_.origin_site);
+    if (routed != request.origin_site) {
+      if (reroutes_ != nullptr && routed != options_.origin_site) {
+        reroutes_->Inc();
       }
-      case txn::TxnOutcome::kUserAborted: {
-        if (in_window) ++stats_->user_aborted;
-        if (abort_cause_[0] != nullptr) {
-          abort_cause_[static_cast<int>(obs::AbortCause::kUserAbort)]->Inc();
-        }
-        return;
-      }
-      case txn::TxnOutcome::kAborted: {
-        if (in_window) ++stats_->aborted_attempts;
-        // Counted outside the measurement window too: the registry records
-        // system behavior over the whole run, not the sampled window.
-        if (abort_cause_[0] != nullptr) {
-          abort_cause_[static_cast<int>(result.abort_cause)]->Inc();
-        }
-        if (attempt >= options_.max_attempts) {
-          if (in_window) ++stats_->failed;
-          return;
-        }
-        txn::TxnRequest retry = request;
-        if (options_.promote_after_aborts > 0 &&
-            attempt >= options_.promote_after_aborts) {
-          retry.priority = txn::Priority::kHigh;
-        }
-        Attempt(std::move(retry), first_start, attempt + 1,
-                original_priority);
-        return;
-      }
+      request.origin_site = routed;
     }
-  });
+  }
+  request.id = MakeTxnId(options_.client_id, next_seq_++);
+  if (options_.request_timeout <= 0) {
+    // Fault-free fast path: no completion token, no timer — the engine
+    // callback chain is identical to the pre-timeout client.
+    engine_->Execute(request,
+                     [this, request, first_start, attempt,
+                      original_priority](const txn::TxnResult& result) {
+                       HandleOutcome(result, request, first_start, attempt,
+                                     original_priority);
+                     });
+    return;
+  }
+  auto settled = std::make_shared<bool>(false);
+  engine_->Execute(request,
+                   [this, settled, request, first_start, attempt,
+                    original_priority](const txn::TxnResult& result) {
+                     if (*settled) return;  // timed out; late response
+                     *settled = true;
+                     HandleOutcome(result, request, first_start, attempt,
+                                   original_priority);
+                   });
+  simulator_->ScheduleAfter(
+      options_.request_timeout,
+      [this, settled, request, first_start, attempt, original_priority]() {
+        if (*settled) return;
+        *settled = true;
+        HandleTimeout(request, first_start, attempt, original_priority);
+      });
+}
+
+void Client::HandleOutcome(const txn::TxnResult& result,
+                           txn::TxnRequest request, SimTime first_start,
+                           int attempt, txn::Priority original_priority) {
+  bool in_window = first_start >= options_.measure_start &&
+                   first_start < options_.measure_end;
+  switch (result.outcome) {
+    case txn::TxnOutcome::kCommitted: {
+      double latency_ms = ToMillis(simulator_->Now() - first_start);
+      if (in_window) {
+        if (txn::IsPrioritized(original_priority)) {
+          stats_->latencies_high_ms.push_back(latency_ms);
+          ++stats_->committed_high;
+        } else {
+          stats_->latencies_low_ms.push_back(latency_ms);
+          ++stats_->committed_low;
+        }
+        stats_->latencies_by_level_ms[txn::PriorityLevel(original_priority)]
+            .push_back(latency_ms);
+      }
+      RecordTimelineCommit(latency_ms);
+      return;
+    }
+    case txn::TxnOutcome::kUserAborted: {
+      if (in_window) ++stats_->user_aborted;
+      if (abort_cause_[0] != nullptr) {
+        abort_cause_[static_cast<int>(obs::AbortCause::kUserAbort)]->Inc();
+      }
+      return;
+    }
+    case txn::TxnOutcome::kAborted: {
+      if (in_window) ++stats_->aborted_attempts;
+      // Counted outside the measurement window too: the registry records
+      // system behavior over the whole run, not the sampled window.
+      if (abort_cause_[0] != nullptr) {
+        abort_cause_[static_cast<int>(result.abort_cause)]->Inc();
+      }
+      RecordTimelineAbort(/*timeout=*/false);
+      if (attempt >= options_.max_attempts) {
+        if (in_window) ++stats_->failed;
+        return;
+      }
+      txn::TxnRequest retry = std::move(request);
+      if (options_.promote_after_aborts > 0 &&
+          attempt >= options_.promote_after_aborts) {
+        retry.priority = txn::Priority::kHigh;
+      }
+      RetryAfterBackoff(std::move(retry), first_start, attempt + 1,
+                        original_priority);
+      return;
+    }
+  }
+}
+
+void Client::HandleTimeout(txn::TxnRequest request, SimTime first_start,
+                           int attempt, txn::Priority original_priority) {
+  bool in_window = first_start >= options_.measure_start &&
+                   first_start < options_.measure_end;
+  if (in_window) ++stats_->aborted_attempts;
+  ++stats_->timeout_aborts;
+  if (abort_cause_[0] != nullptr) {
+    abort_cause_[static_cast<int>(obs::AbortCause::kTimeout)]->Inc();
+  }
+  RecordTimelineAbort(/*timeout=*/true);
+  if (attempt >= options_.max_attempts) {
+    if (in_window) ++stats_->failed;
+    return;
+  }
+  txn::TxnRequest retry = std::move(request);
+  if (options_.promote_after_aborts > 0 &&
+      attempt >= options_.promote_after_aborts) {
+    retry.priority = txn::Priority::kHigh;
+  }
+  RetryAfterBackoff(std::move(retry), first_start, attempt + 1,
+                    original_priority);
+}
+
+void Client::RetryAfterBackoff(txn::TxnRequest request, SimTime first_start,
+                               int next_attempt,
+                               txn::Priority original_priority) {
+  if (options_.backoff_base <= 0) {
+    // The paper's client: retry immediately (Sec 5.1).
+    Attempt(std::move(request), first_start, next_attempt, original_priority);
+    return;
+  }
+  // Capped exponential backoff: retry n (first retry has next_attempt == 2)
+  // waits base * 2^(n-1), so shift by next_attempt - 2.
+  int shift = std::min(next_attempt - 2, 20);
+  SimDuration delay = options_.backoff_base << shift;
+  delay = std::min(delay, options_.backoff_cap);
+  uint64_t h = HashMix((static_cast<uint64_t>(options_.client_id) << 40) ^
+                       (static_cast<uint64_t>(first_start) << 8) ^
+                       static_cast<uint64_t>(next_attempt));
+  delay += static_cast<SimDuration>(h % (static_cast<uint64_t>(delay) / 2 + 1));
+  simulator_->ScheduleAfter(
+      delay, [this, request = std::move(request), first_start, next_attempt,
+              original_priority]() mutable {
+        Attempt(std::move(request), first_start, next_attempt,
+                original_priority);
+      });
+}
+
+void Client::RecordTimelineCommit(double latency_ms) {
+  if (options_.timeline_bucket <= 0) return;
+  size_t idx = static_cast<size_t>(simulator_->Now() /
+                                   options_.timeline_bucket);
+  if (stats_->timeline.size() <= idx) stats_->timeline.resize(idx + 1);
+  ++stats_->timeline[idx].committed;
+  stats_->timeline[idx].latencies_ms.push_back(latency_ms);
+}
+
+void Client::RecordTimelineAbort(bool timeout) {
+  if (options_.timeline_bucket <= 0) return;
+  size_t idx = static_cast<size_t>(simulator_->Now() /
+                                   options_.timeline_bucket);
+  if (stats_->timeline.size() <= idx) stats_->timeline.resize(idx + 1);
+  ++stats_->timeline[idx].aborted;
+  if (timeout) ++stats_->timeline[idx].timeouts;
 }
 
 }  // namespace natto::harness

@@ -1,6 +1,7 @@
 #ifndef NATTO_HARNESS_CLIENT_H_
 #define NATTO_HARNESS_CLIENT_H_
 
+#include <functional>
 #include <memory>
 
 #include "common/rng.h"
@@ -33,6 +34,28 @@ class Client {
     /// Starvation-avoidance extension (Sec 3.3.1 future work): promote a
     /// low-priority transaction to high after this many aborts (0 = off).
     int promote_after_aborts = 0;
+
+    /// Per-attempt request timeout (0 = off). An attempt with no outcome
+    /// after this long counts as an abort with AbortCause::kTimeout and is
+    /// retried; a late engine response for it is ignored. Off by default:
+    /// fault-free runs keep the paper's unbounded-wait client.
+    SimDuration request_timeout = 0;
+
+    /// Retry backoff (0 = the paper's immediate retry). Retry n waits
+    /// base * 2^(n-1) capped at `backoff_cap`, plus deterministic jitter in
+    /// [0, delay/2] hashed from (client id, txn start, attempt) — no RNG
+    /// stream is consumed, so enabling backoff never perturbs arrivals.
+    SimDuration backoff_base = 0;
+    SimDuration backoff_cap = Seconds(2);
+
+    /// Fault-aware origin re-selection hook (Cluster::RouteOriginSite).
+    /// Called per attempt with the home site; a different return value
+    /// re-routes the attempt through that site's gateway/coordinator.
+    std::function<int(int)> route_origin;
+
+    /// Width of the availability-timeline buckets recorded into
+    /// RunStats::timeline (0 = off).
+    SimDuration timeline_bucket = 0;
   };
 
   /// `registry` is optional; when given, the client registers one counter
@@ -54,6 +77,17 @@ class Client {
   void BeginTransaction();
   void Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
                txn::Priority original_priority);
+  void HandleOutcome(const txn::TxnResult& result, txn::TxnRequest request,
+                     SimTime first_start, int attempt,
+                     txn::Priority original_priority);
+  void HandleTimeout(txn::TxnRequest request, SimTime first_start,
+                     int attempt, txn::Priority original_priority);
+  /// Schedules the next attempt after the configured backoff (immediately,
+  /// synchronously, when backoff is off — the paper's retry loop).
+  void RetryAfterBackoff(txn::TxnRequest request, SimTime first_start,
+                         int next_attempt, txn::Priority original_priority);
+  void RecordTimelineCommit(double latency_ms);
+  void RecordTimelineAbort(bool timeout);
 
   sim::Simulator* simulator_;
   txn::TxnEngine* engine_;
@@ -66,6 +100,9 @@ class Client {
   /// registry was given. Slot 0 (kNone) is `client.abort_cause.unknown`.
   obs::Counter* abort_cause_[static_cast<int>(obs::AbortCause::kNumCauses)] =
       {};
+  /// Attempts whose origin was re-routed away from the home site; null
+  /// when no registry was given.
+  obs::Counter* reroutes_ = nullptr;
 };
 
 }  // namespace natto::harness

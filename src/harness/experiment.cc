@@ -48,6 +48,15 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
       opts.measure_end = measure_end;
       opts.max_attempts = config.max_attempts;
       opts.promote_after_aborts = config.promote_after_aborts;
+      opts.request_timeout = config.request_timeout;
+      opts.backoff_base = config.backoff_base;
+      opts.backoff_cap = config.backoff_cap;
+      opts.timeline_bucket = config.timeline_bucket;
+      if (cluster.fault_injector() != nullptr) {
+        opts.route_origin = [&cluster](int site) {
+          return cluster.RouteOriginSite(site);
+        };
+      }
       clients.push_back(std::make_unique<Client>(
           cluster.simulator(), engine.get(), workload.get(), opts,
           client_seed_rng.Fork(), &stats, cluster.metrics()));
@@ -82,6 +91,19 @@ ExperimentResult AggregateRuns(const std::string& system_name,
                            static_cast<double>(attempts)
                      : 0);
     result.failed += run.failed;
+    result.timeout_aborts += run.timeout_aborts;
+    if (result.timeline.size() < run.timeline.size()) {
+      result.timeline.resize(run.timeline.size());
+    }
+    for (size_t b = 0; b < run.timeline.size(); ++b) {
+      const RunStats::TimelineBucket& src = run.timeline[b];
+      RunStats::TimelineBucket& dst = result.timeline[b];
+      dst.committed += src.committed;
+      dst.aborted += src.aborted;
+      dst.timeouts += src.timeouts;
+      dst.latencies_ms.insert(dst.latencies_ms.end(), src.latencies_ms.begin(),
+                              src.latencies_ms.end());
+    }
     result.metrics.MergeFrom(run.metrics);
     result.traces.insert(result.traces.end(), run.traces.begin(),
                          run.traces.end());

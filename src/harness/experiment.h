@@ -36,6 +36,14 @@ struct ExperimentConfig {
   int max_attempts = 100;
   int promote_after_aborts = 0;
 
+  /// Failover-harness knobs, all off by default (fault-free runs are
+  /// byte-identical to a build without the fault layer). See
+  /// Client::Options for semantics.
+  SimDuration request_timeout = 0;
+  SimDuration backoff_base = 0;
+  SimDuration backoff_cap = Seconds(2);
+  SimDuration timeline_bucket = 0;
+
   txn::ClusterOptions cluster;  // transport/delay/skew knobs
 
   /// Initial value of unwritten keys (workload-specific).
@@ -56,6 +64,11 @@ struct ExperimentResult {
   /// exceeded 1.0 under contention and read 0 when everything aborted.)
   Aggregate abort_fraction;
   int64_t failed = 0;  // total across repeats
+  /// Attempts that hit the per-attempt request timeout, total across repeats.
+  int64_t timeout_aborts = 0;
+  /// Per-bucket availability timeline, merged across repeats (counts summed,
+  /// latencies concatenated per bucket). Empty unless timeline_bucket > 0.
+  std::vector<RunStats::TimelineBucket> timeline;
   /// Registry snapshots of all repeats, merged in repeat order.
   obs::MetricsSnapshot metrics;
   /// Sampled transaction traces from all repeats, concatenated in repeat

@@ -21,7 +21,21 @@ struct RunStats {
   int64_t aborted_attempts = 0;  // system aborts (each retry counts once)
   int64_t user_aborted = 0;
   int64_t failed = 0;  // gave up after the retry limit
+  /// Attempts that hit the client's per-attempt request timeout (a subset
+  /// of aborted_attempts; nonzero only in fault runs with timeouts armed).
+  int64_t timeout_aborts = 0;
   double measured_seconds = 0;
+
+  /// Availability-over-time view for the failover experiments: fixed-width
+  /// buckets over the *whole* run (not just the measurement window), indexed
+  /// by completion time. Empty unless Client::Options::timeline_bucket > 0.
+  struct TimelineBucket {
+    int64_t committed = 0;
+    int64_t aborted = 0;  // system aborts, including timeouts
+    int64_t timeouts = 0;
+    std::vector<double> latencies_ms;  // commit latencies ending in bucket
+  };
+  std::vector<TimelineBucket> timeline;
 
   /// Snapshot of the cell's metrics registry, taken after the run drains.
   obs::MetricsSnapshot metrics;

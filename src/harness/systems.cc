@@ -103,4 +103,13 @@ std::vector<System> PrioritySystems() {
           MakeSystem(SystemKind::kNattoRecsf)};
 }
 
+std::vector<System> FailoverSystems() {
+  return {MakeSystem(SystemKind::kTwoPl),
+          MakeSystem(SystemKind::kTwoPlPreempt),
+          MakeSystem(SystemKind::kTapir),
+          MakeSystem(SystemKind::kCarouselBasic),
+          MakeSystem(SystemKind::kCarouselFast),
+          MakeSystem(SystemKind::kNattoRecsf)};
+}
+
 }  // namespace natto::harness

@@ -44,6 +44,9 @@ std::vector<System> AllSystems();
 /// The reduced lineups used by later figures.
 std::vector<System> AzureSystems();      // Fig 7(c-f): drops middle Natto ablations
 std::vector<System> PrioritySystems();   // Fig 9/10: 2PL variants + Natto-RECSF
+/// Failover experiment lineup: one representative per protocol family (2PL
+/// both preemption flavors, TAPIR, both Carousel paths, Natto-RECSF).
+std::vector<System> FailoverSystems();
 
 }  // namespace natto::harness
 

@@ -358,8 +358,9 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
   // Replicate the prepare record, then vote. The vote is built when the
   // replication completes so it reflects the *current* conditional state:
   // a condition may resolve (or fail) while the prepare is replicating.
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), [this, id, version, coord, span_name]() {
+  engine_->cluster()->group(partition_)->Propose(
+      engine_->NextPayloadId(),
+      [this, id, version, coord, span_name]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, span_name, partition_, TrueNow());
         }
@@ -376,8 +377,28 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
         auto* co = engine_->coordinator_by_node(coord);
         SendTo(coord, kMessageHeaderBytes,
                [co, vote]() { co->HandleVote(vote); });
+      },
+      [this, id, version, coord, span_name](bool timed_out) {
+        // Prepare record lost to a leader failure: vote no; the
+        // coordinator's abort cleans up the prepared state here.
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, span_name, partition_, TrueNow());
+        }
+        auto it = prepared_txns_.find(id);
+        if (it == prepared_txns_.end()) return;
+        if (it->second.read_version != version) return;
+        NattoVote vote;
+        vote.id = id;
+        vote.partition = partition_;
+        vote.ok = false;
+        vote.read_version = version;
+        vote.reason = "replication failed";
+        vote.cause = timed_out ? obs::AbortCause::kLeaderFailover
+                               : obs::AbortCause::kReplicationFailed;
+        auto* co = engine_->coordinator_by_node(coord);
+        SendTo(coord, kMessageHeaderBytes,
+               [co, vote]() { co->HandleVote(vote); });
       });
-  NATTO_CHECK(s.ok());
 }
 
 void NattoServer::ServeReads(TxnState& st) {
@@ -430,14 +451,14 @@ void NattoServer::HandleCommit(TxnId id,
     // LECSF (Sec 3.4): the commit is already fault tolerant at the
     // coordinator, so make the writes visible before replicating them.
     complete(writes);
-    Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+    engine_->cluster()->group(partition_)->ProposeWithRetry(
         engine_->NextPayloadId(), []() {});
-    NATTO_CHECK(s.ok());
   } else {
-    Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+    // The coordinator already reported the commit, so the write data must
+    // eventually replicate even across leader changes.
+    engine_->cluster()->group(partition_)->ProposeWithRetry(
         engine_->NextPayloadId(),
         [complete, writes = std::move(writes)]() { complete(writes); });
-    NATTO_CHECK(s.ok());
   }
 }
 
@@ -731,16 +752,30 @@ void NattoCoordinator::HandleRound2(TxnId id,
   }
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
-  Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-      engine_->NextPayloadId(), [this, id, generation]() {
+  engine_->cluster()->group(local_partition)->Propose(
+      engine_->NextPayloadId(),
+      [this, id, generation]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         if (generation >= it2->second.replicated_version) {
           it2->second.replicated_version = generation;
         }
         MaybeDecide(id);
+      },
+      [this, id](bool timed_out) {
+        if (decided_.contains(id)) return;
+        auto it2 = txns_.find(id);
+        if (it2 == txns_.end()) return;
+        obs::AbortCause cause = timed_out ? obs::AbortCause::kLeaderFailover
+                                          : obs::AbortCause::kReplicationFailed;
+        if (!it2->second.begun) {
+          it2->second.failed = true;
+          it2->second.failed_reason = "replication failed";
+          it2->second.failed_cause = cause;
+          return;
+        }
+        Decide(id, /*commit=*/false, "replication failed", cause);
       });
-  NATTO_CHECK(s.ok());
 }
 
 void NattoCoordinator::MaybeDecide(TxnId id) {

@@ -8,8 +8,9 @@
 
 namespace natto::net {
 
-DelayEstimator::DelayEstimator(SimDuration window, double quantile)
-    : window_(window), quantile_(quantile) {
+DelayEstimator::DelayEstimator(SimDuration window, double quantile,
+                               SimDuration max_age)
+    : window_(window), quantile_(quantile), max_age_(max_age) {
   NATTO_CHECK(window_ > 0);
   NATTO_CHECK(quantile_ > 0.0 && quantile_ <= 1.0);
 }
@@ -17,6 +18,9 @@ DelayEstimator::DelayEstimator(SimDuration window, double quantile)
 void DelayEstimator::AddSample(SimTime now, SimDuration delay) {
   Evict(now);
   samples_.emplace_back(now, delay);
+  last_sample_time_ = now;
+  ever_sampled_ = true;
+  RefreshHeld();
 }
 
 void DelayEstimator::Evict(SimTime now) const {
@@ -28,32 +32,51 @@ void DelayEstimator::Evict(SimTime now) const {
   }
 }
 
+bool DelayEstimator::HeldValid(SimTime now) const {
+  if (!ever_sampled_) return false;
+  return max_age_ <= 0 || now - last_sample_time_ <= max_age_;
+}
+
 bool DelayEstimator::HasSamples(SimTime now) const {
   Evict(now);
   return !samples_.empty();
 }
 
-SimDuration DelayEstimator::Estimate(SimTime now) const {
-  Evict(now);
-  if (samples_.empty()) return 0;
+bool DelayEstimator::HasEstimate(SimTime now) const {
+  return HasSamples(now) || HeldValid(now);
+}
+
+void DelayEstimator::RefreshHeld() const {
   std::vector<SimDuration> values;
   values.reserve(samples_.size());
-  for (const auto& [t, d] : samples_) values.push_back(d);
+  long double sum = 0;
+  for (const auto& [t, d] : samples_) {
+    values.push_back(d);
+    sum += static_cast<long double>(d);
+  }
   // Index of the quantile element (nearest-rank method): ceil(q*n) - 1.
   size_t rank = static_cast<size_t>(
       std::ceil(quantile_ * static_cast<double>(values.size())));
   if (rank > 0) --rank;
   if (rank >= values.size()) rank = values.size() - 1;
   std::nth_element(values.begin(), values.begin() + rank, values.end());
-  return values[rank];
+  held_estimate_ = values[rank];
+  held_mean_ =
+      static_cast<SimDuration>(sum / static_cast<long double>(values.size()));
+}
+
+SimDuration DelayEstimator::Estimate(SimTime now) const {
+  Evict(now);
+  if (samples_.empty()) return HeldValid(now) ? held_estimate_ : 0;
+  RefreshHeld();
+  return held_estimate_;
 }
 
 SimDuration DelayEstimator::MeanEstimate(SimTime now) const {
   Evict(now);
-  if (samples_.empty()) return 0;
-  long double sum = 0;
-  for (const auto& [t, d] : samples_) sum += static_cast<long double>(d);
-  return static_cast<SimDuration>(sum / static_cast<long double>(samples_.size()));
+  if (samples_.empty()) return HeldValid(now) ? held_mean_ : 0;
+  RefreshHeld();
+  return held_mean_;
 }
 
 }  // namespace natto::net

@@ -17,32 +17,55 @@ namespace natto::net {
 /// time), so they deliberately include relative clock skew: a timestamp
 /// computed from the estimate is directly comparable to the *server's*
 /// clock.
+///
+/// Outage behavior: when probes stop (crash, partition) and every sample
+/// ages out of the window, the estimator *holds* the last in-window
+/// estimate rather than collapsing to 0, until the last sample is older
+/// than `max_age` (0 = hold forever). This keeps timestamp computation
+/// sane through a fault instead of scheduling everything "now".
 class DelayEstimator {
  public:
   explicit DelayEstimator(SimDuration window = Seconds(1),
-                          double quantile = 0.95);
+                          double quantile = 0.95, SimDuration max_age = 0);
 
   /// Records a delay sample observed at local time `now`.
   void AddSample(SimTime now, SimDuration delay);
 
+  /// True when at least one sample is inside [now - window, now].
   bool HasSamples(SimTime now) const;
 
-  /// The configured quantile of samples in [now - window, now]. Requires at
-  /// least one in-window sample (check HasSamples()); returns 0 otherwise.
+  /// True when Estimate() has something meaningful to report: in-window
+  /// samples, or a held estimate younger than `max_age`.
+  bool HasEstimate(SimTime now) const;
+
+  /// The configured quantile of samples in [now - window, now]; with an
+  /// empty window, the held last-known estimate while it is younger than
+  /// `max_age`; 0 otherwise (never seen a sample, or the hold expired).
   SimDuration Estimate(SimTime now) const;
 
-  /// Mean of in-window samples (used by the ablation estimator bench).
+  /// Mean of in-window samples (used by the ablation estimator bench),
+  /// with the same hold-last fallback as Estimate().
   SimDuration MeanEstimate(SimTime now) const;
 
   size_t sample_count() const { return samples_.size(); }
 
  private:
   void Evict(SimTime now) const;
+  /// Recomputes the held quantile/mean from the current (non-empty) window.
+  void RefreshHeld() const;
+  bool HeldValid(SimTime now) const;
 
   SimDuration window_;
   double quantile_;
+  SimDuration max_age_;
   // Mutable so the const query methods can drop expired samples lazily.
   mutable std::deque<std::pair<SimTime, SimDuration>> samples_;
+  // Last-known estimates, refreshed on every sample; served (subject to
+  // max_age_) once the window empties during an outage.
+  mutable SimDuration held_estimate_ = 0;
+  mutable SimDuration held_mean_ = 0;
+  SimTime last_sample_time_ = 0;
+  bool ever_sampled_ = false;
 };
 
 }  // namespace natto::net

@@ -11,8 +11,8 @@ Prober::Prober(Transport* transport, int site, sim::NodeClock clock,
 void Prober::AddTarget(int key, Node* target) {
   NATTO_CHECK(target != nullptr);
   targets_[key] = target;
-  estimators_.emplace(key,
-                      DelayEstimator(options_.window, options_.quantile));
+  estimators_.emplace(key, DelayEstimator(options_.window, options_.quantile,
+                                          options_.estimate_max_age));
 }
 
 void Prober::Start() {
@@ -46,7 +46,7 @@ void Prober::ProbeAll() {
 
 bool Prober::HasEstimate(int key) const {
   auto it = estimators_.find(key);
-  return it != estimators_.end() && it->second.HasSamples(LocalNow());
+  return it != estimators_.end() && it->second.HasEstimate(LocalNow());
 }
 
 SimDuration Prober::EstimateDelayTo(int key) const {

@@ -24,6 +24,11 @@ class Prober : public Node {
     SimDuration window = Seconds(1);          // paper: last second
     double quantile = 0.95;                   // paper: 95th percentile
     size_t probe_bytes = 64;
+    /// When probe responses stop (target crashed or partitioned away) and
+    /// the window drains, the per-target estimator holds its last estimate
+    /// for this long before reporting "no estimate" (0 = hold forever).
+    /// Irrelevant while probes flow: the window then never empties.
+    SimDuration estimate_max_age = Seconds(10);
   };
 
   Prober(Transport* transport, int site, sim::NodeClock clock,

@@ -46,6 +46,60 @@ bool Transport::IsNodeCrashed(NodeId node) const {
   return node_crashed_[node];
 }
 
+void Transport::SetSitePartitioned(int site_a, int site_b, bool partitioned) {
+  int n = matrix_->num_sites();
+  NATTO_CHECK(site_a >= 0 && site_a < n);
+  NATTO_CHECK(site_b >= 0 && site_b < n);
+  if (site_a == site_b) return;  // a site is never partitioned from itself
+  if (partition_mask_.empty()) {
+    if (!partitioned) return;
+    partition_mask_.assign(static_cast<size_t>(n) * n, 0);
+  }
+  uint8_t v = partitioned ? 1 : 0;
+  partition_mask_[static_cast<size_t>(site_a) * n + site_b] = v;
+  partition_mask_[static_cast<size_t>(site_b) * n + site_a] = v;
+}
+
+bool Transport::IsSitePartitioned(int site_a, int site_b) const {
+  if (partition_mask_.empty()) return false;
+  return partition_mask_[static_cast<size_t>(site_a) * matrix_->num_sites() +
+                         site_b] != 0;
+}
+
+void Transport::SetLinkOverlay(int from_site, int to_site, double extra_loss,
+                               SimDuration extra_delay, SimTime until) {
+  int n = matrix_->num_sites();
+  NATTO_CHECK(from_site >= 0 && from_site < n);
+  NATTO_CHECK(to_site >= 0 && to_site < n);
+  // loss == 1.0 is a deterministic blackhole (Bernoulli(1) draws nothing).
+  NATTO_CHECK(extra_loss >= 0.0 && extra_loss <= 1.0);
+  if (until <= simulator_->Now()) {
+    link_overlays_.erase({from_site, to_site});
+    return;
+  }
+  link_overlays_[{from_site, to_site}] =
+      LinkOverlay{extra_loss, extra_delay, until};
+}
+
+void Transport::CountDrop(DropReason reason) {
+  ++messages_dropped_;
+  if (messages_dropped_metric_) messages_dropped_metric_->Inc();
+  switch (reason) {
+    case DropReason::kCrash:
+      ++dropped_crash_;
+      if (dropped_crash_metric_) dropped_crash_metric_->Inc();
+      break;
+    case DropReason::kPartition:
+      ++dropped_partition_;
+      if (dropped_partition_metric_) dropped_partition_metric_->Inc();
+      break;
+    case DropReason::kLoss:
+      ++dropped_loss_;
+      if (dropped_loss_metric_) dropped_loss_metric_->Inc();
+      break;
+  }
+}
+
 SimTime& Transport::LinkFreeAt(int from_site, int to_site) {
   return link_free_at_[static_cast<size_t>(from_site) * matrix_->num_sites() +
                        to_site];
@@ -74,20 +128,44 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   // as a drop, not as sent traffic (a crashed sender must not inflate the
   // traffic stats).
   if (node_crashed_[from] || node_crashed_[to]) {
-    ++messages_dropped_;
-    if (messages_dropped_metric_) messages_dropped_metric_->Inc();
+    CountDrop(DropReason::kCrash);
     return;
   }
+
+  int sa = node_sites_[from];
+  int sb = node_sites_[to];
+  SimTime now = simulator_->Now();
+
+  // Site-pair blackhole: nothing crosses a partitioned path.
+  if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
+    CountDrop(DropReason::kPartition);
+    return;
+  }
+
+  // Transient degradation overlay on this directed link.
+  SimDuration overlay_delay = 0;
+  if (!link_overlays_.empty()) {
+    auto it = link_overlays_.find({sa, sb});
+    if (it != link_overlays_.end()) {
+      if (it->second.until <= now) {
+        link_overlays_.erase(it);
+      } else {
+        if (it->second.extra_loss > 0.0 &&
+            rng_.Bernoulli(it->second.extra_loss)) {
+          CountDrop(DropReason::kLoss);
+          return;
+        }
+        overlay_delay = it->second.extra_delay;
+      }
+    }
+  }
+
   ++messages_sent_;
   bytes_sent_ += bytes;
   if (messages_sent_metric_) {
     messages_sent_metric_->Inc();
     bytes_sent_metric_->Inc(static_cast<int64_t>(bytes));
   }
-
-  int sa = node_sites_[from];
-  int sb = node_sites_[to];
-  SimTime now = simulator_->Now();
 
   // Link serialization under the capacity model.
   SimTime depart = now;
@@ -102,7 +180,8 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   }
 
   // Propagation delay with the configured distribution.
-  SimDuration delay = delay_model_->Sample(matrix_->OneWay(sa, sb), rng_);
+  SimDuration delay =
+      delay_model_->Sample(matrix_->OneWay(sa, sb), rng_) + overlay_delay;
 
   // Loss: the first lost transmission is usually recovered by TCP fast
   // retransmit on the busy persistent connection (~1 RTT); repeated losses
@@ -138,10 +217,18 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     done = start + cost;
   }
 
-  simulator_->ScheduleAt(done, [this, to, deliver = std::move(deliver)]() {
+  // The delivery-time checks re-validate against faults injected while the
+  // message was in flight: a receiver that crashed before delivery eats the
+  // message (crash reason), and a partition installed mid-flight severs the
+  // path for packets already on it.
+  simulator_->ScheduleAt(done, [this, sa, sb, to,
+                                deliver = std::move(deliver)]() {
     if (node_crashed_[to]) {
-      ++messages_dropped_;
-      if (messages_dropped_metric_) messages_dropped_metric_->Inc();
+      CountDrop(DropReason::kCrash);
+      return;
+    }
+    if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
+      CountDrop(DropReason::kPartition);
       return;
     }
     deliver();
@@ -154,10 +241,16 @@ void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
   bytes_sent_metric_ = registry->GetCounter("net.bytes_sent");
   messages_dropped_metric_ = registry->GetCounter("net.messages_dropped");
   messages_lost_metric_ = registry->GetCounter("net.messages_lost");
+  dropped_crash_metric_ = registry->GetCounter("net.dropped.crash");
+  dropped_partition_metric_ = registry->GetCounter("net.dropped.partition");
+  dropped_loss_metric_ = registry->GetCounter("net.dropped.loss");
   messages_sent_metric_->Inc(static_cast<int64_t>(messages_sent_));
   bytes_sent_metric_->Inc(static_cast<int64_t>(bytes_sent_));
   messages_dropped_metric_->Inc(static_cast<int64_t>(messages_dropped_));
   messages_lost_metric_->Inc(static_cast<int64_t>(messages_lost_));
+  dropped_crash_metric_->Inc(static_cast<int64_t>(dropped_crash_));
+  dropped_partition_metric_->Inc(static_cast<int64_t>(dropped_partition_));
+  dropped_loss_metric_->Inc(static_cast<int64_t>(dropped_loss_));
 }
 
 }  // namespace natto::net

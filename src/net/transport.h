@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -80,8 +82,25 @@ class Transport {
   void SetNodeCrashed(NodeId node, bool crashed);
   bool IsNodeCrashed(NodeId node) const;
 
+  /// Installs (or heals) a symmetric blackhole between two sites: every
+  /// message whose endpoints straddle the pair is dropped, including
+  /// messages already in flight at install time (a partition severs the
+  /// path, not just future sends). The mask is allocated lazily so no-fault
+  /// runs pay a single empty() test per send.
+  void SetSitePartitioned(int site_a, int site_b, bool partitioned);
+  bool IsSitePartitioned(int site_a, int site_b) const;
+
+  /// Overlays a transient degradation on the directed link `from -> to`
+  /// until sim time `until`: `extra_loss` is an additional hard-drop
+  /// probability (counted under the loss reason) and `extra_delay` is added
+  /// to every surviving message's propagation delay. Expired overlays are
+  /// pruned lazily.
+  void SetLinkOverlay(int from_site, int to_site, double extra_loss,
+                      SimDuration extra_delay, SimTime until);
+
   /// Mirrors the traffic counters into `registry` (`net.messages_sent`,
-  /// `net.bytes_sent`, `net.messages_dropped`, `net.messages_lost`).
+  /// `net.bytes_sent`, `net.messages_dropped`, `net.messages_lost`, and the
+  /// per-reason split `net.dropped.{loss,crash,partition}`).
   /// Optional: transports built directly in tests skip this.
   void RegisterMetrics(obs::MetricsRegistry* registry);
 
@@ -89,14 +108,24 @@ class Transport {
   const LatencyMatrix& matrix() const { return *matrix_; }
 
   /// Traffic that actually entered the network. Messages refused because an
-  /// endpoint was crashed at send time, or whose receiver was crashed at
-  /// delivery time, count as drops instead.
+  /// endpoint was crashed at send time, or whose receiver was crashed (or
+  /// cut off by a partition) at delivery time, count as drops instead.
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t messages_lost() const { return messages_lost_; }
 
+  /// Drop attribution: dropped == dropped_crash + dropped_partition +
+  /// dropped_loss (overlay hard drops; baseline packet loss is modeled as
+  /// retransmission delay and counted under messages_lost instead).
+  uint64_t dropped_crash() const { return dropped_crash_; }
+  uint64_t dropped_partition() const { return dropped_partition_; }
+  uint64_t dropped_loss() const { return dropped_loss_; }
+
  private:
+  enum class DropReason { kCrash, kPartition, kLoss };
+
+  void CountDrop(DropReason reason);
   /// Serialization start bookkeeping per directed site pair.
   SimTime& LinkFreeAt(int from_site, int to_site);
 
@@ -113,16 +142,35 @@ class Transport {
   std::vector<SimTime> node_free_at_;
   std::vector<SimTime> link_free_at_;  // num_sites^2, row-major
 
+  /// Site-pair blackhole mask, num_sites^2 row-major; empty until the first
+  /// SetSitePartitioned call (null-injector fast path).
+  std::vector<uint8_t> partition_mask_;
+
+  struct LinkOverlay {
+    double extra_loss = 0.0;
+    SimDuration extra_delay = 0;
+    SimTime until = 0;
+  };
+  /// Directed (from_site, to_site) -> transient overlay; empty in no-fault
+  /// runs. Ordered map: iteration order must not depend on hash layout.
+  std::map<std::pair<int, int>, LinkOverlay> link_overlays_;
+
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t messages_lost_ = 0;
+  uint64_t dropped_crash_ = 0;
+  uint64_t dropped_partition_ = 0;
+  uint64_t dropped_loss_ = 0;
 
   // Registry mirrors; null until RegisterMetrics.
   obs::Counter* messages_sent_metric_ = nullptr;
   obs::Counter* bytes_sent_metric_ = nullptr;
   obs::Counter* messages_dropped_metric_ = nullptr;
   obs::Counter* messages_lost_metric_ = nullptr;
+  obs::Counter* dropped_crash_metric_ = nullptr;
+  obs::Counter* dropped_partition_metric_ = nullptr;
+  obs::Counter* dropped_loss_metric_ = nullptr;
 };
 
 }  // namespace natto::net

@@ -35,6 +35,12 @@ enum class AbortCause : int {
   kWound,
   /// The prepare record could not be replicated (leader lost its group).
   kReplicationFailed,
+  /// The client's per-attempt request timeout elapsed before the engine
+  /// reported an outcome (fault runs: coordinator or leader unreachable).
+  kTimeout,
+  /// Replication was interrupted by a raft leader failure mid-flight: the
+  /// proposing leader crashed or was deposed before the entry committed.
+  kLeaderFailover,
   kNumCauses,  // sentinel, keep last
 };
 
@@ -59,6 +65,10 @@ inline const char* AbortCauseName(AbortCause c) {
       return "wound";
     case AbortCause::kReplicationFailed:
       return "replication_failed";
+    case AbortCause::kTimeout:
+      return "timeout";
+    case AbortCause::kLeaderFailover:
+      return "leader_failover";
     case AbortCause::kNumCauses:
       break;
   }

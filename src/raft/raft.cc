@@ -17,6 +17,7 @@ void RaftReplica::SetPeers(std::vector<RaftReplica*> peers) {
   NATTO_CHECK(!peers.empty());
   peers_ = std::move(peers);
   peer_state_.assign(peers_.size(), PeerState{});
+  last_ack_.assign(peers_.size(), 0);
   bool found = false;
   for (size_t i = 0; i < peers_.size(); ++i) {
     if (peers_[i] == this) {
@@ -41,9 +42,33 @@ void RaftReplica::StartTimers() {
   if (role_ == Role::kLeader) HeartbeatTick();
 }
 
+void RaftReplica::SetCrashed(bool crashed) {
+  if (crashed_ == crashed) return;
+  crashed_ = crashed;
+  if (crashed_) {
+    // Leader-side callbacks for uncommitted entries die with the process.
+    pending_callbacks_.erase(
+        std::remove_if(
+            pending_callbacks_.begin(), pending_callbacks_.end(),
+            [this](const auto& p) { return p.first > commit_index_; }),
+        pending_callbacks_.end());
+    return;
+  }
+  // Restart as a follower: term, log and vote survive (persisted state);
+  // volatile leadership state does not. Keeping voted_for_ prevents a
+  // second vote in the same term after a crash-recover cycle.
+  role_ = Role::kFollower;
+  votes_received_ = 0;
+  leader_hint_ = -1;
+  if (timers_started_) {
+    last_heartbeat_seen_ = TrueNow();
+    ResetElectionTimer();
+  }
+}
+
 Status RaftReplica::Propose(PayloadId payload,
                             std::function<void()> on_committed) {
-  if (role_ != Role::kLeader) {
+  if (crashed_ || role_ != Role::kLeader) {
     return Status::Unavailable("not the leader");
   }
   log_.push_back(LogEntry{term_, payload});
@@ -61,7 +86,7 @@ Status RaftReplica::Propose(PayloadId payload,
     flush_scheduled_ = true;
     transport()->simulator()->ScheduleAfter(0, [this]() {
       flush_scheduled_ = false;
-      if (role_ == Role::kLeader) BroadcastAppend();
+      if (!crashed_ && role_ == Role::kLeader) BroadcastAppend();
     });
   }
   return Status::OK();
@@ -72,6 +97,7 @@ void RaftReplica::BecomeFollower(uint64_t term) {
   role_ = Role::kFollower;
   voted_for_ = -1;
   votes_received_ = 0;
+  leader_hint_ = -1;
   // Leader-side callbacks for uncommitted entries will never fire on this
   // replica; drop them (engines treat missing callbacks as lost leadership,
   // which only matters in fault tests).
@@ -88,6 +114,7 @@ void RaftReplica::ResetElectionTimer() {
                                         options_.election_timeout_max);
   After(timeout, [this, epoch]() {
     if (epoch != election_epoch_) return;  // superseded
+    if (crashed_) return;
     if (role_ == Role::kLeader) return;
     StartElection();
   });
@@ -98,6 +125,7 @@ void RaftReplica::StartElection() {
   ++term_;
   voted_for_ = static_cast<int>(self_index_);
   votes_received_ = 1;
+  leader_hint_ = -1;
   uint64_t last_index = log_.size();
   uint64_t last_term = log_.empty() ? 0 : log_.back().term;
   uint64_t term = term_;
@@ -116,6 +144,7 @@ void RaftReplica::StartElection() {
 void RaftReplica::HandleRequestVote(uint64_t term, uint64_t last_log_index,
                                     uint64_t last_log_term,
                                     size_t from_index) {
+  if (crashed_) return;
   if (term > term_) BecomeFollower(term);
   bool granted = false;
   if (term == term_ &&
@@ -141,6 +170,7 @@ void RaftReplica::HandleRequestVote(uint64_t term, uint64_t last_log_index,
 void RaftReplica::HandleVoteResponse(uint64_t term, bool granted,
                                      size_t from_index) {
   (void)from_index;
+  if (crashed_) return;
   if (term > term_) {
     BecomeFollower(term);
     return;
@@ -154,12 +184,15 @@ void RaftReplica::HandleVoteResponse(uint64_t term, bool granted,
 
 void RaftReplica::BecomeLeader() {
   role_ = Role::kLeader;
+  leader_hint_ = static_cast<int>(self_index_);
   for (size_t i = 0; i < peer_state_.size(); ++i) {
     peer_state_[i].sent_index = log_.size();
     peer_state_[i].match_index = 0;
     peer_state_[i].last_sent_commit = 0;
     peer_state_[i].last_send = 0;
+    last_ack_[i] = TrueNow();
   }
+  if (on_became_leader_) on_became_leader_(this);
   // A fresh leader must establish each follower's log prefix: rewind the
   // pipeline so the first append carries a consistency check the follower
   // can answer from its own log tail.
@@ -168,7 +201,22 @@ void RaftReplica::BecomeLeader() {
 }
 
 void RaftReplica::HeartbeatTick() {
-  if (role_ != Role::kLeader || !timers_started_) return;
+  if (crashed_ || role_ != Role::kLeader || !timers_started_) return;
+  // Quorum-loss step-down: a leader cut off from a majority (minority side
+  // of a partition) must stop acting as leader so clients fail over to the
+  // majority's new leader instead of proposing into a dead end.
+  if (peers_.size() > 1) {
+    SimDuration stale_after = 2 * options_.election_timeout_max;
+    int fresh = 1;  // self
+    for (size_t i = 0; i < peers_.size(); ++i) {
+      if (i == self_index_) continue;
+      if (TrueNow() - last_ack_[i] <= stale_after) ++fresh;
+    }
+    if (fresh < Majority()) {
+      StepDown();
+      return;
+    }
+  }
   for (size_t i = 0; i < peers_.size(); ++i) {
     if (i == self_index_) continue;
     PeerState& ps = peer_state_[i];
@@ -220,16 +268,32 @@ void RaftReplica::MaybeSendTo(size_t peer_index, bool force) {
          });
 }
 
+void RaftReplica::StepDown() {
+  role_ = Role::kFollower;
+  votes_received_ = 0;
+  leader_hint_ = -1;
+  // voted_for_ is kept: stepping down does not entitle this node to a
+  // second vote in the same term.
+  pending_callbacks_.erase(
+      std::remove_if(pending_callbacks_.begin(), pending_callbacks_.end(),
+                     [this](const auto& p) { return p.first > commit_index_; }),
+      pending_callbacks_.end());
+  last_heartbeat_seen_ = TrueNow();
+  ResetElectionTimer();
+}
+
 void RaftReplica::HandleAppendEntries(uint64_t term, uint64_t prev_index,
                                       uint64_t prev_term,
                                       std::vector<LogEntry> entries,
                                       uint64_t leader_commit,
                                       size_t from_index) {
+  if (crashed_) return;
   if (term > term_) BecomeFollower(term);
   RaftReplica* leader = peers_[from_index];
   bool success = false;
   if (term == term_) {
     if (role_ == Role::kCandidate) role_ = Role::kFollower;
+    leader_hint_ = static_cast<int>(from_index);
     last_heartbeat_seen_ = TrueNow();
     ResetElectionTimer();
     // Consistency check on the entry preceding the batch.
@@ -271,11 +335,13 @@ void RaftReplica::HandleAppendEntries(uint64_t term, uint64_t prev_index,
 void RaftReplica::HandleAppendResponse(uint64_t term, bool success,
                                        uint64_t match_index,
                                        size_t from_index) {
+  if (crashed_) return;
   if (term > term_) {
     BecomeFollower(term);
     return;
   }
   if (role_ != Role::kLeader || term != term_) return;
+  last_ack_[from_index] = TrueNow();
   PeerState& ps = peer_state_[from_index];
   if (success) {
     ps.match_index = std::max(ps.match_index, match_index);

@@ -58,6 +58,25 @@ class RaftReplica : public net::Node {
   uint64_t commit_index() const { return commit_index_; }
   uint64_t log_size() const { return log_.size(); }
 
+  /// Takes this replica out of (or back into) service. The transport already
+  /// drops traffic to/from a crashed node; this additionally freezes the
+  /// replica's own timers and refuses proposals so a crashed leader cannot
+  /// keep committing locally. Recovery restarts it as a follower with its
+  /// term, log and vote intact (they model persisted state).
+  void SetCrashed(bool crashed);
+  bool crashed() const { return crashed_; }
+
+  /// Index (into the peers vector) of the replica this one believes leads
+  /// its current term: itself when leader, the sender of accepted
+  /// AppendEntries when follower, -1 when unknown (candidate, fresh term).
+  int leader_hint() const { return leader_hint_; }
+
+  /// Fires whenever this replica wins an election (including the initial
+  /// seating). RaftGroup uses it to track the live leader.
+  void SetOnBecameLeader(std::function<void(RaftReplica*)> cb) {
+    on_became_leader_ = std::move(cb);
+  }
+
   /// Leader-only: appends `payload` to the log and replicates it;
   /// `on_committed` fires on this node once a majority has the entry.
   /// Returns Unavailable if this replica is not the leader (callback
@@ -87,6 +106,9 @@ class RaftReplica : public net::Node {
   int Majority() const { return static_cast<int>(peers_.size()) / 2 + 1; }
 
   void BecomeFollower(uint64_t term);
+  /// Relinquishes leadership within the current term (quorum loss), keeping
+  /// voted_for_ so the node cannot vote twice in the term.
+  void StepDown();
   void StartElection();
   void BecomeLeader();
   void BroadcastAppend();
@@ -125,11 +147,16 @@ class RaftReplica : public net::Node {
   // Callbacks for locally proposed entries, keyed by log index.
   std::vector<std::pair<uint64_t, std::function<void()>>> pending_callbacks_;
   std::function<void(PayloadId)> on_apply_;
+  std::function<void(RaftReplica*)> on_became_leader_;
 
   bool timers_started_ = false;
   bool flush_scheduled_ = false;
+  bool crashed_ = false;
+  int leader_hint_ = -1;
   uint64_t election_epoch_ = 0;  // invalidates stale timers
   SimTime last_heartbeat_seen_ = 0;
+  // Leader-side ack freshness per peer, for the quorum-loss step-down check.
+  std::vector<SimTime> last_ack_;
 };
 
 }  // namespace natto::raft

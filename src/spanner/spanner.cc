@@ -267,9 +267,22 @@ void SpannerServer::FinishPrepare(TxnId id) {
     vote();
     return;
   }
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
-      engine_->NextPayloadId(), vote);
-  NATTO_CHECK(s.ok());
+  engine_->cluster()->group(partition_)->Propose(
+      engine_->NextPayloadId(), vote,
+      [this, id, coord = lt.meta.coordinator](bool timed_out) {
+        // Prepare record lost to a leader failure: vote no and let the
+        // coordinator's abort clean up our lock/txn state.
+        if (obs::Tracer* tr = engine_->cluster()->tracer()) {
+          tr->SpanEnd(id, "prepare", partition_, TrueNow());
+        }
+        auto* co = engine_->coordinator_by_node(coord);
+        int partition = partition_;
+        obs::AbortCause cause = timed_out ? obs::AbortCause::kLeaderFailover
+                                          : obs::AbortCause::kReplicationFailed;
+        SendTo(coord, kMessageHeaderBytes, [co, id, partition, cause]() {
+          co->HandleVote(id, partition, /*ok=*/false, cause);
+        });
+      });
 }
 
 void SpannerServer::HandleCommit(TxnId id) {
@@ -281,7 +294,9 @@ void SpannerServer::HandleCommit(TxnId id) {
     finished_.insert(id);
     return;
   }
-  Status s = engine_->cluster()->group(partition_)->leader()->Propose(
+  // The decision is already fixed, so the commit record must eventually
+  // replicate even across leader changes.
+  engine_->cluster()->group(partition_)->ProposeWithRetry(
       engine_->NextPayloadId(), [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
@@ -290,7 +305,6 @@ void SpannerServer::HandleCommit(TxnId id) {
         finished_.insert(id);
         locks_.ReleaseAll(id);
       });
-  NATTO_CHECK(s.ok());
 }
 
 void SpannerServer::HandleAbort(TxnId id) {
@@ -430,14 +444,19 @@ void SpannerCoordinator::MaybeCommit(TxnId id) {
   // commit (the sequential step Carousel overlaps).
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
-  Status s = engine_->cluster()->group(local_partition)->leader()->Propose(
-      engine_->NextPayloadId(), [this, id]() {
+  engine_->cluster()->group(local_partition)->Propose(
+      engine_->NextPayloadId(),
+      [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         it2->second.own_replicated = true;
         Decide(id, /*commit=*/true, "", obs::AbortCause::kNone);
+      },
+      [this, id](bool timed_out) {
+        Decide(id, /*commit=*/false, "replication failed",
+               timed_out ? obs::AbortCause::kLeaderFailover
+                         : obs::AbortCause::kReplicationFailed);
       });
-  NATTO_CHECK(s.ok());
 }
 
 void SpannerCoordinator::Decide(TxnId id, bool commit,

@@ -38,6 +38,25 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
         transport_.get(), topology_.ReplicaSites(p), options_.raft, rng_,
         options_.max_clock_skew));
   }
+  if (!options_.fault_schedule.empty()) {
+    // Chaos mode: elections and replication timeouts are only armed when a
+    // schedule is installed, so fault-free runs schedule not a single extra
+    // event.
+    std::vector<raft::RaftGroup*> group_ptrs;
+    group_ptrs.reserve(groups_.size());
+    for (auto& g : groups_) {
+      g->StartTimers();
+      g->EnableFailureHandling(options_.replication_timeout);
+      g->SetOnLeaderChange([this](raft::RaftReplica*) {
+        metrics_.GetCounter("fault.leader_elections")->Inc();
+      });
+      group_ptrs.push_back(g.get());
+    }
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        &simulator_, transport_.get(), std::move(group_ptrs), &metrics_,
+        tracer_.get(), options_.fault_schedule);
+    fault_injector_->Arm();
+  }
 }
 
 int Cluster::CoordinatorSite(int site) const {
@@ -53,6 +72,27 @@ int Cluster::CoordinatorSite(int site) const {
     }
   }
   return best;
+}
+
+int Cluster::RouteOriginSite(int site) const {
+  if (fault_injector_ == nullptr) return site;
+  auto coordinator_reachable = [this](int s) {
+    return !transport_->IsSitePartitioned(s, CoordinatorSite(s));
+  };
+  if (coordinator_reachable(site)) return site;
+  int best = -1;
+  SimDuration best_d = 0;
+  for (int t = 0; t < topology_.num_sites(); ++t) {
+    if (t == site) continue;
+    if (transport_->IsSitePartitioned(site, t)) continue;
+    if (!coordinator_reachable(t)) continue;
+    SimDuration d = matrix_.OneWay(site, t);
+    if (best < 0 || d < best_d) {
+      best = t;
+      best_d = d;
+    }
+  }
+  return best >= 0 ? best : site;
 }
 
 }  // namespace natto::txn

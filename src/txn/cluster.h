@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "fault/fault.h"
 #include "net/delay_model.h"
 #include "net/latency_matrix.h"
 #include "net/transport.h"
@@ -40,6 +41,17 @@ struct ClusterOptions {
 
   /// Transaction-lifecycle tracing (off by default; see src/obs/trace.h).
   obs::TraceOptions trace;
+
+  /// Scripted fault schedule (empty by default). A non-empty schedule makes
+  /// the cluster construct a FaultInjector, start raft election timers and
+  /// arm replication timeouts; an empty one changes nothing at all, so
+  /// no-fault runs stay byte-identical to builds without the fault layer.
+  fault::FaultSchedule fault_schedule;
+
+  /// Raft replication completion timeout used when a fault schedule is
+  /// installed: a Propose that neither commits nor fails within this window
+  /// is treated as lost to a leader failure.
+  SimDuration replication_timeout = Millis(1500);
 
   uint64_t seed = 1;
 };
@@ -78,6 +90,17 @@ class Cluster {
   /// nearest leader site.
   int CoordinatorSite(int site) const;
 
+  /// Fault-aware origin selection for a client at `site`: `site` itself when
+  /// no faults are installed or its coordinator is reachable, else the
+  /// nearest reachable site whose coordinator is reachable from it (clients
+  /// re-route around a dead or partitioned coordinator site). Falls back to
+  /// `site` when nothing is reachable.
+  int RouteOriginSite(int site) const;
+
+  /// The injector driving the configured fault schedule, or nullptr when
+  /// the schedule is empty (null fast path).
+  fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
  private:
   net::LatencyMatrix matrix_;
   Topology topology_;
@@ -88,6 +111,7 @@ class Cluster {
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<raft::RaftGroup>> groups_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
 };
 
 }  // namespace natto::txn

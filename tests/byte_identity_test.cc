@@ -76,6 +76,55 @@ void RunAndRender(const char* jobs, std::string* out) {
   *out = RenderTable(points, grid);
 }
 
+// Chaos determinism: a scripted fault schedule (leader crash + recovery +
+// site partition + heal, with client timeouts, backoff and re-routing all
+// armed) must be exactly as reproducible as a fault-free run — same seed
+// and schedule render byte-identical tables serially and under
+// NATTO_JOBS=8, including the per-bucket availability timeline.
+void RunChaosAndRender(const char* jobs, std::string* out) {
+  ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
+  std::vector<System> systems = {MakeSystem(SystemKind::kTwoPl),
+                                 MakeSystem(SystemKind::kCarouselFast),
+                                 MakeSystem(SystemKind::kNattoRecsf)};
+  ExperimentConfig config = TinyConfig(30);
+  config.request_timeout = Millis(800);
+  config.backoff_base = Millis(25);
+  config.timeline_bucket = Seconds(1);
+  config.cluster.fault_schedule.CrashReplica(Seconds(2), 0, 0)
+      .RecoverReplica(Millis(3500), 0, 0)
+      .PartitionSites(Seconds(4), 0, 1)
+      .HealSites(Seconds(5), 0, 1);
+  std::vector<GridPoint> points;
+  points.push_back({config, TinyWorkload()});
+  auto grid = RunGrid(points, systems, /*jobs=*/0);
+  std::string table = RenderTable(points, grid);
+  char buf[64];
+  for (const ExperimentResult& r : grid[0]) {
+    std::snprintf(buf, sizeof(buf), "%s timeouts=%lld timeline=",
+                  r.system.c_str(), static_cast<long long>(r.timeout_aborts));
+    table += buf;
+    for (const auto& bucket : r.timeline) {
+      std::snprintf(buf, sizeof(buf), " %lld/%lld",
+                    static_cast<long long>(bucket.committed),
+                    static_cast<long long>(bucket.aborted));
+      table += buf;
+    }
+    table += '\n';
+  }
+  *out = table;
+}
+
+TEST(ByteIdentityTest, ChaosScheduleTablesAreByteIdentical) {
+  std::string serial, parallel;
+  RunChaosAndRender("1", &serial);
+  RunChaosAndRender("8", &parallel);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel)
+      << "NATTO_JOBS=8 rendered a different chaos table than NATTO_JOBS=1";
+  // Sanity: the faults actually produced timeline buckets.
+  EXPECT_NE(serial.find("timeline= "), std::string::npos);
+}
+
 TEST(ByteIdentityTest, SerialParallelAndRerunTablesAreByteIdentical) {
   std::string serial1, serial2, parallel1, parallel2;
   RunAndRender("1", &serial1);

@@ -67,6 +67,18 @@ TEST(NattolintWallclock, SimDirectoryIsExempt) {
   EXPECT_TRUE(vs.empty());
 }
 
+TEST(NattolintWallclock, FaultDirectoryIsNotExempt) {
+  // The fault-injection layer drives scripted faults against *sim* time;
+  // wallclock or ambient RNG there would silently break the bit-identity
+  // of chaos runs, so src/fault/ gets no exemption from either rule.
+  auto wall = nattolint::LintContent("src/fault/fixture.cc",
+                                     ReadFixture("wallclock_bad.cc"), {});
+  EXPECT_EQ(CountByRule(wall)["natto-wallclock"], 5);
+  auto rng = nattolint::LintContent("src/fault/fixture.cc",
+                                    ReadFixture("rng_bad.cc"), {});
+  EXPECT_EQ(CountByRule(rng)["natto-ambient-rng"], 4);
+}
+
 // ---------------------------------------------------------------------------
 // Rule 2: natto-ambient-rng
 // ---------------------------------------------------------------------------

@@ -140,6 +140,107 @@ TEST_F(RaftFixture, NewLeaderAcceptsProposals) {
   EXPECT_TRUE(committed);
 }
 
+// A leader partitioned away from both followers (minority side) must step
+// down once its heartbeats go unacknowledged, while the majority side
+// elects a replacement; after the heal the old leader rejoins as a
+// follower and group proposals commit through the new leader.
+TEST_F(RaftFixture, MinorityPartitionedLeaderStepsDownAndCommitsResume) {
+  auto g = MakeGroup({0, 1, 2});
+  g->StartTimers();
+  bool committed = false;
+  ASSERT_TRUE(g->leader()->Propose(1, [&]() { committed = true; }).ok());
+  simulator.RunUntil(Seconds(1));
+  ASSERT_TRUE(committed);
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+
+  // Cut site 0 (the leader) off from sites 1 and 2.
+  transport.SetSitePartitioned(0, 1, true);
+  transport.SetSitePartitioned(0, 2, true);
+  simulator.RunUntil(Seconds(6));
+
+  // The stranded leader noticed the quorum loss and stepped down...
+  EXPECT_FALSE(g->replica(0)->IsLeader());
+  // ...and the majority side elected exactly one new leader at a higher
+  // term, which the group now tracks and a majority agrees on.
+  int leaders = 0;
+  RaftReplica* new_leader = nullptr;
+  for (size_t r = 1; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) {
+      ++leaders;
+      new_leader = g->replica(r);
+    }
+  }
+  ASSERT_EQ(leaders, 1);
+  EXPECT_GT(new_leader->term(), 1u);
+  EXPECT_EQ(g->leader(), new_leader);
+  int agreed = g->AgreedLeaderIndex();
+  ASSERT_GE(agreed, 1);
+  EXPECT_EQ(g->replica(static_cast<size_t>(agreed)), new_leader);
+
+  // Heal. The stranded ex-leader rejoins with a term inflated by its
+  // futile elections, forcing one more election round (it may even win it
+  // — its log is complete); commits resume through whoever wins, and the
+  // group converges on a single leader at a single term.
+  transport.SetSitePartitioned(0, 1, false);
+  transport.SetSitePartitioned(0, 2, false);
+  bool recommitted = false;
+  bool failed = false;
+  simulator.ScheduleAfter(Seconds(2), [&]() {
+    g->Propose(2, [&]() { recommitted = true; }, [&](bool) { failed = true; });
+  });
+  simulator.RunUntil(Seconds(12));
+  EXPECT_TRUE(recommitted);
+  EXPECT_FALSE(failed);
+  leaders = 0;
+  for (size_t r = 0; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  agreed = g->AgreedLeaderIndex();
+  ASSERT_GE(agreed, 0);
+  EXPECT_TRUE(g->replica(static_cast<size_t>(agreed))->IsLeader());
+  for (size_t r = 1; r < g->size(); ++r) {
+    EXPECT_EQ(g->replica(r)->term(), g->replica(0)->term()) << "r=" << r;
+  }
+}
+
+// Group-level propose failure handling: with a timeout armed, a proposal
+// accepted by a leader that crashes before the entry commits reports
+// on_failed(timed_out=true); with the leader crashed and no replacement
+// yet, on_failed(false) fires synchronously.
+TEST_F(RaftFixture, ProposeTimeoutFiresWhenAcceptingLeaderDies) {
+  auto g = MakeGroup({0, 1, 2});
+  g->StartTimers();
+  g->EnableFailureHandling(/*propose_timeout=*/Millis(500));
+  simulator.RunUntil(Millis(10));
+
+  bool committed = false;
+  bool timed_out = false;
+  g->Propose(7, [&]() { committed = true; },
+             [&](bool t) { timed_out = t; });
+  // Kill the leader before any AppendEntries response can arrive (site 0
+  // to the nearest follower is a >1 ms one-way in AzureFive).
+  transport.SetNodeCrashed(g->replica(0)->id(), true);
+  g->replica(0)->SetCrashed(true);
+
+  // With the tracked leader crashed and no replacement elected yet,
+  // Propose fails synchronously with timed_out=false.
+  EXPECT_EQ(g->current_leader(), nullptr);
+  bool sync_failed = false;
+  bool sync_timed_out = true;
+  g->Propose(8, []() {}, [&](bool t) {
+    sync_failed = true;
+    sync_timed_out = t;
+  });
+  EXPECT_TRUE(sync_failed);
+  EXPECT_FALSE(sync_timed_out);
+
+  // The accepted-but-uncommitted proposal reports a timeout.
+  simulator.RunUntil(Millis(600));
+  EXPECT_FALSE(committed);
+  EXPECT_TRUE(timed_out);
+}
+
 TEST_F(RaftFixture, QuiescentWithoutTimersAfterCommit) {
   auto g = MakeGroup({0, 1, 2});
   ASSERT_TRUE(g->leader()->Propose(1, []() {}).ok());

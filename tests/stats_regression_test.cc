@@ -78,7 +78,50 @@ TEST(DelayEstimatorTest, EvictKeepsBoundarySample) {
   EXPECT_EQ(est.sample_count(), 1u);
 
   EXPECT_FALSE(est.HasSamples(Seconds(1) + 1));  // one microsecond past
-  EXPECT_EQ(est.Estimate(Seconds(1) + 1), 0);
+  // Past the window the estimator *holds* the last-known estimate (outage
+  // behavior; max_age = 0 holds forever) instead of collapsing to 0.
+  EXPECT_EQ(est.Estimate(Seconds(1) + 1), Millis(5));
+  EXPECT_EQ(est.sample_count(), 0u);
+}
+
+// Outage behavior: when probes stop and the window fully drains, the
+// estimator keeps reporting the last in-window estimate until the last
+// sample is older than max_age, then reports "no estimate" / 0. (The old
+// estimator returned 0 the instant the window emptied, so a 1-second
+// probe outage made Natto schedule every remote operation "now".)
+TEST(DelayEstimatorTest, HoldsLastEstimateThroughOutage) {
+  net::DelayEstimator est(Seconds(1), 0.95, /*max_age=*/Seconds(10));
+  est.AddSample(Seconds(1), Millis(10));
+  est.AddSample(Seconds(2), Millis(30));
+  EXPECT_EQ(est.Estimate(Seconds(2)), Millis(30));
+
+  // Probes stop at t=2s. Window empty at t=4s: the estimate holds.
+  EXPECT_FALSE(est.HasSamples(Seconds(4)));
+  EXPECT_TRUE(est.HasEstimate(Seconds(4)));
+  EXPECT_EQ(est.Estimate(Seconds(4)), Millis(30));
+  EXPECT_EQ(est.MeanEstimate(Seconds(4)), Millis(20));
+
+  // Still held at exactly max_age after the last sample...
+  EXPECT_EQ(est.Estimate(Seconds(12)), Millis(30));
+  // ...aged out one microsecond later.
+  EXPECT_FALSE(est.HasEstimate(Seconds(12) + 1));
+  EXPECT_EQ(est.Estimate(Seconds(12) + 1), 0);
+  EXPECT_EQ(est.MeanEstimate(Seconds(12) + 1), 0);
+
+  // Recovery: a fresh sample re-seeds both window and held estimate.
+  est.AddSample(Seconds(20), Millis(7));
+  EXPECT_EQ(est.Estimate(Seconds(20)), Millis(7));
+  EXPECT_EQ(est.Estimate(Seconds(25)), Millis(7));  // held again
+}
+
+// A never-probed estimator must stay at a deterministic 0 with no UB —
+// the fully-evicted and never-sampled cases both take the fallback path.
+TEST(DelayEstimatorTest, EmptyWindowIsDeterministicZero) {
+  net::DelayEstimator est(Seconds(1), 0.95, /*max_age=*/Seconds(5));
+  EXPECT_FALSE(est.HasSamples(0));
+  EXPECT_FALSE(est.HasEstimate(Seconds(100)));
+  EXPECT_EQ(est.Estimate(Seconds(100)), 0);
+  EXPECT_EQ(est.MeanEstimate(Seconds(100)), 0);
   EXPECT_EQ(est.sample_count(), 0u);
 }
 
