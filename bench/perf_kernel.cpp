@@ -1,0 +1,391 @@
+// Event-kernel perf-regression bench. Emits BENCH_kernel.json so every PR's
+// kernel throughput is measured and comparable against the previous one
+// (see EXPERIMENTS.md "Perf regression").
+//
+// Three suites, each repeated `--reps` times (default 5) with p50/p99 wall
+// times reported:
+//   schedule_fire   K self-rescheduling timers with mixed deterministic
+//                   delays — the Simulator schedule/pop hot loop in
+//                   isolation, with a realistic (24-byte capture) closure.
+//   transport_echo  P concurrent ping-pong chains through net::Transport —
+//                   the full Send/deliver envelope path.
+//   fig7_ycsbt_cell one serial end-to-end harness::RunOnce YCSB+T cell —
+//                   what a figure-grid worker thread actually executes.
+//
+// Allocation accounting: this TU replaces global operator new/delete with
+// counting forwarders to malloc/free. The schedule_fire and transport_echo
+// suites report allocs/event over the steady-state window (after a warmup
+// fraction, so pools and freelists are populated); `--check-steady-allocs`
+// exits nonzero if that number is > 0, which is the CI regression gate.
+//
+// This binary intentionally reads the host's monotonic clock: it measures
+// wall time of the kernel itself and never feeds timing back into a
+// simulation, so the determinism rule does not apply (suppressed per line).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>  // NOLINT(natto-wallclock)
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "harness/experiment.h"
+#include "harness/systems.h"
+#include "net/delay_model.h"
+#include "net/latency_matrix.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+#include "workload/ycsbt.h"
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+
+void* CountedAlloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  std::abort();  // benches don't recover from OOM
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace natto::bench {
+namespace {
+
+uint64_t AllocCount() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+using Clock = std::chrono::steady_clock;  // NOLINT(natto-wallclock)
+
+double ElapsedNs(Clock::time_point a, Clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// Ceil-rank percentile over a copy of `v` (same convention as
+/// harness::Percentile, duplicated here so the bench links light).
+double Pct(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  size_t rank = static_cast<size_t>(std::max(
+      1.0, std::min(static_cast<double>(v.size()),
+                    std::ceil(p / 100.0 * static_cast<double>(v.size())))));
+  return v[rank - 1];
+}
+
+struct SuiteResult {
+  std::string name;
+  uint64_t events_per_rep = 0;
+  double wall_ms_p50 = 0;
+  double wall_ms_p99 = 0;
+  double events_per_sec_p50 = 0;
+  double ns_per_event_p50 = 0;
+  /// Allocations per event over the steady-state window; negative when the
+  /// suite does not measure allocations (the e2e cell allocates by design:
+  /// transactions carry vectors).
+  double steady_allocs_per_event = -1.0;
+};
+
+struct Options {
+  bool quick = false;
+  int reps = 5;
+  bool check_steady_allocs = false;
+  std::string out_path = "BENCH_kernel.json";
+};
+
+// ---------------------------------------------------------------------------
+// Suite 1: schedule/fire microbench
+// ---------------------------------------------------------------------------
+
+/// K timers, each rescheduling itself with a deterministic pseudo-random
+/// delay in [100 us, 5.1 ms] until `total_events` callbacks have run. The
+/// capture (context pointer + timer id + salt) mirrors a realistic protocol
+/// timer closure and exceeds libstdc++'s 16-byte std::function SBO — the
+/// seed kernel paid one heap closure per schedule here.
+SuiteResult RunScheduleFire(const Options& opt) {
+  const int timers = opt.quick ? 2048 : 8192;
+  const uint64_t total_events =
+      opt.quick ? 400'000 : 2'000'000;
+
+  struct Ctx {
+    sim::Simulator sim;
+    uint64_t fired = 0;
+    uint64_t budget = 0;
+    uint64_t steady_after = 0;   // event count at which steady window opens
+    uint64_t allocs_at_steady = 0;
+    std::function<void(uint32_t, uint64_t)> arm;
+  };
+
+  SuiteResult r;
+  r.name = "schedule_fire";
+  r.events_per_rep = total_events;
+  std::vector<double> wall_ns;
+  double steady_allocs = 0;
+
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    Ctx ctx;
+    ctx.budget = total_events;
+    ctx.steady_after = total_events / 5;  // 20% warmup fills the pools
+    ctx.arm = [&ctx](uint32_t timer, uint64_t salt) {
+      // SplitMix64-style hash: deterministic, no shared RNG stream.
+      uint64_t z = (salt + 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      SimDuration delay = 100 + static_cast<SimDuration>((z ^ (z >> 31)) % 5000);
+      ctx.sim.ScheduleAfter(delay, [c = &ctx, timer, salt]() {
+        ++c->fired;
+        if (c->fired == c->steady_after) c->allocs_at_steady = AllocCount();
+        if (c->fired >= c->budget) {
+          c->sim.Stop();
+          return;
+        }
+        c->arm(timer, salt * 6364136223846793005ull + timer + 1);
+      });
+    };
+    for (int t = 0; t < timers; ++t) {
+      ctx.arm(static_cast<uint32_t>(t), static_cast<uint64_t>(t) << 17);
+    }
+    auto t0 = Clock::now();  // NOLINT(natto-wallclock)
+    ctx.sim.Run();
+    auto t1 = Clock::now();  // NOLINT(natto-wallclock)
+    uint64_t allocs_end = AllocCount();
+    wall_ns.push_back(ElapsedNs(t0, t1));
+    steady_allocs = static_cast<double>(allocs_end - ctx.allocs_at_steady) /
+                    static_cast<double>(ctx.fired - ctx.steady_after);
+  }
+
+  r.wall_ms_p50 = Pct(wall_ns, 50) / 1e6;
+  r.wall_ms_p99 = Pct(wall_ns, 99) / 1e6;
+  r.ns_per_event_p50 = Pct(wall_ns, 50) / static_cast<double>(total_events);
+  r.events_per_sec_p50 =
+      static_cast<double>(total_events) / (Pct(wall_ns, 50) / 1e9);
+  r.steady_allocs_per_event = steady_allocs;  // last rep: fully warmed
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 2: transport echo storm
+// ---------------------------------------------------------------------------
+
+/// P independent ping-pong chains across a 3-site triangle: every delivery
+/// immediately sends the reply. Exercises the full Send path (capacity
+/// model off, delay model constant) plus the delivery envelope.
+SuiteResult RunTransportEcho(const Options& opt) {
+  const int chains = 512;
+  const uint64_t total_msgs = opt.quick ? 200'000 : 1'000'000;
+
+  SuiteResult r;
+  r.name = "transport_echo";
+  r.events_per_rep = total_msgs;
+  std::vector<double> wall_ns;
+  double steady_allocs = 0;
+
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    sim::Simulator sim;
+    net::LatencyMatrix matrix = net::LatencyMatrix::LocalTriangle();
+    net::Transport transport(&sim, &matrix, net::MakeConstantDelay(),
+                             net::TransportOptions{}, /*seed=*/7);
+    std::vector<net::NodeId> nodes;
+    for (int s = 0; s < 3; ++s) nodes.push_back(transport.AddNode(s));
+
+    struct Ctx {
+      sim::Simulator* sim;
+      net::Transport* transport;
+      std::vector<net::NodeId>* nodes;
+      uint64_t delivered = 0;
+      uint64_t budget = 0;
+      uint64_t steady_after = 0;
+      uint64_t allocs_at_steady = 0;
+      std::function<void(int, int)> volley;
+    } ctx;
+    ctx.sim = &sim;
+    ctx.transport = &transport;
+    ctx.nodes = &nodes;
+    ctx.budget = total_msgs;
+    ctx.steady_after = total_msgs / 5;
+    ctx.volley = [&ctx](int from, int to) {
+      ctx.transport->Send((*ctx.nodes)[from], (*ctx.nodes)[to], 128,
+                          [c = &ctx, from, to]() {
+                            ++c->delivered;
+                            if (c->delivered == c->steady_after) {
+                              c->allocs_at_steady = AllocCount();
+                            }
+                            if (c->delivered >= c->budget) {
+                              c->sim->Stop();
+                              return;
+                            }
+                            c->volley(to, from);
+                          });
+    };
+    for (int p = 0; p < chains; ++p) ctx.volley(p % 3, (p + 1) % 3);
+
+    auto t0 = Clock::now();  // NOLINT(natto-wallclock)
+    sim.Run();
+    auto t1 = Clock::now();  // NOLINT(natto-wallclock)
+    uint64_t allocs_end = AllocCount();
+    wall_ns.push_back(ElapsedNs(t0, t1));
+    steady_allocs = static_cast<double>(allocs_end - ctx.allocs_at_steady) /
+                    static_cast<double>(ctx.delivered - ctx.steady_after);
+  }
+
+  r.wall_ms_p50 = Pct(wall_ns, 50) / 1e6;
+  r.wall_ms_p99 = Pct(wall_ns, 99) / 1e6;
+  r.ns_per_event_p50 = Pct(wall_ns, 50) / static_cast<double>(total_msgs);
+  r.events_per_sec_p50 =
+      static_cast<double>(total_msgs) / (Pct(wall_ns, 50) / 1e9);
+  r.steady_allocs_per_event = steady_allocs;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Suite 3: fig7-style end-to-end cell
+// ---------------------------------------------------------------------------
+
+SuiteResult RunFig7Cell(const Options& opt) {
+  SuiteResult r;
+  r.name = "fig7_ycsbt_cell";
+  std::vector<double> wall_ns;
+
+  harness::ExperimentConfig config;
+  config.input_rate_tps = 60;
+  config.duration = opt.quick ? Seconds(8) : Seconds(20);
+  config.warmup = Seconds(2);
+  config.cooldown = Seconds(2);
+  config.drain = Seconds(8);
+  harness::System system = harness::MakeSystem(harness::SystemKind::kNattoRecsf);
+  auto workload_factory = []() {
+    workload::YcsbTWorkload::Options o;
+    o.num_keys = 100000;
+    return std::make_unique<workload::YcsbTWorkload>(o);
+  };
+
+  int64_t committed = 0;
+  for (int rep = 0; rep < opt.reps; ++rep) {
+    auto t0 = Clock::now();  // NOLINT(natto-wallclock)
+    harness::RunStats stats = harness::RunOnce(
+        config, system, workload_factory, /*seed=*/1000 + rep);
+    auto t1 = Clock::now();  // NOLINT(natto-wallclock)
+    wall_ns.push_back(ElapsedNs(t0, t1));
+    committed = stats.committed_high + stats.committed_low;
+  }
+  if (committed == 0) {
+    std::fprintf(stderr, "fig7_ycsbt_cell committed nothing — broken cell\n");
+    std::exit(1);
+  }
+
+  r.events_per_rep = static_cast<uint64_t>(committed);
+  r.wall_ms_p50 = Pct(wall_ns, 50) / 1e6;
+  r.wall_ms_p99 = Pct(wall_ns, 99) / 1e6;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// JSON output
+// ---------------------------------------------------------------------------
+
+void WriteJson(const Options& opt, const std::vector<SuiteResult>& results) {
+  std::FILE* f = std::fopen(opt.out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", opt.out_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"kernel\",\n  \"quick\": %s,\n",
+               opt.quick ? "true" : "false");
+  std::fprintf(f, "  \"reps\": %d,\n  \"suites\": [\n", opt.reps);
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SuiteResult& r = results[i];
+    std::fprintf(f, "    {\n      \"name\": \"%s\",\n", r.name.c_str());
+    std::fprintf(f, "      \"events_per_rep\": %llu,\n",
+                 static_cast<unsigned long long>(r.events_per_rep));
+    std::fprintf(f, "      \"wall_ms_p50\": %.3f,\n", r.wall_ms_p50);
+    std::fprintf(f, "      \"wall_ms_p99\": %.3f,\n", r.wall_ms_p99);
+    std::fprintf(f, "      \"events_per_sec_p50\": %.0f,\n",
+                 r.events_per_sec_p50);
+    std::fprintf(f, "      \"ns_per_event_p50\": %.2f,\n", r.ns_per_event_p50);
+    std::fprintf(f, "      \"steady_allocs_per_event\": %.6f\n",
+                 r.steady_allocs_per_event);
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--check-steady-allocs") {
+      opt.check_steady_allocs = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      opt.reps = std::atoi(arg.c_str() + 7);
+      if (opt.reps < 1) opt.reps = 1;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opt.out_path = arg.substr(6);
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_kernel [--quick] [--reps=N] [--out=PATH] "
+                   "[--check-steady-allocs]\n");
+      return 2;
+    }
+  }
+
+  std::vector<SuiteResult> results;
+  results.push_back(RunScheduleFire(opt));
+  results.push_back(RunTransportEcho(opt));
+  results.push_back(RunFig7Cell(opt));
+
+  std::printf("%-18s %14s %12s %12s %14s %10s\n", "suite", "events/rep",
+              "wall p50 ms", "wall p99 ms", "events/sec", "allocs/ev");
+  for (const SuiteResult& r : results) {
+    std::printf("%-18s %14llu %12.2f %12.2f %14.0f %10.4f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events_per_rep),
+                r.wall_ms_p50, r.wall_ms_p99, r.events_per_sec_p50,
+                r.steady_allocs_per_event);
+  }
+  WriteJson(opt, results);
+  std::fprintf(stderr, "wrote %s\n", opt.out_path.c_str());
+
+  if (opt.check_steady_allocs) {
+    for (const SuiteResult& r : results) {
+      if (r.steady_allocs_per_event > 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s steady-state allocs/event = %.6f (> 0)\n",
+                     r.name.c_str(), r.steady_allocs_per_event);
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "steady-state allocation check passed\n");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace natto::bench
+
+int main(int argc, char** argv) { return natto::bench::Main(argc, argv); }

@@ -1,12 +1,12 @@
 #ifndef NATTO_NET_NODE_H_
 #define NATTO_NET_NODE_H_
 
-#include <functional>
 #include <utility>
 
 #include "common/sim_time.h"
 #include "net/transport.h"
 #include "sim/clock.h"
+#include "sim/event_fn.h"
 
 namespace natto::net {
 
@@ -36,18 +36,18 @@ class Node {
   SimTime LocalNow() const { return clock_.Read(TrueNow()); }
 
   /// Sends `bytes` to `to`; `fn` runs at the destination on delivery.
-  void SendTo(NodeId to, size_t bytes, std::function<void()> fn) {
+  void SendTo(NodeId to, size_t bytes, sim::EventFn fn) {
     transport_->Send(id_, to, bytes, std::move(fn));
   }
 
   /// Runs `fn` on this node after `delay`.
-  void After(SimDuration delay, std::function<void()> fn) {
+  void After(SimDuration delay, sim::EventFn fn) {
     transport_->simulator()->ScheduleAfter(delay, std::move(fn));
   }
 
   /// Runs `fn` when this node's local clock reads `local_time` (immediately
   /// if that instant has passed).
-  void AtLocalTime(SimTime local_time, std::function<void()> fn) {
+  void AtLocalTime(SimTime local_time, sim::EventFn fn) {
     SimTime true_time = clock_.ToTrueTime(local_time);
     transport_->simulator()->ScheduleAt(true_time, std::move(fn));
   }

@@ -120,8 +120,48 @@ double Transport::EffectiveLinkRate(int from_site, int to_site) const {
   return rate;
 }
 
+Transport::Envelope* Transport::AllocEnvelope() {
+  if (free_envelopes_ == nullptr) {
+    constexpr int kChunk = 64;
+    envelope_chunks_.push_back(std::make_unique<Envelope[]>(kChunk));
+    Envelope* chunk = envelope_chunks_.back().get();
+    for (int i = kChunk - 1; i >= 0; --i) {
+      chunk[i].next_free = free_envelopes_;
+      free_envelopes_ = &chunk[i];
+    }
+  }
+  Envelope* env = free_envelopes_;
+  free_envelopes_ = env->next_free;
+  return env;
+}
+
+void Transport::Deliver(Envelope* env) {
+  // Move the closure out and recycle first: a re-entrant Send from inside
+  // `deliver` can then reuse this very envelope.
+  sim::EventFn deliver = std::move(env->deliver);
+  const int sa = env->from_site;
+  const int sb = env->to_site;
+  const NodeId to = env->to;
+  env->next_free = free_envelopes_;
+  free_envelopes_ = env;
+
+  // The delivery-time checks re-validate against faults injected while the
+  // message was in flight: a receiver that crashed before delivery eats the
+  // message (crash reason), and a partition installed mid-flight severs the
+  // path for packets already on it.
+  if (node_crashed_[to]) {
+    CountDrop(DropReason::kCrash);
+    return;
+  }
+  if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
+    CountDrop(DropReason::kPartition);
+    return;
+  }
+  deliver();
+}
+
 void Transport::Send(NodeId from, NodeId to, size_t bytes,
-                     std::function<void()> deliver) {
+                     sim::EventFn deliver) {
   NATTO_DCHECK(from >= 0 && from < num_nodes());
   NATTO_DCHECK(to >= 0 && to < num_nodes());
   // A crashed endpoint means nothing enters the network: count the message
@@ -217,22 +257,12 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     done = start + cost;
   }
 
-  // The delivery-time checks re-validate against faults injected while the
-  // message was in flight: a receiver that crashed before delivery eats the
-  // message (crash reason), and a partition installed mid-flight severs the
-  // path for packets already on it.
-  simulator_->ScheduleAt(done, [this, sa, sb, to,
-                                deliver = std::move(deliver)]() {
-    if (node_crashed_[to]) {
-      CountDrop(DropReason::kCrash);
-      return;
-    }
-    if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
-      CountDrop(DropReason::kPartition);
-      return;
-    }
-    deliver();
-  });
+  Envelope* env = AllocEnvelope();
+  env->from_site = sa;
+  env->to_site = sb;
+  env->to = to;
+  env->deliver = std::move(deliver);
+  simulator_->ScheduleAt(done, [this, env]() { Deliver(env); });
 }
 
 void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {

@@ -2,7 +2,6 @@
 #define NATTO_NET_TRANSPORT_H_
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -13,6 +12,7 @@
 #include "net/delay_model.h"
 #include "net/latency_matrix.h"
 #include "obs/metrics.h"
+#include "sim/event_fn.h"
 #include "sim/simulator.h"
 
 namespace natto::net {
@@ -73,9 +73,11 @@ class Transport {
 
   /// Sends a message of `bytes` from `from` to `to`; `deliver` runs at the
   /// destination once link delay, loss retransmissions, link serialization
-  /// and destination CPU queueing have elapsed.
-  void Send(NodeId from, NodeId to, size_t bytes,
-            std::function<void()> deliver);
+  /// and destination CPU queueing have elapsed. The in-flight message is a
+  /// pooled envelope: steady-state sends allocate nothing beyond what the
+  /// closure itself captures (and closures up to EventFn::kInlineCapacity
+  /// are stored inline).
+  void Send(NodeId from, NodeId to, size_t bytes, sim::EventFn deliver);
 
   /// Marks a node as crashed: messages to it are dropped silently. Used by
   /// fault tests (e.g., Raft leader failure).
@@ -125,6 +127,22 @@ class Transport {
  private:
   enum class DropReason { kCrash, kPartition, kLoss };
 
+  /// One in-flight message. Envelopes are pool-owned and recycled at
+  /// delivery (or drop), so a ping-pong storm reuses the same few nodes;
+  /// the scheduled kernel event captures only {Transport*, Envelope*}.
+  struct Envelope {
+    int from_site = 0;
+    int to_site = 0;
+    NodeId to = 0;
+    sim::EventFn deliver;
+    Envelope* next_free = nullptr;
+  };
+
+  Envelope* AllocEnvelope();
+  /// Runs the delivery-time fault re-checks, recycles `env`, and invokes
+  /// the closure (unless the message was eaten by a crash/partition).
+  void Deliver(Envelope* env);
+
   void CountDrop(DropReason reason);
   /// Serialization start bookkeeping per directed site pair.
   SimTime& LinkFreeAt(int from_site, int to_site);
@@ -162,6 +180,10 @@ class Transport {
   uint64_t dropped_crash_ = 0;
   uint64_t dropped_partition_ = 0;
   uint64_t dropped_loss_ = 0;
+
+  /// Envelope pool: chunked storage plus an intrusive free list.
+  std::vector<std::unique_ptr<Envelope[]>> envelope_chunks_;
+  Envelope* free_envelopes_ = nullptr;
 
   // Registry mirrors; null until RegisterMetrics.
   obs::Counter* messages_sent_metric_ = nullptr;

@@ -1,0 +1,133 @@
+#ifndef NATTO_SIM_EVENT_FN_H_
+#define NATTO_SIM_EVENT_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace natto::sim {
+
+/// Move-only callable with small-buffer optimization, tuned for the event
+/// kernel's hot path: scheduling an event must not allocate.
+///
+/// std::function was the wrong tool here twice over: libstdc++ only inlines
+/// captures up to 16 bytes (almost every protocol closure in this repo is
+/// bigger, so each Schedule paid a malloc/free pair), and it insists on
+/// copyability, forcing shared_ptr detours for move-only captures.
+///
+/// The inline capacity is sized from the real closures on the delivery hot
+/// path, measured in sim_kernel_test.cc (DESIGN.md §4.8 lists the numbers):
+/// the largest is a coordinator HandleBegin delivery capturing a wire
+/// transaction plus its participant list (~144 bytes). Closures above the
+/// capacity still work — they fall back to a single heap allocation, the
+/// same cost std::function paid for nearly everything.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 152;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= kStorageAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = &InlineInvoke<Fn>;
+      manage_ = &InlineManage<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_))
+          Fn*(new Fn(std::forward<F>(f)));
+      invoke_ = &HeapInvoke<Fn>;
+      manage_ = &HeapManage<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void Reset() {
+    if (manage_ != nullptr) {
+      manage_(Op::kDestroy, this, nullptr);
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  void operator()() { invoke_(this); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  static constexpr std::size_t kStorageAlign = alignof(void*);
+
+  enum class Op { kDestroy, kMoveTo };
+
+  using InvokeFn = void (*)(EventFn*);
+  using ManageFn = void (*)(Op, EventFn*, EventFn*);
+
+  template <typename Fn>
+  static void InlineInvoke(EventFn* self) {
+    (*std::launder(reinterpret_cast<Fn*>(self->storage_)))();
+  }
+
+  template <typename Fn>
+  static void InlineManage(Op op, EventFn* self, EventFn* dst) {
+    Fn* f = std::launder(reinterpret_cast<Fn*>(self->storage_));
+    if (op == Op::kMoveTo) {
+      ::new (static_cast<void*>(dst->storage_)) Fn(std::move(*f));
+    }
+    f->~Fn();
+  }
+
+  template <typename Fn>
+  static void HeapInvoke(EventFn* self) {
+    (**std::launder(reinterpret_cast<Fn**>(self->storage_)))();
+  }
+
+  template <typename Fn>
+  static void HeapManage(Op op, EventFn* self, EventFn* dst) {
+    Fn** slot = std::launder(reinterpret_cast<Fn**>(self->storage_));
+    if (op == Op::kMoveTo) {
+      ::new (static_cast<void*>(dst->storage_)) Fn*(*slot);
+    } else {
+      delete *slot;
+    }
+  }
+
+  void MoveFrom(EventFn& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(Op::kMoveTo, &other, this);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+  alignas(kStorageAlign) unsigned char storage_[kInlineCapacity];
+};
+
+}  // namespace natto::sim
+
+#endif  // NATTO_SIM_EVENT_FN_H_

@@ -6,41 +6,63 @@
 
 namespace natto::sim {
 
-void Simulator::ScheduleAt(SimTime t, Callback cb) {
+Simulator::EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  NATTO_DCHECK(t >= now_) << "ScheduleAt in the past: t=" << t
+                          << " Now()=" << now_;
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  uint64_t seq = next_seq_++;
+  queue_.Push(t, seq, std::move(cb));
+  return seq;
 }
 
-void Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
+Simulator::EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
   if (delay < 0) delay = 0;
-  ScheduleAt(now_ + delay, std::move(cb));
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (id >= next_seq_) return false;
+  return cancelled_.insert(id).second;
+}
+
+void Simulator::FireOrDiscard(EventNode* n) {
+  if (!cancelled_.empty() && cancelled_.erase(n->seq) > 0) {
+    // Tombstone: discard without running or advancing the clock.
+    queue_.Recycle(n);
+    return;
+  }
+  NATTO_DCHECK(n->time >= now_);
+  now_ = n->time;
+  queue_.AdvanceTo(now_);
+  ++executed_;
+  // The callback must be moved out before it runs: it may schedule new
+  // events, and the node's storage is recycled into the pool they draw
+  // from.
+  EventFn fn = std::move(n->fn);
+  queue_.Recycle(n);
+  fn();
 }
 
 void Simulator::Run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    // The queue element must be moved out before running: the callback may
-    // schedule new events and reallocate the underlying heap.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    NATTO_DCHECK(ev.time >= now_);
-    now_ = ev.time;
-    ++executed_;
-    ev.cb();
+  while (!stopped_) {
+    EventNode* n = queue_.PopIfAtMost(kSimTimeMax);
+    if (n == nullptr) break;
+    FireOrDiscard(n);
   }
 }
 
 void Simulator::RunUntil(SimTime t) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.top().time <= t) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    NATTO_DCHECK(ev.time >= now_);
-    now_ = ev.time;
-    ++executed_;
-    ev.cb();
+  while (!stopped_) {
+    EventNode* n = queue_.PopIfAtMost(t);
+    if (n == nullptr) break;
+    FireOrDiscard(n);
   }
-  if (!stopped_ && now_ < t) now_ = t;
+  if (!stopped_ && now_ < t) {
+    now_ = t;
+    queue_.AdvanceTo(now_);
+  }
 }
 
 }  // namespace natto::sim

@@ -2,11 +2,11 @@
 #define NATTO_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <unordered_set>
 
 #include "common/sim_time.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_fn.h"
 
 namespace natto::sim {
 
@@ -17,9 +17,17 @@ namespace natto::sim {
 /// The kernel is single-threaded by design: the evaluation quantities
 /// (latency distributions under WAN delays) depend on message timing, not on
 /// host parallelism, and determinism makes property tests possible.
+///
+/// Internals (DESIGN.md §4.8): events are pooled nodes in a calendar queue
+/// (64 µs buckets, overflow heap past a ~524 ms horizon) and callbacks are
+/// move-only small-buffer `EventFn`s, so steady-state scheduling performs
+/// zero heap allocations. The executed (time, seq) sequence is identical to
+/// the seed kernel's binary heap — sim_kernel_test.cc locksteps the two.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
+  /// Handle for Cancel(); every Schedule* call returns a fresh one.
+  using EventId = uint64_t;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -29,11 +37,20 @@ class Simulator {
   SimTime Now() const { return now_; }
 
   /// Schedules `cb` to run at absolute simulated time `t` (>= Now()).
-  void ScheduleAt(SimTime t, Callback cb);
+  /// Scheduling in the past is a programming error (NATTO_DCHECK); release
+  /// builds clamp to Now(), mirroring ScheduleAfter's negative-delay clamp.
+  EventId ScheduleAt(SimTime t, Callback cb);
 
   /// Schedules `cb` to run `delay` after Now(). Negative delays are clamped
   /// to zero (a message can never arrive in the past).
-  void ScheduleAfter(SimDuration delay, Callback cb);
+  EventId ScheduleAfter(SimDuration delay, Callback cb);
+
+  /// Cancels a pending event: it will be discarded unexecuted (without
+  /// advancing the clock) when its time arrives. Returns false if `id` was
+  /// never issued or is already cancelled. Cancelling an id whose event
+  /// already ran is a harmless no-op (the tombstone is simply never hit);
+  /// the event still counts as pending until its slot drains.
+  bool Cancel(EventId id);
 
   /// Runs events until the queue drains or `Stop()` is called.
   void Run();
@@ -44,30 +61,27 @@ class Simulator {
   /// Requests that `Run()`/`RunUntil()` return after the current event.
   void Stop() { stopped_ = true; }
 
-  /// Number of events not yet executed.
+  /// Number of events not yet executed (cancelled-but-undrained events
+  /// included).
   size_t pending_events() const { return queue_.size(); }
 
-  /// Total events executed since construction.
+  /// Total events executed since construction (cancelled events never
+  /// count).
   uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;  // tie-break: FIFO among equal-time events
-    Callback cb;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Runs the node's callback (or discards it if cancelled) and recycles
+  /// the node into the queue's pool.
+  void FireOrDiscard(EventNode* n);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  CalendarQueue queue_;
+  /// Tombstones for Cancel(); consulted only when non-empty, so the
+  /// fault-free hot path pays a single empty() test per event.
+  std::unordered_set<uint64_t> cancelled_;
 };
 
 }  // namespace natto::sim

@@ -8,7 +8,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -112,6 +114,55 @@ void RunChaosAndRender(const char* jobs, std::string* out) {
     table += '\n';
   }
   *out = table;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-swap goldens
+// ---------------------------------------------------------------------------
+// The files under tests/golden/ were rendered by the seed commit's
+// binary-heap event kernel (pre calendar-queue swap). Comparing today's
+// tables against them pins the cross-kernel guarantee: a kernel rewrite may
+// never reorder equal-time events or perturb a single delivery time, and
+// these tables surface any such drift as a byte diff. Regenerate only when
+// the output is *intended* to change: NATTO_WRITE_GOLDEN=1 ./byte_identity_test
+
+std::string GoldenPath(const char* name) {
+  return std::string(NATTO_GOLDEN_DIR "/") + name;
+}
+
+void CompareOrWriteGolden(const char* name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (std::getenv("NATTO_WRITE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_SKIP() << "golden rewritten: " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (mint with NATTO_WRITE_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(golden.str(), actual)
+      << "rendered table drifted from the pre-swap kernel golden " << path;
+}
+
+TEST(ByteIdentityTest, Fig7YcsbTTableMatchesPreSwapKernelGolden) {
+  std::string serial, parallel;
+  RunAndRender("1", &serial);
+  RunAndRender("8", &parallel);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel);
+  CompareOrWriteGolden("fig7_ycsbt_tiny.golden", serial);
+}
+
+TEST(ByteIdentityTest, FailoverChaosTableMatchesPreSwapKernelGolden) {
+  std::string serial, parallel;
+  RunChaosAndRender("1", &serial);
+  RunChaosAndRender("8", &parallel);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel);
+  CompareOrWriteGolden("failover_chaos_tiny.golden", serial);
 }
 
 TEST(ByteIdentityTest, ChaosScheduleTablesAreByteIdentical) {

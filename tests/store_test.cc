@@ -36,6 +36,59 @@ TEST(KvStoreTest, NullDefaultIsZero) {
   EXPECT_EQ(kv.Get(123).value, 0);
 }
 
+TEST(KvStoreTest, MaterializedSizeTracksWriteFootprintNotKeyspace) {
+  // The paper's datasets (1M keys) are lazy: only written keys take memory.
+  KvStore kv([](Key k) { return static_cast<Value>(k); });
+  EXPECT_EQ(kv.materialized_size(), 0u);
+  // Reads never materialize, no matter how many distinct keys are touched.
+  for (Key k = 0; k < 1000; ++k) kv.Get(k);
+  EXPECT_EQ(kv.materialized_size(), 0u);
+  kv.Apply(10, 1, /*writer=*/1);
+  kv.Apply(20, 2, /*writer=*/1);
+  EXPECT_EQ(kv.materialized_size(), 2u);
+  // Rewriting a materialized key must not grow the footprint.
+  kv.Apply(10, 3, /*writer=*/2);
+  EXPECT_EQ(kv.materialized_size(), 2u);
+}
+
+TEST(KvStoreTest, FirstApplyShadowsDefaultAndStartsAtVersionOne) {
+  KvStore kv([](Key k) { return static_cast<Value>(k * 10); });
+  // Reading first must not pin the default: the later write wins.
+  EXPECT_EQ(kv.Get(4).value, 40);
+  kv.Apply(4, 7, /*writer=*/99);
+  VersionedValue v = kv.Get(4);
+  EXPECT_EQ(v.value, 7);
+  EXPECT_EQ(v.version, 1u);  // defaults are version 0; first write is 1
+  EXPECT_EQ(v.writer, 99u);
+  // Neighbouring unwritten keys still read their defaults.
+  EXPECT_EQ(kv.Get(5).value, 50);
+  EXPECT_EQ(kv.Get(5).version, 0u);
+}
+
+TEST(KvStoreTest, WriterAttributionFollowsLatestApply) {
+  KvStore kv;
+  kv.Apply(1, 10, /*writer=*/3);
+  kv.Apply(1, 20, /*writer=*/8);
+  kv.Apply(1, 30, /*writer=*/5);
+  VersionedValue v = kv.Get(1);
+  EXPECT_EQ(v.version, 3u);
+  EXPECT_EQ(v.writer, 5u);  // OCC validation pins blame on the last writer
+  EXPECT_EQ(v.value, 30);
+}
+
+TEST(KvStoreTest, MaterializedKeyNoLongerConsultsDefaultFn) {
+  int default_calls = 0;
+  KvStore kv([&default_calls](Key) {
+    ++default_calls;
+    return Value{77};
+  });
+  kv.Apply(9, 1, /*writer=*/1);
+  kv.Get(9);
+  EXPECT_EQ(default_calls, 0);  // hot keys bypass the lazy path entirely
+  kv.Get(10);
+  EXPECT_EQ(default_calls, 1);
+}
+
 // ---------------------------------------------------------------------------
 // PreparedSet
 // ---------------------------------------------------------------------------
