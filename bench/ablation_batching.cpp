@@ -1,0 +1,163 @@
+// Batching ablation: wire cost and latency of link batching + Raft group
+// commit on a replication-heavy Fig-14 cell (LocalTriangle, Retwis uniform,
+// 25 us/message server CPU, high offered rate). Rows sweep the flush
+// triggers from off (the byte-identical default) through increasingly
+// aggressive (max_batch_bytes, max_batch_delay, group_commit_delay)
+// settings; columns report protocol msgs/txn, framed wire msgs/txn,
+// bytes/txn, goodput and p95 latency.
+//
+// Flags:
+//   --quick        CI smoke sizing (1 repeat x 6 s, like fig14)
+//   --out=<path>   also write the table as JSON (bench_results/ snapshot)
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/retwis.h"
+
+using namespace natto;
+using namespace natto::bench;
+using namespace natto::harness;
+
+namespace {
+
+struct BatchSetting {
+  const char* name;
+  size_t max_batch_bytes;       // 0 = batching off
+  SimDuration max_batch_delay;
+  SimDuration group_commit_delay;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else {
+      std::fprintf(stderr, "unknown argument %s (supported: --quick, "
+                           "--out=<path>)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<BatchSetting> settings = {
+      {"off", 0, 0, 0},
+      {"batch4k", 4096, Micros(200), 0},
+      {"batch4k+gc", 4096, Micros(200), Micros(200)},
+      {"batch16k+gc", 16384, Millis(1), Micros(500)},
+  };
+
+  // The replication-heavy fig14 cell: every commit replicates through Raft
+  // on every participant partition, and the 25 us/message CPU budget makes
+  // per-message cost the bottleneck batching amortizes.
+  std::vector<System> systems = {MakeSystem(SystemKind::kNattoRecsf)};
+  auto workload = []() {
+    workload::RetwisWorkload::Options o;
+    o.uniform_keys = true;
+    return std::make_unique<workload::RetwisWorkload>(o);
+  };
+
+  std::vector<GridPoint> points;
+  for (const BatchSetting& s : settings) {
+    ExperimentConfig config = QuickConfig();
+    if (quick) {
+      // CI smoke: the cell saturates a single leader core, so sim-seconds
+      // are expensive — a 2 s measurement window at 10k txn/s still commits
+      // thousands of txns, plenty for a stable msgs/txn ratio.
+      config.repeats = 1;
+      config.duration = Seconds(2);
+      config.warmup = Millis(500);
+      config.cooldown = Millis(500);
+      config.drain = Seconds(2);
+    }
+    config.matrix = net::LatencyMatrix::LocalTriangle();
+    config.num_partitions = 4;
+    config.input_rate_tps = 10000;
+    config.cluster.transport.node_cost_per_message = Micros(25);
+    config.cluster.transport.max_batch_bytes = s.max_batch_bytes;
+    config.cluster.transport.max_batch_delay = s.max_batch_delay;
+    config.cluster.raft.group_commit_delay = s.group_commit_delay;
+    points.push_back({config, workload});
+  }
+  std::vector<std::vector<ExperimentResult>> results =
+      RunGrid(points, systems);
+
+  std::printf("\n=== Batching ablation: Natto-RECSF, Retwis uniform, "
+              "4 partitions, 10k txn/s offered ===\n");
+  std::printf("%-12s %12s %14s %12s %12s %12s\n", "setting", "msgs/txn",
+              "wire msgs/txn", "bytes/txn", "goodput", "p95 low ms");
+  std::vector<WireCost> costs;
+  for (size_t i = 0; i < settings.size(); ++i) {
+    const ExperimentResult& r = results[i][0];
+    WireCost w = ComputeWireCost(r);
+    costs.push_back(w);
+    std::printf("%-12s %12.1f %14.1f %12.0f %12.1f %12.1f\n",
+                settings[i].name, w.msgs_per_txn, w.wire_msgs_per_txn,
+                w.bytes_per_txn, r.goodput_total_tps.mean,
+                r.p95_low_ms.mean);
+  }
+  double base_msgs = costs[0].msgs_per_txn;
+  double base_wire = costs[0].wire_msgs_per_txn;
+  double best_msgs_red = 0, best_wire_red = 0;
+  for (size_t i = 1; i < costs.size(); ++i) {
+    if (base_msgs > 0) {
+      best_msgs_red = std::max(
+          best_msgs_red, 100.0 * (1.0 - costs[i].msgs_per_txn / base_msgs));
+    }
+    if (base_wire > 0) {
+      best_wire_red = std::max(
+          best_wire_red,
+          100.0 * (1.0 - costs[i].wire_msgs_per_txn / base_wire));
+    }
+  }
+  std::printf("best reduction vs off: %.1f%% msgs/txn, %.1f%% wire "
+              "msgs/txn\n", best_msgs_red, best_wire_red);
+  std::fflush(stdout);
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"ablation_batching\",\n"
+                       "  \"cell\": \"Natto-RECSF/LocalTriangle/Retwis-"
+                       "uniform/4p/10000tps\",\n  \"rows\": [\n";
+    char buf[512];
+    for (size_t i = 0; i < settings.size(); ++i) {
+      const ExperimentResult& r = results[i][0];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"setting\": \"%s\", \"max_batch_bytes\": %zu, "
+          "\"max_batch_delay_us\": %lld, \"group_commit_delay_us\": %lld, "
+          "\"msgs_per_txn\": %.2f, \"wire_msgs_per_txn\": %.2f, "
+          "\"bytes_per_txn\": %.0f, \"goodput_tps\": %.1f, "
+          "\"p95_low_ms\": %.2f}%s\n",
+          settings[i].name, settings[i].max_batch_bytes,
+          static_cast<long long>(settings[i].max_batch_delay),
+          static_cast<long long>(settings[i].group_commit_delay),
+          costs[i].msgs_per_txn, costs[i].wire_msgs_per_txn,
+          costs[i].bytes_per_txn, r.goodput_total_tps.mean,
+          r.p95_low_ms.mean, i + 1 < settings.size() ? "," : "");
+      json += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "  ],\n  \"best_reduction_vs_off_pct\": "
+                  "{\"msgs_per_txn\": %.1f, \"wire_msgs_per_txn\": %.1f}\n}\n",
+                  best_msgs_red, best_wire_red);
+    json += buf;
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -53,6 +53,58 @@ inline void EndRow() {
   std::fflush(stdout);
 }
 
+/// Wire cost of one experiment cell, derived from the transport counters in
+/// its merged metrics snapshot and the committed-transaction count. With
+/// link batching off, wire_msgs_per_txn == msgs_per_txn (every protocol
+/// message is its own wire frame).
+struct WireCost {
+  double msgs_per_txn = 0;       // protocol messages per committed txn
+  double wire_msgs_per_txn = 0;  // framed wire messages (batches) per txn
+  double bytes_per_txn = 0;      // framed wire bytes per committed txn
+};
+
+inline WireCost ComputeWireCost(const harness::ExperimentResult& r) {
+  WireCost w;
+  if (r.committed <= 0) return w;
+  double committed = static_cast<double>(r.committed);
+  w.msgs_per_txn =
+      static_cast<double>(r.metrics.counter("net.messages_sent")) / committed;
+  w.wire_msgs_per_txn =
+      static_cast<double>(r.metrics.counter("net.batches_sent")) / committed;
+  w.bytes_per_txn =
+      static_cast<double>(r.metrics.counter("net.bytes_sent")) / committed;
+  return w;
+}
+
+/// Prints one wire-cost table per metric (msgs/txn, wire msgs/txn,
+/// bytes/txn) for a result grid, rows keyed by `xs` (same x-axis as the
+/// latency tables).
+inline void PrintWireCostReport(
+    const std::string& title, const std::string& x_label,
+    const std::vector<double>& xs,
+    const std::vector<harness::System>& systems,
+    const std::vector<std::vector<harness::ExperimentResult>>& results) {
+  struct Metric {
+    const char* name;
+    double WireCost::* field;
+  };
+  const Metric metrics[] = {
+      {"msgs/txn", &WireCost::msgs_per_txn},
+      {"wire msgs/txn", &WireCost::wire_msgs_per_txn},
+      {"bytes/txn", &WireCost::bytes_per_txn},
+  };
+  for (const Metric& m : metrics) {
+    PrintHeader(title + " — " + m.name, x_label, systems);
+    for (size_t p = 0; p < results.size(); ++p) {
+      PrintRowStart(xs[p]);
+      for (const auto& r : results[p]) {
+        PrintCellValue(ComputeWireCost(r).*(m.field));
+      }
+      EndRow();
+    }
+  }
+}
+
 /// Command-line tracing knobs shared by the figure benches:
 ///   --trace=<path>       write sampled transaction traces after the run
 ///                        (a `.jsonl` path selects flat JSON lines; anything

@@ -68,6 +68,15 @@ int main(int argc, char** argv) {
     }
     EndRow();
   }
+  // Wire-cost companion tables: one row per (partitions, offered) cell.
+  std::vector<double> cell_xs;
+  for (int parts : partition_counts) {
+    for (double rate : offered) {
+      cell_xs.push_back(parts + rate / 1e6);  // row key: parts.rate
+    }
+  }
+  PrintWireCostReport("Fig 14 wire cost", "parts.r", cell_xs, systems,
+                      results);
   WriteTraces(trace_args, traces);
   return 0;
 }

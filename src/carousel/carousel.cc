@@ -545,6 +545,10 @@ void CarouselCoordinator::Decide(TxnId id, bool commit,
       }
     }
   }
+  // The decision fan-out is latency-critical: push any batched envelopes onto
+  // the wire now instead of waiting for the max-delay timer. No-op when link
+  // batching is off.
+  transport()->Flush();
 }
 
 // ---------------------------------------------------------------------------

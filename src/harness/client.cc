@@ -191,21 +191,30 @@ void Client::RetryAfterBackoff(txn::TxnRequest request, SimTime first_start,
     Attempt(std::move(request), first_start, next_attempt, original_priority);
     return;
   }
-  // Capped exponential backoff: retry n (first retry has next_attempt == 2)
-  // waits base * 2^(n-1), so shift by next_attempt - 2.
-  int shift = std::min(next_attempt - 2, 20);
-  SimDuration delay = options_.backoff_base << shift;
-  delay = std::min(delay, options_.backoff_cap);
-  uint64_t h = HashMix((static_cast<uint64_t>(options_.client_id) << 40) ^
-                       (static_cast<uint64_t>(first_start) << 8) ^
-                       static_cast<uint64_t>(next_attempt));
-  delay += static_cast<SimDuration>(h % (static_cast<uint64_t>(delay) / 2 + 1));
+  SimDuration delay = BackoffDelay(options_, first_start, next_attempt);
   simulator_->ScheduleAfter(
       delay, [this, request = std::move(request), first_start, next_attempt,
               original_priority]() mutable {
         Attempt(std::move(request), first_start, next_attempt,
                 original_priority);
       });
+}
+
+SimDuration Client::BackoffDelay(const Options& options, SimTime first_start,
+                                 int next_attempt) {
+  // Capped exponential backoff: retry n (first retry has next_attempt == 2)
+  // waits base * 2^(n-1), so shift by next_attempt - 2. Jitter is added
+  // before the final clamp so `backoff_cap` bounds the observable wait
+  // (clamping first and jittering after overshot the cap by up to 50%).
+  int shift = std::min(next_attempt - 2, 20);
+  SimDuration delay = options.backoff_base << shift;
+  delay = std::min(delay, options.backoff_cap);
+  uint64_t h = HashMix((static_cast<uint64_t>(options.client_id) << 40) ^
+                       (static_cast<uint64_t>(first_start) << 8) ^
+                       static_cast<uint64_t>(next_attempt));
+  SimDuration jitter =
+      static_cast<SimDuration>(h % (static_cast<uint64_t>(delay) / 2 + 1));
+  return std::min(delay + jitter, options.backoff_cap);
 }
 
 void Client::RecordTimelineCommit(double latency_ms) {

@@ -42,9 +42,10 @@ class Client {
     SimDuration request_timeout = 0;
 
     /// Retry backoff (0 = the paper's immediate retry). Retry n waits
-    /// base * 2^(n-1) capped at `backoff_cap`, plus deterministic jitter in
-    /// [0, delay/2] hashed from (client id, txn start, attempt) — no RNG
-    /// stream is consumed, so enabling backoff never perturbs arrivals.
+    /// base * 2^(n-1) plus deterministic jitter in [0, delay/2] hashed from
+    /// (client id, txn start, attempt), the sum clamped to `backoff_cap` so
+    /// the cap bounds the observable wait. No RNG stream is consumed, so
+    /// enabling backoff never perturbs arrivals.
     SimDuration backoff_base = 0;
     SimDuration backoff_cap = Seconds(2);
 
@@ -71,6 +72,13 @@ class Client {
   void Start();
 
   uint32_t next_seq() const { return next_seq_; }
+
+  /// The exact (jittered, capped) backoff delay retry `next_attempt` of a
+  /// transaction first attempted at `first_start` would wait under
+  /// `options`. Pure function of its arguments; exposed so tests can pin
+  /// the backoff envelope (never exceeds `options.backoff_cap`).
+  static SimDuration BackoffDelay(const Options& options, SimTime first_start,
+                                  int next_attempt);
 
  private:
   void ScheduleNext();

@@ -92,6 +92,7 @@ ExperimentResult AggregateRuns(const std::string& system_name,
                      : 0);
     result.failed += run.failed;
     result.timeout_aborts += run.timeout_aborts;
+    result.committed += committed;
     if (result.timeline.size() < run.timeline.size()) {
       result.timeline.resize(run.timeline.size());
     }

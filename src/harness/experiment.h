@@ -64,6 +64,9 @@ struct ExperimentResult {
   /// exceeded 1.0 under contention and read 0 when everything aborted.)
   Aggregate abort_fraction;
   int64_t failed = 0;  // total across repeats
+  /// Committed transactions (high + low), total across repeats. Denominator
+  /// for the wire-cost report (messages/txn, bytes/txn from `metrics`).
+  int64_t committed = 0;
   /// Attempts that hit the per-attempt request timeout, total across repeats.
   int64_t timeout_aborts = 0;
   /// Per-bucket availability timeline, merged across repeats (counts summed,

@@ -839,6 +839,10 @@ void NattoCoordinator::Decide(TxnId id, bool commit, const std::string& reason,
              [srv, id]() { srv->HandleAbort(id); });
     }
   }
+  // The decision fan-out is latency-critical: push any batched envelopes onto
+  // the wire now instead of waiting for the max-delay timer. No-op when link
+  // batching is off.
+  transport()->Flush();
 
   if (commit) {
     // Keep committed write data available for RECSF readers.

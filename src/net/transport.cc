@@ -21,6 +21,10 @@ Transport::Transport(sim::Simulator* simulator, const LatencyMatrix* matrix,
   if (delay_model_ == nullptr) delay_model_ = MakeConstantDelay();
   int n = matrix_->num_sites();
   link_free_at_.assign(static_cast<size_t>(n) * n, 0);
+  if (batching_enabled()) {
+    NATTO_CHECK(options_.max_batch_delay >= 0);
+    link_batches_.assign(static_cast<size_t>(n) * n, LinkBatch{});
+  }
 }
 
 NodeId Transport::AddNode(int site) {
@@ -39,6 +43,10 @@ int Transport::node_site(NodeId node) const {
 void Transport::SetNodeCrashed(NodeId node, bool crashed) {
   NATTO_CHECK(node >= 0 && node < num_nodes());
   node_crashed_[node] = crashed;
+  // Queued batches destined to the crashed node's site flush now, so their
+  // messages meet the delivery-time crash check instead of outliving the
+  // fault inside the batcher.
+  if (crashed && !link_batches_.empty()) FlushBatchesTo(node_sites_[node]);
 }
 
 bool Transport::IsNodeCrashed(NodeId node) const {
@@ -58,6 +66,13 @@ void Transport::SetSitePartitioned(int site_a, int site_b, bool partitioned) {
   uint8_t v = partitioned ? 1 : 0;
   partition_mask_[static_cast<size_t>(site_a) * n + site_b] = v;
   partition_mask_[static_cast<size_t>(site_b) * n + site_a] = v;
+  // A partition severs the path for everything already accepted onto it:
+  // flush the straddling batches so their messages hit the delivery-time
+  // partition re-check (and drop there) rather than waiting out the fault.
+  if (partitioned && !link_batches_.empty()) {
+    FlushLink(site_a, site_b);
+    FlushLink(site_b, site_a);
+  }
 }
 
 bool Transport::IsSitePartitioned(int site_a, int site_b) const {
@@ -108,12 +123,22 @@ SimTime& Transport::LinkFreeAt(int from_site, int to_site) {
 double Transport::EffectiveLinkRate(int from_site, int to_site) const {
   double rate = options_.link_bandwidth_bytes_per_sec;
   if (rate <= 0.0) return 0.0;  // capacity model disabled
-  if (options_.packet_loss > 0.0) {
+  double loss = options_.packet_loss;
+  if (!link_overlays_.empty()) {
+    // An active degradation overlay's extra loss compounds with the
+    // baseline loss probability and collapses this link's Mathis capacity
+    // for the overlay's duration (expired overlays are ignored here and
+    // pruned by the next Send).
+    auto it = link_overlays_.find({from_site, to_site});
+    if (it != link_overlays_.end() && it->second.until > simulator_->Now()) {
+      loss = 1.0 - (1.0 - loss) * (1.0 - it->second.extra_loss);
+    }
+  }
+  if (loss > 0.0) {
     // Mathis et al.: per-flow TCP throughput ~= MSS / (RTT * sqrt(p)).
     double rtt_sec = ToSeconds(matrix_->Rtt(from_site, to_site));
     rtt_sec = std::max(rtt_sec, 1e-4);
-    double per_flow =
-        options_.tcp_mss_bytes / (rtt_sec * std::sqrt(options_.packet_loss));
+    double per_flow = options_.tcp_mss_bytes / (rtt_sec * std::sqrt(loss));
     double aggregate = per_flow * options_.tcp_flows_per_link;
     rate = std::min(rate, aggregate);
   }
@@ -126,12 +151,12 @@ Transport::Envelope* Transport::AllocEnvelope() {
     envelope_chunks_.push_back(std::make_unique<Envelope[]>(kChunk));
     Envelope* chunk = envelope_chunks_.back().get();
     for (int i = kChunk - 1; i >= 0; --i) {
-      chunk[i].next_free = free_envelopes_;
+      chunk[i].next = free_envelopes_;
       free_envelopes_ = &chunk[i];
     }
   }
   Envelope* env = free_envelopes_;
-  free_envelopes_ = env->next_free;
+  free_envelopes_ = env->next;
   return env;
 }
 
@@ -142,22 +167,191 @@ void Transport::Deliver(Envelope* env) {
   const int sa = env->from_site;
   const int sb = env->to_site;
   const NodeId to = env->to;
-  env->next_free = free_envelopes_;
+  env->next = free_envelopes_;
   free_envelopes_ = env;
+
+  NATTO_DCHECK(messages_in_flight_ > 0);
+  --messages_in_flight_;
 
   // The delivery-time checks re-validate against faults injected while the
   // message was in flight: a receiver that crashed before delivery eats the
   // message (crash reason), and a partition installed mid-flight severs the
-  // path for packets already on it.
+  // path for packets already on it. Such drops stay counted as sent traffic
+  // (they did enter the network) and additionally count under
+  // delivery_drops, keeping sent == delivered + in_flight + delivery_drops.
   if (node_crashed_[to]) {
+    ++delivery_drops_;
+    if (delivery_drops_metric_) delivery_drops_metric_->Inc();
     CountDrop(DropReason::kCrash);
     return;
   }
   if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
+    ++delivery_drops_;
+    if (delivery_drops_metric_) delivery_drops_metric_->Inc();
     CountDrop(DropReason::kPartition);
     return;
   }
+  ++messages_delivered_;
+  if (messages_delivered_metric_) messages_delivered_metric_->Inc();
   deliver();
+}
+
+void Transport::ScheduleWireDelivery(SimTime at, Envelope* env) {
+  simulator_->ScheduleAt(  // NOLINT(natto-batch-bypass)
+      at, [this, env]() { Deliver(env); });
+}
+
+void Transport::EnqueueBatched(int sa, int sb, Envelope* env,
+                               size_t framed_bytes) {
+  LinkBatch& batch =
+      link_batches_[static_cast<size_t>(sa) * matrix_->num_sites() + sb];
+  env->next = nullptr;
+  if (batch.tail == nullptr) {
+    batch.head = env;
+  } else {
+    batch.tail->next = env;
+  }
+  batch.tail = env;
+  batch.framed_bytes += framed_bytes;
+  ++batch.count;
+
+  if (batch.framed_bytes >= options_.max_batch_bytes) {
+    // Byte trigger: emit immediately (FlushLink cancels the delay timer).
+    FlushLink(sa, sb);
+    return;
+  }
+  if (!batch.timer_armed) {
+    batch.timer_armed = true;
+    // The timer clears its own armed flag before flushing so FlushLink only
+    // ever cancels genuinely pending timers (cancelling an already-executed
+    // event would leave a permanent tombstone in the kernel).
+    batch.timer_id = simulator_->ScheduleAfter(
+        options_.max_batch_delay, [this, sa, sb]() {
+          LinkBatch& b = link_batches_[static_cast<size_t>(sa) *
+                                           matrix_->num_sites() +
+                                       sb];
+          b.timer_armed = false;
+          FlushLink(sa, sb);
+        });
+  }
+}
+
+void Transport::FlushLink(int from_site, int to_site) {
+  LinkBatch& batch = link_batches_[static_cast<size_t>(from_site) *
+                                       matrix_->num_sites() +
+                                   to_site];
+  if (batch.timer_armed) {
+    // A byte-trigger, explicit, or fault-driven flush beat the max-delay
+    // timer: cancel it so it never fires for this emptied batch (the timer
+    // path clears timer_armed before calling in, so the id here is always
+    // still pending and its tombstone is reclaimed by the kernel).
+    simulator_->Cancel(batch.timer_id);
+    batch.timer_armed = false;
+  }
+  Envelope* head = batch.head;
+  if (head == nullptr) return;
+  const size_t total_bytes = batch.framed_bytes;
+  const uint64_t count = batch.count;
+  batch.head = nullptr;
+  batch.tail = nullptr;
+  batch.framed_bytes = 0;
+  batch.count = 0;
+
+  ++batches_sent_;
+  if (batches_sent_metric_) {
+    batches_sent_metric_->Inc();
+    msgs_per_batch_metric_->Record(static_cast<double>(count));
+  }
+
+  SimTime now = simulator_->Now();
+
+  // The batch is one wire frame: one serialization slot for the summed
+  // framed bytes, one propagation sample, one loss/retransmission process.
+  SimTime depart = now;
+  double rate = EffectiveLinkRate(from_site, to_site);
+  if (rate > 0.0) {
+    SimTime& free_at = LinkFreeAt(from_site, to_site);
+    SimTime start = std::max(now, free_at);
+    auto tx = static_cast<SimDuration>(static_cast<double>(total_bytes) /
+                                       rate * 1e6);  // seconds -> micros
+    free_at = start + tx;
+    depart = free_at;
+  }
+
+  SimDuration overlay_delay = 0;
+  if (!link_overlays_.empty()) {
+    auto it = link_overlays_.find({from_site, to_site});
+    if (it != link_overlays_.end()) {
+      if (it->second.until <= now) {
+        link_overlays_.erase(it);
+      } else {
+        overlay_delay = it->second.extra_delay;
+      }
+    }
+  }
+
+  SimDuration delay =
+      delay_model_->Sample(matrix_->OneWay(from_site, to_site), rng_) +
+      overlay_delay;
+
+  if (options_.packet_loss > 0.0) {
+    SimDuration rtt = matrix_->Rtt(from_site, to_site);
+    bool first = true;
+    SimDuration rto = options_.retransmit_timeout;
+    while (rng_.Bernoulli(options_.packet_loss)) {
+      ++messages_lost_;
+      if (messages_lost_metric_) messages_lost_metric_->Inc();
+      if (first) {
+        delay += std::max<SimDuration>(rtt, Millis(1));
+        first = false;
+      } else {
+        delay += rto;
+        rto = std::min<SimDuration>(rto * 2, Seconds(8));
+      }
+    }
+  }
+
+  SimTime arrival = depart + delay;
+
+  // Unpack in FIFO order: destination CPU queueing stays per message (the
+  // receiver still parses every message in the frame), and equal-time
+  // deliveries keep their enqueue order through the kernel's FIFO tie
+  // break.
+  const bool cpu_model = options_.node_cost_per_message > 0 ||
+                         options_.node_cost_per_kib > 0;
+  Envelope* env = head;
+  while (env != nullptr) {
+    Envelope* next = env->next;
+    env->next = nullptr;
+    SimTime done = arrival;
+    if (cpu_model) {
+      SimDuration cost = options_.node_cost_per_message +
+                         options_.node_cost_per_kib *
+                             static_cast<SimDuration>(env->bytes) / 1024;
+      SimTime start = std::max(arrival, node_free_at_[env->to]);
+      node_free_at_[env->to] = start + cost;
+      done = start + cost;
+    }
+    ScheduleWireDelivery(done, env);
+    env = next;
+  }
+}
+
+void Transport::Flush() {
+  if (link_batches_.empty()) return;
+  int n = matrix_->num_sites();
+  for (int sa = 0; sa < n; ++sa) {
+    for (int sb = 0; sb < n; ++sb) {
+      FlushLink(sa, sb);
+    }
+  }
+}
+
+void Transport::FlushBatchesTo(int site) {
+  int n = matrix_->num_sites();
+  for (int sa = 0; sa < n; ++sa) {
+    FlushLink(sa, site);
+  }
 }
 
 void Transport::Send(NodeId from, NodeId to, size_t bytes,
@@ -182,7 +376,10 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     return;
   }
 
-  // Transient degradation overlay on this directed link.
+  // Transient degradation overlay on this directed link. The loss draw is
+  // per message at send time (batched or not, so drop attribution and the
+  // RNG stream stay per-message); the extra delay applies here on the
+  // unbatched path and at flush time for a batch.
   SimDuration overlay_delay = 0;
   if (!link_overlays_.empty()) {
     auto it = link_overlays_.find({sa, sb});
@@ -201,11 +398,35 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   }
 
   ++messages_sent_;
+  ++messages_in_flight_;
+  if (batching_enabled()) {
+    // Batching stage: the message joins the open batch for its directed
+    // site pair and is charged framed wire bytes; the wire-cost model runs
+    // once per batch at flush time.
+    size_t framed = bytes + options_.framing_bytes_per_message;
+    bytes_sent_ += framed;
+    if (messages_sent_metric_) {
+      messages_sent_metric_->Inc();
+      bytes_sent_metric_->Inc(static_cast<int64_t>(framed));
+    }
+    Envelope* env = AllocEnvelope();
+    env->from_site = sa;
+    env->to_site = sb;
+    env->to = to;
+    env->bytes = bytes;
+    env->deliver = std::move(deliver);
+    EnqueueBatched(sa, sb, env, framed);
+    return;
+  }
   bytes_sent_ += bytes;
   if (messages_sent_metric_) {
     messages_sent_metric_->Inc();
     bytes_sent_metric_->Inc(static_cast<int64_t>(bytes));
   }
+  // Unbatched: every message is its own wire frame (the msgs_per_batch
+  // histogram stays empty — it only describes real coalescing).
+  ++batches_sent_;
+  if (batches_sent_metric_) batches_sent_metric_->Inc();
 
   // Link serialization under the capacity model.
   SimTime depart = now;
@@ -261,26 +482,34 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   env->from_site = sa;
   env->to_site = sb;
   env->to = to;
+  env->bytes = bytes;
   env->deliver = std::move(deliver);
-  simulator_->ScheduleAt(done, [this, env]() { Deliver(env); });
+  ScheduleWireDelivery(done, env);
 }
 
 void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
   NATTO_CHECK(registry != nullptr);
   messages_sent_metric_ = registry->GetCounter("net.messages_sent");
   bytes_sent_metric_ = registry->GetCounter("net.bytes_sent");
+  messages_delivered_metric_ = registry->GetCounter("net.messages_delivered");
   messages_dropped_metric_ = registry->GetCounter("net.messages_dropped");
   messages_lost_metric_ = registry->GetCounter("net.messages_lost");
   dropped_crash_metric_ = registry->GetCounter("net.dropped.crash");
   dropped_partition_metric_ = registry->GetCounter("net.dropped.partition");
   dropped_loss_metric_ = registry->GetCounter("net.dropped.loss");
+  delivery_drops_metric_ = registry->GetCounter("net.dropped.in_flight");
+  batches_sent_metric_ = registry->GetCounter("net.batches_sent");
+  msgs_per_batch_metric_ = registry->GetHistogram("net.msgs_per_batch");
   messages_sent_metric_->Inc(static_cast<int64_t>(messages_sent_));
   bytes_sent_metric_->Inc(static_cast<int64_t>(bytes_sent_));
+  messages_delivered_metric_->Inc(static_cast<int64_t>(messages_delivered_));
   messages_dropped_metric_->Inc(static_cast<int64_t>(messages_dropped_));
   messages_lost_metric_->Inc(static_cast<int64_t>(messages_lost_));
   dropped_crash_metric_->Inc(static_cast<int64_t>(dropped_crash_));
   dropped_partition_metric_->Inc(static_cast<int64_t>(dropped_partition_));
   dropped_loss_metric_->Inc(static_cast<int64_t>(dropped_loss_));
+  delivery_drops_metric_->Inc(static_cast<int64_t>(delivery_drops_));
+  batches_sent_metric_->Inc(static_cast<int64_t>(batches_sent_));
 }
 
 }  // namespace natto::net

@@ -32,7 +32,9 @@ struct TransportOptions {
   /// Per-directed-link capacity in bytes/second; 0 disables the capacity
   /// model. Under packet loss the effective capacity additionally collapses
   /// following the Mathis TCP-throughput model, which is what saturates
-  /// replication-heavy systems first in Fig 12.
+  /// replication-heavy systems first in Fig 12. An active SetLinkOverlay
+  /// `extra_loss` on a link is folded into that link's effective loss
+  /// probability for the duration of the overlay.
   double link_bandwidth_bytes_per_sec = 0.0;
 
   /// Number of parallel TCP flows aggregated per link for the Mathis model.
@@ -49,6 +51,25 @@ struct TransportOptions {
 
   /// Additional CPU cost per KiB of message payload.
   SimDuration node_cost_per_kib = 0;
+
+  /// Link batching (RPC formation, after Motr's rpc/formation.c): when > 0,
+  /// messages on the same directed site pair coalesce into one wire batch.
+  /// A batch flushes when its framed bytes reach this threshold, when
+  /// `max_batch_delay` elapses since the batch was opened, on an explicit
+  /// Flush(), or when a crash/partition hits its destination. 0 (default)
+  /// disables batching entirely: every message is its own wire frame and
+  /// the transport is byte-identical to the pre-batching build.
+  size_t max_batch_bytes = 0;
+
+  /// Upper bound on how long a message may wait in an open batch before the
+  /// batch is flushed (the latency the batching amortization may cost).
+  SimDuration max_batch_delay = Millis(1);
+
+  /// Framing overhead charged per batched message (length prefix + routing
+  /// header inside the shared frame), so `bytes_sent` reflects framed wire
+  /// bytes. Only applied when batching is on; the unbatched path charges
+  /// exactly the caller-provided payload bytes, as before.
+  size_t framing_bytes_per_message = 8;
 };
 
 /// Simulated message transport between nodes placed at datacenter sites.
@@ -76,46 +97,83 @@ class Transport {
   /// and destination CPU queueing have elapsed. The in-flight message is a
   /// pooled envelope: steady-state sends allocate nothing beyond what the
   /// closure itself captures (and closures up to EventFn::kInlineCapacity
-  /// are stored inline).
+  /// are stored inline), batched or not.
   void Send(NodeId from, NodeId to, size_t bytes, sim::EventFn deliver);
 
+  /// True when link batching is configured (max_batch_bytes > 0).
+  bool batching_enabled() const { return options_.max_batch_bytes > 0; }
+
+  /// Flushes every open batch onto the wire immediately (deterministic
+  /// row-major link order). No-op when batching is off or nothing is
+  /// pending. Engines call this at decision points where added batching
+  /// latency would be pure loss (e.g. after a commit decision fans out).
+  void Flush();
+
   /// Marks a node as crashed: messages to it are dropped silently. Used by
-  /// fault tests (e.g., Raft leader failure).
+  /// fault tests (e.g., Raft leader failure). Crashing a node flushes every
+  /// open batch destined to its site, so queued messages meet the
+  /// delivery-time crash check instead of lingering in the batcher.
   void SetNodeCrashed(NodeId node, bool crashed);
   bool IsNodeCrashed(NodeId node) const;
 
   /// Installs (or heals) a symmetric blackhole between two sites: every
   /// message whose endpoints straddle the pair is dropped, including
   /// messages already in flight at install time (a partition severs the
-  /// path, not just future sends). The mask is allocated lazily so no-fault
-  /// runs pay a single empty() test per send.
+  /// path, not just future sends). Installing a partition flushes the open
+  /// batches between the two sites (their messages then drop at the
+  /// delivery-time partition re-check). The mask is allocated lazily so
+  /// no-fault runs pay a single empty() test per send.
   void SetSitePartitioned(int site_a, int site_b, bool partitioned);
   bool IsSitePartitioned(int site_a, int site_b) const;
 
   /// Overlays a transient degradation on the directed link `from -> to`
   /// until sim time `until`: `extra_loss` is an additional hard-drop
   /// probability (counted under the loss reason) and `extra_delay` is added
-  /// to every surviving message's propagation delay. Expired overlays are
-  /// pruned lazily.
+  /// to every surviving message's propagation delay. While active, the
+  /// overlay's loss also degrades the link's effective Mathis capacity.
+  /// Expired overlays are pruned lazily.
   void SetLinkOverlay(int from_site, int to_site, double extra_loss,
                       SimDuration extra_delay, SimTime until);
 
   /// Mirrors the traffic counters into `registry` (`net.messages_sent`,
-  /// `net.bytes_sent`, `net.messages_dropped`, `net.messages_lost`, and the
-  /// per-reason split `net.dropped.{loss,crash,partition}`).
-  /// Optional: transports built directly in tests skip this.
+  /// `net.bytes_sent`, `net.messages_delivered`, `net.messages_dropped`,
+  /// `net.messages_lost`, the per-reason split
+  /// `net.dropped.{loss,crash,partition}`, the delivery-time subset
+  /// `net.dropped.in_flight`, and the batching pair `net.batches_sent` /
+  /// `net.msgs_per_batch`). Optional: transports built directly in tests
+  /// skip this.
   void RegisterMetrics(obs::MetricsRegistry* registry);
 
   sim::Simulator* simulator() { return simulator_; }
   const LatencyMatrix& matrix() const { return *matrix_; }
 
-  /// Traffic that actually entered the network. Messages refused because an
-  /// endpoint was crashed at send time, or whose receiver was crashed (or
-  /// cut off by a partition) at delivery time, count as drops instead.
+  /// Traffic accounting contract. A message refused at send time (crashed
+  /// endpoint, partitioned path, overlay loss) counts as a drop and never
+  /// as sent traffic. A message that entered the network counts as sent
+  /// exactly once and then resolves to exactly one of delivered, still in
+  /// flight, or dropped at delivery time (receiver crashed / partition
+  /// installed mid-flight); delivery-time drops count under both
+  /// `messages_dropped` and `delivery_drops`. The invariant
+  ///   messages_sent == messages_delivered + messages_in_flight
+  ///                    + delivery_drops
+  /// holds after every Send/Deliver (net_test and fault_test assert it,
+  /// including under chaos schedules).
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Messages sent but not yet resolved: queued in an open batch, or
+  /// scheduled on the wire.
+  uint64_t messages_in_flight() const { return messages_in_flight_; }
+  /// Delivery-time drops (a subset of messages_dropped).
+  uint64_t delivery_drops() const { return delivery_drops_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t messages_lost() const { return messages_lost_; }
+
+  /// Wire frames actually emitted. With batching off this equals
+  /// messages_sent (every message is its own frame); with batching on it
+  /// counts flushed batches, so messages_sent / batches_sent is the
+  /// amortization factor benches report as msgs-per-wire-frame.
+  uint64_t batches_sent() const { return batches_sent_; }
 
   /// Drop attribution: dropped == dropped_crash + dropped_partition +
   /// dropped_loss (overlay hard drops; baseline packet loss is modeled as
@@ -130,18 +188,49 @@ class Transport {
   /// One in-flight message. Envelopes are pool-owned and recycled at
   /// delivery (or drop), so a ping-pong storm reuses the same few nodes;
   /// the scheduled kernel event captures only {Transport*, Envelope*}.
+  /// `next` links the envelope into whichever intrusive list currently owns
+  /// it: the free list when recycled, a batch FIFO while queued for a
+  /// flush.
   struct Envelope {
     int from_site = 0;
     int to_site = 0;
     NodeId to = 0;
+    size_t bytes = 0;
     sim::EventFn deliver;
-    Envelope* next_free = nullptr;
+    Envelope* next = nullptr;
+  };
+
+  /// One open batch per directed site pair (allocated only when batching is
+  /// on). Messages chain FIFO through Envelope::next; the delay timer is
+  /// armed when the first message opens the batch and cancelled when a
+  /// byte-trigger or explicit flush empties it first.
+  struct LinkBatch {
+    Envelope* head = nullptr;
+    Envelope* tail = nullptr;
+    size_t framed_bytes = 0;
+    uint64_t count = 0;
+    bool timer_armed = false;
+    sim::Simulator::EventId timer_id = 0;
   };
 
   Envelope* AllocEnvelope();
   /// Runs the delivery-time fault re-checks, recycles `env`, and invokes
   /// the closure (unless the message was eaten by a crash/partition).
   void Deliver(Envelope* env);
+
+  /// Appends a sent message to the (sa, sb) batch, arming the delay timer
+  /// for a fresh batch and flushing on the byte trigger.
+  void EnqueueBatched(int sa, int sb, Envelope* env, size_t framed_bytes);
+  /// Emits the (sa, sb) batch as one wire frame: one serialization slot,
+  /// one propagation sample, one loss process; then schedules each member's
+  /// delivery (destination CPU queueing stays per message).
+  void FlushLink(int from_site, int to_site);
+  /// Flushes every open batch whose destination is `site`.
+  void FlushBatchesTo(int site);
+  /// The single sanctioned kernel hand-off for wire deliveries; everything
+  /// upstream must route through Send / the batcher so the flush queue sees
+  /// it (enforced by the nattolint natto-batch-bypass rule).
+  void ScheduleWireDelivery(SimTime at, Envelope* env);
 
   void CountDrop(DropReason reason);
   /// Serialization start bookkeeping per directed site pair.
@@ -160,6 +249,9 @@ class Transport {
   std::vector<SimTime> node_free_at_;
   std::vector<SimTime> link_free_at_;  // num_sites^2, row-major
 
+  /// Open batches, num_sites^2 row-major; empty when batching is off.
+  std::vector<LinkBatch> link_batches_;
+
   /// Site-pair blackhole mask, num_sites^2 row-major; empty until the first
   /// SetSitePartitioned call (null-injector fast path).
   std::vector<uint8_t> partition_mask_;
@@ -175,11 +267,15 @@ class Transport {
 
   uint64_t messages_sent_ = 0;
   uint64_t bytes_sent_ = 0;
+  uint64_t messages_delivered_ = 0;
+  uint64_t messages_in_flight_ = 0;
+  uint64_t delivery_drops_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t messages_lost_ = 0;
   uint64_t dropped_crash_ = 0;
   uint64_t dropped_partition_ = 0;
   uint64_t dropped_loss_ = 0;
+  uint64_t batches_sent_ = 0;
 
   /// Envelope pool: chunked storage plus an intrusive free list.
   std::vector<std::unique_ptr<Envelope[]>> envelope_chunks_;
@@ -188,11 +284,15 @@ class Transport {
   // Registry mirrors; null until RegisterMetrics.
   obs::Counter* messages_sent_metric_ = nullptr;
   obs::Counter* bytes_sent_metric_ = nullptr;
+  obs::Counter* messages_delivered_metric_ = nullptr;
   obs::Counter* messages_dropped_metric_ = nullptr;
   obs::Counter* messages_lost_metric_ = nullptr;
   obs::Counter* dropped_crash_metric_ = nullptr;
   obs::Counter* dropped_partition_metric_ = nullptr;
   obs::Counter* dropped_loss_metric_ = nullptr;
+  obs::Counter* delivery_drops_metric_ = nullptr;
+  obs::Counter* batches_sent_metric_ = nullptr;
+  obs::Histogram* msgs_per_batch_metric_ = nullptr;
 };
 
 }  // namespace natto::net

@@ -79,17 +79,26 @@ Status RaftReplica::Propose(PayloadId payload,
     AdvanceCommit();
     return Status::OK();
   }
-  // Coalesce proposals made at the same instant into one AppendEntries per
-  // follower (zero added latency: the flush runs at the same simulated
-  // time, after the current event cascade).
+  // Group commit: the first pending proposal opens a flush window of
+  // group_commit_delay; everything proposed before it fires ships in one
+  // AppendEntries per follower. The default window of 0 coalesces only
+  // proposals made at the same simulated instant (zero added latency: the
+  // flush runs at the same simulated time, after the current event cascade).
   if (!flush_scheduled_) {
     flush_scheduled_ = true;
-    transport()->simulator()->ScheduleAfter(0, [this]() {
-      flush_scheduled_ = false;
-      if (!crashed_ && role_ == Role::kLeader) BroadcastAppend();
-    });
+    transport()->simulator()->ScheduleAfter(
+        options_.group_commit_delay, [this]() {
+          flush_scheduled_ = false;
+          if (!crashed_ && role_ == Role::kLeader) BroadcastAppend();
+        });
   }
   return Status::OK();
+}
+
+void RaftReplica::RegisterMetrics(obs::MetricsRegistry* registry) {
+  NATTO_CHECK(registry != nullptr);
+  entries_per_append_metric_ =
+      registry->GetHistogram("raft.entries_per_append");
 }
 
 void RaftReplica::BecomeFollower(uint64_t term) {
@@ -253,6 +262,9 @@ void RaftReplica::MaybeSendTo(size_t peer_index, bool force) {
   uint64_t prev_index = ps.sent_index;
   uint64_t prev_term =
       prev_index == 0 ? 0 : log_[static_cast<size_t>(prev_index) - 1].term;
+  if (!entries.empty() && entries_per_append_metric_ != nullptr) {
+    entries_per_append_metric_->Record(static_cast<double>(entries.size()));
+  }
   ps.sent_index += entries.size();
   ps.last_send = TrueNow();
   ps.last_sent_commit = commit_index_;

@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "net/node.h"
+#include "obs/metrics.h"
 
 namespace natto::raft {
 
@@ -36,6 +37,13 @@ class RaftReplica : public net::Node {
     size_t entry_bytes = 128;
     /// Fixed wire bytes per AppendEntries/vote message.
     size_t header_bytes = 64;
+    /// Leader-side group-commit window: a proposal opens a flush window of
+    /// this length, and every further proposal accepted before it fires is
+    /// coalesced into the same AppendEntries per follower. 0 (default)
+    /// keeps the historical behavior — only proposals made at the same
+    /// simulated instant share an AppendEntries — and is byte-identical to
+    /// builds without the knob.
+    SimDuration group_commit_delay = 0;
   };
 
   RaftReplica(net::Transport* transport, int site, sim::NodeClock clock,
@@ -88,6 +96,11 @@ class RaftReplica : public net::Node {
   void SetOnApply(std::function<void(PayloadId)> on_apply) {
     on_apply_ = std::move(on_apply);
   }
+
+  /// Mirrors replication stats into `registry`: `raft.entries_per_append`
+  /// records the entry count of every non-empty AppendEntries this replica
+  /// ships as leader, making group-commit amortization observable.
+  void RegisterMetrics(obs::MetricsRegistry* registry);
 
  private:
   enum class Role { kFollower, kCandidate, kLeader };
@@ -148,6 +161,8 @@ class RaftReplica : public net::Node {
   std::vector<std::pair<uint64_t, std::function<void()>>> pending_callbacks_;
   std::function<void(PayloadId)> on_apply_;
   std::function<void(RaftReplica*)> on_became_leader_;
+
+  obs::Histogram* entries_per_append_metric_ = nullptr;
 
   bool timers_started_ = false;
   bool flush_scheduled_ = false;

@@ -493,6 +493,10 @@ void SpannerCoordinator::Decide(TxnId id, bool commit,
              [srv, id]() { srv->HandleAbort(id); });
     }
   }
+  // The decision fan-out is latency-critical: push any batched envelopes onto
+  // the wire now instead of waiting for the max-delay timer. No-op when link
+  // batching is off.
+  transport()->Flush();
 }
 
 // ---------------------------------------------------------------------------

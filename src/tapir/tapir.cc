@@ -374,6 +374,10 @@ void TapirGateway::Decide(TxnId id, bool commit, const std::string& reason,
       }
     }
   }
+  // The decision fan-out is latency-critical: push any batched envelopes onto
+  // the wire now instead of waiting for the max-delay timer. No-op when link
+  // batching is off.
+  transport()->Flush();
 
   txn::TxnResult result;
   result.outcome =

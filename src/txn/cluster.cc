@@ -37,6 +37,9 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
     groups_.push_back(std::make_unique<raft::RaftGroup>(
         transport_.get(), topology_.ReplicaSites(p), options_.raft, rng_,
         options_.max_clock_skew));
+    for (size_t r = 0; r < groups_.back()->size(); ++r) {
+      groups_.back()->replica(r)->RegisterMetrics(&metrics_);
+    }
   }
   if (!options_.fault_schedule.empty()) {
     // Chaos mode: elections and replication timeouts are only armed when a

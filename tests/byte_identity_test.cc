@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -64,14 +65,19 @@ std::string RenderTable(const std::vector<GridPoint>& points,
 }
 
 // gtest's ASSERT_* macros need a void function, so this fills `out` instead
-// of returning the table.
-void RunAndRender(const char* jobs, std::string* out) {
+// of returning the table. `mutate` tweaks each point's config before the
+// run (batching knobs in the tests below).
+void RunAndRender(const char* jobs, std::string* out,
+                  const std::function<void(ExperimentConfig*)>& mutate = {}) {
   ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
   std::vector<System> systems = {MakeSystem(SystemKind::kCarouselBasic),
                                  MakeSystem(SystemKind::kNattoRecsf)};
   std::vector<GridPoint> points;
   points.push_back({TinyConfig(20), TinyWorkload()});
   points.push_back({TinyConfig(35), TinyWorkload()});
+  if (mutate) {
+    for (GridPoint& p : points) mutate(&p.config);
+  }
   // jobs <= 0 routes through DefaultJobs(), which reads NATTO_JOBS — the
   // exact code path every bench binary and nattosim take.
   auto grid = RunGrid(points, systems, /*jobs=*/0);
@@ -174,6 +180,41 @@ TEST(ByteIdentityTest, ChaosScheduleTablesAreByteIdentical) {
       << "NATTO_JOBS=8 rendered a different chaos table than NATTO_JOBS=1";
   // Sanity: the faults actually produced timeline buckets.
   EXPECT_NE(serial.find("timeline= "), std::string::npos);
+}
+
+TEST(ByteIdentityTest, BatchingOffIsByteIdenticalToGolden) {
+  // max_batch_bytes = 0 disables link batching entirely; the other batching
+  // knobs (delay, framing, raft group-commit window) must then be inert, so
+  // setting them to non-default values still renders the exact golden bytes
+  // of the pre-batching build.
+  std::string rendered;
+  RunAndRender("1", &rendered, [](ExperimentConfig* c) {
+    c->cluster.transport.max_batch_bytes = 0;
+    c->cluster.transport.max_batch_delay = Millis(5);
+    c->cluster.transport.framing_bytes_per_message = 64;
+    c->cluster.raft.group_commit_delay = 0;
+  });
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  CompareOrWriteGolden("fig7_ycsbt_tiny.golden", rendered);
+}
+
+TEST(ByteIdentityTest, BatchingOnSerialVsParallelIsByteIdentical) {
+  // With batching and the raft group-commit window armed, the output
+  // changes (frames coalesce, latencies shift) but must stay exactly as
+  // deterministic as the unbatched build: serial and NATTO_JOBS=8 render
+  // the same bytes.
+  auto batched = [](ExperimentConfig* c) {
+    c->cluster.transport.max_batch_bytes = 4096;
+    c->cluster.transport.max_batch_delay = Micros(200);
+    c->cluster.raft.group_commit_delay = Micros(200);
+  };
+  std::string serial, parallel;
+  RunAndRender("1", &serial, batched);
+  RunAndRender("8", &parallel, batched);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel)
+      << "batching broke job-count determinism";
+  EXPECT_NE(serial.find("Natto"), std::string::npos);
 }
 
 TEST(ByteIdentityTest, SerialParallelAndRerunTablesAreByteIdentical) {

@@ -202,6 +202,108 @@ TEST_F(TransportFaultTest, OverlayHardLossCountsUnderLoss) {
   EXPECT_EQ(transport.messages_dropped(), 5u);
 }
 
+TEST_F(TransportFaultTest, OverlayLossCollapsesMathisCapacity) {
+  // A bandwidth-modeled transport: 1 GB/s nominal, no baseline loss.
+  net::TransportOptions opts;
+  opts.link_bandwidth_bytes_per_sec = 1e9;
+  net::Transport t(&simulator, &matrix, net::MakeConstantDelay(), opts,
+                   /*seed=*/7);
+  net::NodeId a = t.AddNode(0);
+  net::NodeId b = t.AddNode(1);
+
+  // 25% overlay loss on the 4 ms-RTT link collapses the Mathis capacity to
+  // MSS / (RTT * sqrt(0.25)) * 16 flows = 1460 / 0.002 * 16 = 11.68 MB/s.
+  t.SetLinkOverlay(0, 1, /*extra_loss=*/0.25, /*extra_delay=*/0,
+                   /*until=*/Seconds(100));
+  SimTime arrived = -1;
+  // Each send draws the overlay loss Bernoulli; keep sending until one
+  // message survives it (the survivor is the only serialization user).
+  for (int i = 0; i < 64 && t.messages_sent() == 0; ++i) {
+    t.Send(a, b, 1168000, [&]() { arrived = simulator.Now(); });
+  }
+  ASSERT_EQ(t.messages_sent(), 1u);
+  simulator.Run();
+  // 1,168,000 B at 11.68 MB/s = 100 ms serialization + 2 ms one-way. The
+  // nominal rate would have finished in ~1.2 ms: the overlay's loss, not
+  // the configured bandwidth, set the pace.
+  EXPECT_EQ(arrived, Millis(102));
+  EXPECT_EQ(t.messages_sent(),
+            t.messages_delivered() + t.messages_in_flight() +
+                t.delivery_drops());
+}
+
+// ---------------------------------------------------------------------------
+// Accounting invariant under a scripted chaos sequence
+// ---------------------------------------------------------------------------
+
+// Drives a crash/recover + partition/heal + overlay sequence against steady
+// cross-site traffic and asserts the documented transport contract
+//   sent == delivered + in_flight + delivery_drops
+// after the run drains — once with batching off, once with batching on.
+void RunChaosAccountingSequence(size_t max_batch_bytes) {
+  sim::Simulator simulator;
+  net::LatencyMatrix matrix = net::LatencyMatrix::LocalTriangle();
+  net::TransportOptions opts;
+  opts.max_batch_bytes = max_batch_bytes;
+  opts.max_batch_delay = Micros(500);
+  net::Transport t(&simulator, &matrix, net::MakeConstantDelay(), opts,
+                   /*seed=*/11);
+  // Two nodes per site so every directed site pair carries several messages
+  // per tick (otherwise a batch of one per link defeats the coalescing
+  // check below).
+  std::vector<net::NodeId> nodes;
+  for (int s = 0; s < 3; ++s) {
+    nodes.push_back(t.AddNode(s));
+    nodes.push_back(t.AddNode(s));
+  }
+
+  // All-pairs traffic every millisecond for 12 ms.
+  for (int tick = 0; tick < 12; ++tick) {
+    simulator.ScheduleAt(Millis(tick), [&t, &nodes]() {
+      for (net::NodeId from : nodes) {
+        for (net::NodeId to : nodes) {
+          if (from != to) t.Send(from, to, 64, []() {});
+        }
+      }
+    });
+  }
+  // The chaos script, interleaved with the traffic.
+  simulator.ScheduleAt(Millis(3), [&]() { t.SetNodeCrashed(nodes[2], true); });
+  simulator.ScheduleAt(Millis(5), [&]() { t.SetNodeCrashed(nodes[2], false); });
+  simulator.ScheduleAt(Millis(6), [&]() { t.SetSitePartitioned(0, 2, true); });
+  simulator.ScheduleAt(Millis(7), [&]() {
+    t.SetLinkOverlay(1, 2, /*extra_loss=*/1.0, /*extra_delay=*/0,
+                     /*until=*/Millis(9));
+  });
+  simulator.ScheduleAt(Millis(9), [&]() { t.SetSitePartitioned(0, 2, false); });
+  simulator.Run();
+
+  SCOPED_TRACE(max_batch_bytes == 0 ? "batching off" : "batching on");
+  EXPECT_GT(t.messages_sent(), 0u);
+  EXPECT_GT(t.messages_dropped(), 0u);
+  EXPECT_GT(t.delivery_drops(), 0u) << "no in-flight drop exercised";
+  EXPECT_EQ(t.messages_in_flight(), 0u) << "run did not drain";
+  EXPECT_EQ(t.messages_sent(),
+            t.messages_delivered() + t.messages_in_flight() +
+                t.delivery_drops());
+  EXPECT_EQ(t.messages_dropped(), t.dropped_crash() + t.dropped_partition() +
+                                      t.dropped_loss());
+  if (max_batch_bytes == 0) {
+    EXPECT_EQ(t.batches_sent(), t.messages_sent());
+  } else {
+    EXPECT_LT(t.batches_sent(), t.messages_sent())
+        << "batching never coalesced";
+  }
+}
+
+TEST(ChaosAccountingTest, InvariantHoldsUnbatched) {
+  RunChaosAccountingSequence(/*max_batch_bytes=*/0);
+}
+
+TEST(ChaosAccountingTest, InvariantHoldsBatched) {
+  RunChaosAccountingSequence(/*max_batch_bytes=*/100000);
+}
+
 // ---------------------------------------------------------------------------
 // End-to-end: scripted leader crash + partition for every failover engine
 // ---------------------------------------------------------------------------
@@ -266,6 +368,15 @@ TEST(ChaosFailoverTest, EveryEngineSurvivesLeaderCrashAndPartition) {
                   stats.metrics.counter("net.dropped.crash"),
               0)
         << "the faults never dropped a message";
+    // Accounting contract through the mirrored counters: every sent message
+    // resolves to delivered, an in-flight drop, or is still in flight at
+    // the run horizon — so sent always covers the resolved count, with the
+    // gap being the (small) in-flight tail the horizon cut off.
+    int64_t sent = stats.metrics.counter("net.messages_sent");
+    int64_t resolved = stats.metrics.counter("net.messages_delivered") +
+                       stats.metrics.counter("net.dropped.in_flight");
+    EXPECT_GE(sent, resolved);
+    EXPECT_GT(stats.metrics.counter("net.messages_delivered"), 0);
   }
 }
 

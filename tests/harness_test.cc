@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "harness/client.h"
@@ -218,6 +219,37 @@ TEST(ClientTest, OutOfWindowTransactionsAreNotRecorded) {
 // ---------------------------------------------------------------------------
 // End-to-end experiment runner
 // ---------------------------------------------------------------------------
+
+TEST(ClientTest, BackoffNeverExceedsConfiguredCap) {
+  // Regression for the cap overshoot: jitter used to be added *after* the
+  // clamp, so the effective backoff reached 1.5x backoff_cap. The jittered
+  // delay must now stay inside the cap for every attempt, while jitter
+  // still spreads the sub-cap delays.
+  Client::Options options;
+  options.backoff_base = Millis(25);
+  options.backoff_cap = Seconds(2);
+  SimDuration max_seen = 0;
+  bool jitter_seen = false;
+  for (uint32_t client = 0; client < 8; ++client) {
+    options.client_id = client;
+    for (SimTime start : {Millis(1), Millis(777), Seconds(3)}) {
+      for (int attempt = 2; attempt <= 30; ++attempt) {
+        SimDuration d = Client::BackoffDelay(options, start, attempt);
+        SimDuration exponential =
+            options.backoff_base << std::min(attempt - 2, 20);
+        EXPECT_GE(d, std::min(exponential, options.backoff_cap));
+        EXPECT_LE(d, options.backoff_cap) << "cap exceeded at attempt "
+                                          << attempt;
+        if (d > exponential && exponential < options.backoff_cap) {
+          jitter_seen = true;
+        }
+        max_seen = std::max(max_seen, d);
+      }
+    }
+  }
+  EXPECT_EQ(max_seen, options.backoff_cap) << "deep retries should pin the cap";
+  EXPECT_TRUE(jitter_seen) << "jitter never fired";
+}
 
 TEST(ExperimentTest, RunsAndProducesSaneNumbers) {
   ExperimentConfig config;

@@ -1,0 +1,29 @@
+// Fixture for natto-batch-bypass: direct delivery scheduling inside a
+// src/net translation unit. Scanned by nattolint_test, never compiled.
+#include <cstddef>
+
+struct FakeSimulator {
+  void ScheduleAt(long at, int fn);
+  void ScheduleAfter(long delay, int fn);
+};
+
+struct FakeTransport {
+  FakeSimulator* simulator_;
+
+  void BadDirectDelivery(long at) {
+    simulator_->ScheduleAt(at, 1);  // should fire: bypasses the flush queue
+  }
+
+  void OkFramingSite(long at) {
+    simulator_->ScheduleAt(at, 2);  // NOLINT(natto-batch-bypass)
+  }
+
+  void OkSuppressedNextLine(long at) {
+    // NOLINTNEXTLINE(natto-batch-bypass)
+    simulator_->ScheduleAt(at, 3);
+  }
+
+  void OkRelativeTimer(long delay) {
+    simulator_->ScheduleAfter(delay, 4);  // relative timers are fine
+  }
+};

@@ -164,6 +164,39 @@ TEST(NattolintCheck, FlagsSideEffectingConditions) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6: natto-batch-bypass
+// ---------------------------------------------------------------------------
+
+TEST(NattolintBatchBypass, FlagsDirectScheduleAtInNet) {
+  // The fixture must be linted under a src/net pseudo-path for the rule to
+  // apply at all.
+  auto vs = nattolint::LintContent("src/net/fixture.cc",
+                                   ReadFixture("net_schedule_bad.cc"), {});
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-batch-bypass"], 1)
+      << "one unsuppressed ->ScheduleAt(; NOLINT, NOLINTNEXTLINE and "
+         "ScheduleAfter must not fire";
+  EXPECT_EQ(static_cast<int>(vs.size()), 1);
+}
+
+TEST(NattolintBatchBypass, OtherDirectoriesAreExempt) {
+  // Engines schedule on the simulator freely; only src/net owns the flush
+  // queue the rule protects.
+  auto vs = nattolint::LintContent("src/natto/fixture.cc",
+                                   ReadFixture("net_schedule_bad.cc"), {});
+  EXPECT_EQ(CountByRule(vs)["natto-batch-bypass"], 0);
+}
+
+TEST(NattolintBatchBypass, HeadersAreExempt) {
+  // net/node.h's AtLocalTime forwards to ScheduleAt on behalf of non-net
+  // actors; the rule targets the transport's own delivery paths, which live
+  // in translation units.
+  auto vs = nattolint::LintContent("src/net/fixture.h",
+                                   ReadFixture("net_schedule_bad.cc"), {});
+  EXPECT_EQ(CountByRule(vs)["natto-batch-bypass"], 0);
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions & stripping
 // ---------------------------------------------------------------------------
 

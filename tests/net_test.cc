@@ -201,6 +201,188 @@ TEST(TransportTest, NodeCpuModelQueuesBackToBackMessages) {
 }
 
 // ---------------------------------------------------------------------------
+// Link batching
+// ---------------------------------------------------------------------------
+
+// The accounting invariant every batching/fault test closes with (the
+// documented contract in transport.h).
+void ExpectAccountingInvariant(const Transport& t) {
+  EXPECT_EQ(t.messages_sent(), t.messages_delivered() +
+                                   t.messages_in_flight() +
+                                   t.delivery_drops());
+}
+
+struct BatchingFixture {
+  explicit BatchingFixture(size_t max_bytes, SimDuration max_delay = Millis(1))
+      : transport{&simulator, &matrix, MakeConstantDelay(),
+                  [&] {
+                    TransportOptions o;
+                    o.max_batch_bytes = max_bytes;
+                    o.max_batch_delay = max_delay;
+                    return o;
+                  }(),
+                  1} {}
+
+  sim::Simulator simulator;
+  LatencyMatrix matrix = LatencyMatrix::AzureFive();
+  Transport transport;
+};
+
+TEST(TransportBatchingTest, OffByDefaultAndFramesPerMessage) {
+  TransportFixture f;
+  EXPECT_FALSE(f.transport.batching_enabled());
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  for (int i = 0; i < 3; ++i) f.transport.Send(a, b, 100, []() {});
+  f.simulator.Run();
+  // Unbatched: every message is its own wire frame, no framing overhead.
+  EXPECT_EQ(f.transport.batches_sent(), 3u);
+  EXPECT_EQ(f.transport.bytes_sent(), 300u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, DelayTimerCoalescesIntoOneFrame) {
+  BatchingFixture f(/*max_bytes=*/100000);
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  std::vector<std::pair<int, SimTime>> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    f.transport.Send(a, b, 100,
+                     [&, i]() { deliveries.emplace_back(i, f.simulator.Now()); });
+  }
+  EXPECT_EQ(f.transport.messages_in_flight(), 3u);
+  f.simulator.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  // One frame, flushed by the max-delay timer at t=1ms, arriving one-way
+  // (33.5 ms on VA-WA) later; FIFO send order preserved at the equal
+  // delivery instant.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(deliveries[i].first, i);
+    EXPECT_EQ(deliveries[i].second, Millis(1) + Micros(33500));
+  }
+  EXPECT_EQ(f.transport.batches_sent(), 1u);
+  EXPECT_EQ(f.transport.messages_sent(), 3u);
+  // Framed wire bytes: payload + 8 framing bytes per message.
+  EXPECT_EQ(f.transport.bytes_sent(), 3 * 108u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, ByteTriggerFlushesAndCancelsTimer) {
+  BatchingFixture f(/*max_bytes=*/200);
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  std::vector<SimTime> deliveries;
+  f.transport.Send(a, b, 100, [&]() { deliveries.push_back(f.simulator.Now()); });
+  f.transport.Send(a, b, 100, [&]() { deliveries.push_back(f.simulator.Now()); });
+  f.simulator.Run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // 216 framed bytes >= 200 flushed the batch at t=0: delivery at plain
+  // one-way delay, without the 1 ms batching latency.
+  EXPECT_EQ(deliveries[0], Micros(33500));
+  EXPECT_EQ(deliveries[1], Micros(33500));
+  EXPECT_EQ(f.transport.batches_sent(), 1u);
+  // The byte trigger cancelled the max-delay timer: only the two delivery
+  // events ever executed (a live timer would have run a third event).
+  EXPECT_EQ(f.simulator.executed_events(), 2u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, ExplicitFlushEmitsImmediately) {
+  BatchingFixture f(/*max_bytes=*/100000, /*max_delay=*/Millis(50));
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  SimTime delivered = -1;
+  f.transport.Send(a, b, 100, [&]() { delivered = f.simulator.Now(); });
+  f.transport.Flush();
+  f.simulator.Run();
+  EXPECT_EQ(delivered, Micros(33500));
+  EXPECT_EQ(f.transport.batches_sent(), 1u);
+  // Flush with nothing further pending is a no-op.
+  f.transport.Flush();
+  EXPECT_EQ(f.transport.batches_sent(), 1u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, CrashFlushesBatchesToDestination) {
+  BatchingFixture f(/*max_bytes=*/100000);
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  bool delivered = false;
+  f.transport.Send(a, b, 100, [&]() { delivered = true; });
+  EXPECT_EQ(f.transport.messages_in_flight(), 1u);
+  // The destination crashes while the message sits in the open batch: the
+  // batch flushes so the message meets the delivery-time crash check.
+  f.transport.SetNodeCrashed(b, true);
+  f.simulator.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.transport.messages_sent(), 1u);
+  EXPECT_EQ(f.transport.delivery_drops(), 1u);
+  EXPECT_EQ(f.transport.dropped_crash(), 1u);
+  EXPECT_EQ(f.transport.messages_in_flight(), 0u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, PartitionFlushesStraddlingBatches) {
+  BatchingFixture f(/*max_bytes=*/100000);
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  bool forward = false, backward = false;
+  f.transport.Send(a, b, 100, [&]() { forward = true; });
+  f.transport.Send(b, a, 100, [&]() { backward = true; });
+  f.transport.SetSitePartitioned(0, 1, true);
+  f.simulator.Run();
+  EXPECT_FALSE(forward);
+  EXPECT_FALSE(backward);
+  EXPECT_EQ(f.transport.delivery_drops(), 2u);
+  EXPECT_EQ(f.transport.dropped_partition(), 2u);
+  ExpectAccountingInvariant(f.transport);
+  // Sends after the partition are refused at send time: drops, never sent.
+  f.transport.Send(a, b, 100, []() {});
+  EXPECT_EQ(f.transport.messages_sent(), 2u);
+  EXPECT_EQ(f.transport.dropped_partition(), 3u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, SeparateLinksBatchIndependently) {
+  BatchingFixture f(/*max_bytes=*/100000);
+  NodeId a = f.transport.AddNode(0);
+  NodeId b = f.transport.AddNode(1);
+  NodeId c = f.transport.AddNode(2);
+  int delivered = 0;
+  f.transport.Send(a, b, 100, [&]() { ++delivered; });
+  f.transport.Send(a, c, 100, [&]() { ++delivered; });
+  f.transport.Send(b, a, 100, [&]() { ++delivered; });
+  f.simulator.Run();
+  EXPECT_EQ(delivered, 3);
+  // Three directed site pairs, three frames.
+  EXPECT_EQ(f.transport.batches_sent(), 3u);
+  ExpectAccountingInvariant(f.transport);
+}
+
+TEST(TransportBatchingTest, BatchedCpuQueueingStaysPerMessage) {
+  sim::Simulator simulator;
+  LatencyMatrix matrix = LatencyMatrix::AzureFive();
+  TransportOptions opts;
+  opts.max_batch_bytes = 100000;
+  opts.max_batch_delay = Millis(1);
+  opts.node_cost_per_message = Millis(10);
+  Transport t(&simulator, &matrix, MakeConstantDelay(), opts, 7);
+  NodeId a = t.AddNode(0);
+  NodeId b = t.AddNode(1);
+  std::vector<SimTime> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    t.Send(a, b, 10, [&]() { deliveries.push_back(simulator.Now()); });
+  }
+  simulator.Run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  // One wire frame, but the receiver still parses each message: deliveries
+  // space out by the per-message CPU cost.
+  EXPECT_EQ(deliveries[1] - deliveries[0], Millis(10));
+  EXPECT_EQ(deliveries[2] - deliveries[1], Millis(10));
+  EXPECT_EQ(t.batches_sent(), 1u);
+}
+
+// ---------------------------------------------------------------------------
 // DelayEstimator
 // ---------------------------------------------------------------------------
 

@@ -566,6 +566,10 @@ std::vector<Violation> LintContent(
                           HasPrefix(norm, "sim/");
   bool rng_exempt = HasSuffix(norm, "common/rng.h");
   bool is_tu = IsTranslationUnit(norm);
+  // Translation units under src/net host the link-batching flush queue;
+  // scheduling a delivery directly on the simulator there bypasses it.
+  bool batch_bypass_applies =
+      is_tu && (PathContainsDir(norm, "src/net") || HasPrefix(norm, "net/"));
 
   std::vector<ScrubbedLine> lines = Scrub(content);
 
@@ -638,6 +642,12 @@ std::vector<Violation> LintContent(
                   "std::set or iterate sorted keys");
         }
       }
+    }
+    if (batch_bypass_applies && code.find("->ScheduleAt(") != std::string::npos) {
+      add(idx, "natto-batch-bypass",
+          "direct simulator ScheduleAt inside src/net bypasses the "
+          "link-batching flush queue; route deliveries through "
+          "ScheduleWireDelivery/FlushLink (or NOLINT the one framing site)");
     }
     for (const char* macro : {"NATTO_CHECK", "NATTO_DCHECK"}) {
       for (const std::string& arg : MacroArgs(code, macro)) {

@@ -20,6 +20,10 @@
 ///                            translation units (.cc/.cpp)
 ///   natto-check-side-effect  NATTO_CHECK / NATTO_DCHECK whose condition has
 ///                            side effects (++/--/assignment)
+///   natto-batch-bypass       direct `->ScheduleAt(` in src/net translation
+///                            units, which bypasses the link-batching flush
+///                            queue (the single wire-delivery framing site
+///                            carries a NOLINT)
 namespace nattolint {
 
 struct Violation {
