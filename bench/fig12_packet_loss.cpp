@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
   WriteTraces(trace_args, traces);
-  return 0;
+  return FinishDsan(trace_args, systems, results) ? 0 : 1;
 }

@@ -39,5 +39,5 @@ int main(int argc, char** argv) {
   for (const auto& r : results[0]) PrintCell(r.p95_high_ms);
   EndRow();
   WriteTraces(trace_args, traces);
-  return 0;
+  return FinishDsan(trace_args, systems, results) ? 0 : 1;
 }

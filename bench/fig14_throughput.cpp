@@ -78,5 +78,5 @@ int main(int argc, char** argv) {
   PrintWireCostReport("Fig 14 wire cost", "parts.r", cell_xs, systems,
                       results);
   WriteTraces(trace_args, traces);
-  return 0;
+  return FinishDsan(trace_args, systems, results) ? 0 : 1;
 }

@@ -14,6 +14,7 @@ using namespace natto::harness;
 int main(int argc, char** argv) {
   TraceArgs trace_args = ParseTraceArgs(argc, argv);
   std::vector<obs::TxnTrace> traces;
+  std::vector<LabeledTrail> dsan_trails;
   std::vector<double> thetas = {0.65, 0.75, 0.85, 0.95};
 
   {
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<ExperimentResult>> results =
         RunGrid(points, systems);
     CollectTraces(results, &traces);
+    CollectDsanTrails(systems, results, "a", &dsan_trails);
     PrintHeader("Fig 8(a): 95P HIGH-priority latency vs Zipf, YCSB+T @50 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {
@@ -59,6 +61,7 @@ int main(int argc, char** argv) {
     std::vector<std::vector<ExperimentResult>> results =
         RunGrid(points, systems);
     CollectTraces(results, &traces);
+    CollectDsanTrails(systems, results, "b", &dsan_trails);
     PrintHeader("Fig 8(b): 95P HIGH-priority latency vs Zipf, Retwis @100 (ms)",
                 "zipf", systems);
     for (size_t i = 0; i < thetas.size(); ++i) {
@@ -68,5 +71,5 @@ int main(int argc, char** argv) {
     }
   }
   WriteTraces(trace_args, traces);
-  return 0;
+  return FinishDsanTrails(trace_args.dsan, dsan_trails) ? 0 : 1;
 }

@@ -166,5 +166,5 @@ int main(int argc, char** argv) {
   }
 
   WriteTraces(trace_args, traces);
-  return 0;
+  return FinishDsan(trace_args, systems, results) ? 0 : 1;
 }

@@ -16,16 +16,19 @@ class Rng {
 
   /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
   int64_t UniformInt(int64_t lo, int64_t hi) {
+    Tick();
     return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
   }
 
   /// Uniform double in [0, 1).
   double UniformDouble() {
+    Tick();
     return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
   }
 
   /// Uniform double in [lo, hi).
   double UniformDouble(double lo, double hi) {
+    Tick();
     return std::uniform_real_distribution<double>(lo, hi)(engine_);
   }
 
@@ -33,12 +36,14 @@ class Rng {
   bool Bernoulli(double p) {
     if (p <= 0.0) return false;
     if (p >= 1.0) return true;
+    Tick();
     return std::bernoulli_distribution(p)(engine_);
   }
 
   /// Exponentially distributed value with the given rate (events per unit
   /// time); used for open-loop Poisson arrival processes.
   double Exponential(double rate) {
+    Tick();
     return std::exponential_distribution<double>(rate)(engine_);
   }
 
@@ -53,17 +58,35 @@ class Rng {
 
   /// Normally distributed value.
   double Normal(double mean, double stddev) {
+    Tick();
     return std::normal_distribution<double>(mean, stddev)(engine_);
   }
 
   /// Derives an independent child generator; useful for giving each actor
-  /// its own stream from one experiment seed.
-  Rng Fork() { return Rng(engine_()); }
+  /// its own stream from one experiment seed. The child inherits the parent's
+  /// dsan draw counter so a whole fork tree counts into one stream.
+  Rng Fork() {
+    Tick();
+    Rng child(engine_());
+    child.draws_ = draws_;
+    return child;
+  }
 
   std::mt19937_64& engine() { return engine_; }
 
+  /// Determinism-sanitizer instrumentation (sim/dsan.h): every draw bumps
+  /// `*counter`, and Fork() propagates it to children. Counting changes no
+  /// drawn value; null (the default) is the zero-overhead off state. Draws
+  /// made directly through engine() are not counted.
+  void Instrument(uint64_t* counter) { draws_ = counter; }
+
  private:
+  void Tick() {
+    if (draws_ != nullptr) ++*draws_;
+  }
+
   std::mt19937_64 engine_;
+  uint64_t* draws_ = nullptr;
 };
 
 }  // namespace natto

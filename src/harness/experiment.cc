@@ -35,6 +35,12 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
       config.input_rate_tps / static_cast<double>(total_clients);
 
   Rng client_seed_rng(seed ^ 0x9e3779b97f4a7c15ull);
+  if (sim::DeterminismLedger* ledger = cluster.ledger()) {
+    // The client seed stream is the only randomness outside the cluster's
+    // fork tree; count it separately so a draw-count divergence names the
+    // side (harness vs cluster) that went off-script.
+    client_seed_rng.Instrument(ledger->RegisterRngStream("harness.clients"));
+  }
   std::vector<std::unique_ptr<Client>> clients;
   uint32_t client_id = 1;
   for (int s = 0; s < num_sites; ++s) {
@@ -67,6 +73,9 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
   cluster.simulator()->RunUntil(config.duration + config.drain);
   stats.metrics = cluster.metrics()->Snapshot();
   if (obs::Tracer* tr = cluster.tracer()) stats.traces = tr->Drain();
+  if (sim::DeterminismLedger* ledger = cluster.ledger()) {
+    stats.dsan = ledger->Trail();
+  }
   return stats;
 }
 
@@ -108,6 +117,7 @@ ExperimentResult AggregateRuns(const std::string& system_name,
     result.metrics.MergeFrom(run.metrics);
     result.traces.insert(result.traces.end(), run.traces.begin(),
                          run.traces.end());
+    if (run.dsan.enabled) result.dsan.push_back(run.dsan);
   }
   result.p95_high_ms = Aggregated(p95_high);
   result.p95_low_ms = Aggregated(p95_low);
@@ -171,17 +181,25 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
 }
 
 void ApplyEnvOverrides(ExperimentConfig* config) {
-  if (const char* r = std::getenv("NATTO_REPEATS")) {
+  // This function is the harness's one sanctioned env entry point (the
+  // library itself never reads the environment — natto-env-read enforces
+  // that); everything configurable from outside funnels through here.
+  if (const char* r = std::getenv("NATTO_REPEATS")) {  // NOLINT(natto-env-read)
     int v = std::atoi(r);
     if (v > 0) config->repeats = v;
   }
-  if (const char* d = std::getenv("NATTO_DURATION_S")) {
+  if (const char* d = std::getenv("NATTO_DURATION_S")) {  // NOLINT(natto-env-read)
     int v = std::atoi(d);
     if (v >= 3) {
       config->duration = Seconds(v);
       // Keep the paper's proportions: trim 1/6th at each end.
       config->warmup = Seconds(v) / 6;
       config->cooldown = Seconds(v) / 6;
+    }
+  }
+  if (const char* s = std::getenv("NATTO_DSAN")) {  // NOLINT(natto-env-read)
+    if (s[0] != '\0' && !(s[0] == '0' && s[1] == '\0')) {
+      config->cluster.dsan.enabled = true;
     }
   }
 }

@@ -77,6 +77,9 @@ struct ExperimentResult {
   /// Sampled transaction traces from all repeats, concatenated in repeat
   /// order. Empty unless tracing was enabled in the cluster options.
   std::vector<obs::TxnTrace> traces;
+  /// Determinism-sanitizer trails, one per repeat in repeat order. Empty
+  /// unless cluster.dsan.enabled (see src/sim/dsan.h).
+  std::vector<sim::DsanTrail> dsan;
 };
 
 /// Runs one run (single seed) and returns its stats. Exposed for tests.
@@ -116,8 +119,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config,
                                const System& system,
                                const WorkloadFactory& workload_factory);
 
-/// Reads NATTO_REPEATS / NATTO_DURATION_S env overrides so the benches can
-/// be dialed between quick mode and the paper's full 10x60s setting.
+/// Reads NATTO_REPEATS / NATTO_DURATION_S / NATTO_DSAN env overrides so the
+/// benches can be dialed between quick mode and the paper's full 10x60s
+/// setting (and audited with the determinism sanitizer) without recompiling.
 void ApplyEnvOverrides(ExperimentConfig* config);
 
 }  // namespace natto::harness

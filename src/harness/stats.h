@@ -7,6 +7,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/dsan.h"
 
 namespace natto::harness {
 
@@ -41,6 +42,8 @@ struct RunStats {
   obs::MetricsSnapshot metrics;
   /// Sampled transaction traces (empty unless tracing was enabled).
   std::vector<obs::TxnTrace> traces;
+  /// Determinism-sanitizer trail (enabled=false unless dsan was on).
+  sim::DsanTrail dsan;
 
   double GoodputLow() const {
     return measured_seconds > 0 ? static_cast<double>(committed_low) /

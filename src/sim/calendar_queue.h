@@ -17,6 +17,11 @@ namespace natto::sim {
 struct EventNode {
   SimTime time = 0;
   uint64_t seq = 0;      // tie-break: FIFO among equal-time events
+  /// seq of the event whose callback scheduled this one, or ~0 when it was
+  /// scheduled outside any callback. Consumed by the determinism sanitizer
+  /// (sim/dsan.h) as a process-independent scheduling-site tag; the store
+  /// is unconditional because it is cheaper than a branch.
+  uint64_t parent_seq = 0;
   EventNode* next = nullptr;
   EventFn fn;
 };
@@ -72,10 +77,12 @@ class CalendarQueue {
   /// Inserts an event. `t` must be >= the time of the last popped event
   /// (the simulator clamps to Now() first) and `seq` strictly larger than
   /// every previously pushed seq.
-  void Push(SimTime t, uint64_t seq, EventFn fn) {
+  void Push(SimTime t, uint64_t seq, EventFn fn,
+            uint64_t parent_seq = ~uint64_t{0}) {
     EventNode* n = AllocNode();
     n->time = t;
     n->seq = seq;
+    n->parent_seq = parent_seq;
     n->next = nullptr;
     n->fn = std::move(fn);
     ++size_;

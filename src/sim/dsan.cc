@@ -1,0 +1,312 @@
+#include "sim/dsan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace natto::sim {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvMix64(uint64_t digest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (i * 8)) & 0xff;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+/// Hard cap on captured raw events so a careless capture window cannot eat
+/// unbounded memory; 1 << 16 records is plenty for any checkpoint window.
+constexpr size_t kMaxWindowRecords = 1 << 16;
+
+std::string Hex(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+DeterminismLedger::DeterminismLedger(const DsanOptions& options)
+    : options_(options),
+      digest_(kFnvOffset),
+      interval_(options.checkpoint_every > 0 ? options.checkpoint_every
+                                             : 4096) {}
+
+void DeterminismLedger::RecordEvent(SimTime fire_time, uint64_t seq,
+                                    uint64_t parent_seq) {
+  digest_ = FnvMix64(digest_, static_cast<uint64_t>(fire_time));
+  digest_ = FnvMix64(digest_, seq);
+  digest_ = FnvMix64(digest_, parent_seq);
+  ++events_;
+  if (events_ > options_.capture_begin && events_ <= options_.capture_end &&
+      window_.size() < kMaxWindowRecords) {
+    window_.push_back(DsanEventRecord{events_, fire_time, seq, parent_seq});
+  }
+  if (events_ % interval_ == 0) {
+    uint64_t draws = 0;
+    for (const auto& [name, counter] : rng_streams_) draws += *counter;
+    checkpoints_.push_back(
+        DsanCheckpoint{events_, digest_, fire_time, seq, draws});
+    if (checkpoints_.size() >= options_.trail_capacity &&
+        options_.trail_capacity >= 2) {
+      Compact();
+    }
+  }
+}
+
+void DeterminismLedger::Compact() {
+  // Drop every checkpoint whose index is not a multiple of the doubled
+  // interval. Two runs that agree up to some prefix compact identically
+  // there, so retained indices stay comparable across runs; DiffTrails
+  // additionally aligns on common indices in case total lengths differ.
+  interval_ *= 2;
+  size_t kept = 0;
+  for (const DsanCheckpoint& c : checkpoints_) {
+    if (c.event_index % interval_ == 0) checkpoints_[kept++] = c;
+  }
+  checkpoints_.resize(kept);
+}
+
+uint64_t* DeterminismLedger::RegisterRngStream(const std::string& name) {
+  auto it = rng_streams_.find(name);
+  if (it == rng_streams_.end()) {
+    it = rng_streams_.emplace(name, std::make_unique<uint64_t>(0)).first;
+  }
+  return it->second.get();
+}
+
+DsanTrail DeterminismLedger::Trail() const {
+  DsanTrail t;
+  t.enabled = true;
+  t.final_digest = digest_;
+  t.events = events_;
+  t.interval = interval_;
+  t.checkpoints = checkpoints_;
+  t.window = window_;
+  for (const auto& [name, counter] : rng_streams_) {
+    t.rng_draws += *counter;
+    t.rng_streams.emplace_back(name, *counter);
+  }
+  return t;
+}
+
+DsanDivergence DiffTrails(const DsanTrail& a, const DsanTrail& b) {
+  DsanDivergence d;
+  if (!a.enabled || !b.enabled) {
+    d.what = "one of the trails was recorded with dsan off";
+    return d;
+  }
+  d.comparable = true;
+  if (a.events == b.events && a.final_digest == b.final_digest &&
+      a.rng_draws == b.rng_draws) {
+    return d;  // identical
+  }
+  d.diverged = true;
+
+  // Align on event indices present in both trails (intervals may differ
+  // after compaction).
+  std::map<uint64_t, const DsanCheckpoint*> in_b;
+  for (const DsanCheckpoint& c : b.checkpoints) in_b[c.event_index] = &c;
+  uint64_t last_match = 0;
+  for (const DsanCheckpoint& ca : a.checkpoints) {
+    auto it = in_b.find(ca.event_index);
+    if (it == in_b.end()) continue;
+    const DsanCheckpoint& cb = *it->second;
+    if (ca.digest != cb.digest) {
+      d.window_begin = last_match;
+      d.window_end = ca.event_index;
+      d.what = "digest mismatch at checkpoint " +
+               std::to_string(ca.event_index) + " (" + Hex(ca.digest) +
+               " vs " + Hex(cb.digest) + ")";
+      return d;
+    }
+    if (ca.rng_draws != cb.rng_draws) {
+      d.window_begin = last_match;
+      d.window_end = ca.event_index;
+      d.what = "rng draw-count mismatch at checkpoint " +
+               std::to_string(ca.event_index) + " (" +
+               std::to_string(ca.rng_draws) + " vs " +
+               std::to_string(cb.rng_draws) + ")";
+      return d;
+    }
+    last_match = ca.event_index;
+  }
+  // Every common checkpoint agreed; the divergence is in the tail (or the
+  // runs only differ in length).
+  d.window_begin = last_match;
+  d.window_end = std::max(a.events, b.events);
+  if (a.events != b.events) {
+    d.what = "event-count mismatch (" + std::to_string(a.events) + " vs " +
+             std::to_string(b.events) + ") after last common checkpoint " +
+             std::to_string(last_match);
+  } else {
+    d.what = "final digest mismatch (" + Hex(a.final_digest) + " vs " +
+             Hex(b.final_digest) + ") past last common checkpoint " +
+             std::to_string(last_match);
+  }
+  return d;
+}
+
+std::string FormatDivergenceReport(const std::string& label_a,
+                                   const DsanTrail& a,
+                                   const std::string& label_b,
+                                   const DsanTrail& b,
+                                   const DsanDivergence& d) {
+  std::ostringstream ss;
+  ss << "dsan: first divergence report\n";
+  ss << "  " << label_a << ": events=" << a.events
+     << " digest=" << Hex(a.final_digest) << " rng_draws=" << a.rng_draws
+     << "\n";
+  ss << "  " << label_b << ": events=" << b.events
+     << " digest=" << Hex(b.final_digest) << " rng_draws=" << b.rng_draws
+     << "\n";
+  if (!d.diverged) {
+    ss << "  trails are identical\n";
+    return ss.str();
+  }
+  ss << "  cause: " << d.what << "\n";
+  ss << "  divergent window: events (" << d.window_begin << ", "
+     << d.window_end << "]\n";
+
+  // Checkpoint neighborhood: the last agreeing and first disagreeing rows
+  // of each trail around the window.
+  auto near_window = [&](const DsanTrail& t) {
+    std::vector<const DsanCheckpoint*> out;
+    for (const DsanCheckpoint& c : t.checkpoints) {
+      if (c.event_index >= d.window_begin && c.event_index <= d.window_end) {
+        out.push_back(&c);
+      }
+    }
+    return out;
+  };
+  for (const auto& [label, trail] :
+       {std::pair<const std::string&, const DsanTrail&>{label_a, a},
+        {label_b, b}}) {
+    ss << "  checkpoints near window (" << label << "):\n";
+    for (const DsanCheckpoint* c : near_window(trail)) {
+      ss << "    event=" << c->event_index << " t=" << c->time
+         << " seq=" << c->seq << " digest=" << Hex(c->digest)
+         << " rng=" << c->rng_draws << "\n";
+    }
+  }
+
+  // Event-level context when both sides captured the window.
+  if (!a.window.empty() && !b.window.empty()) {
+    size_t i = 0, j = 0;
+    // Skip to the first pair of records that differ.
+    while (i < a.window.size() && j < b.window.size()) {
+      const DsanEventRecord& ra = a.window[i];
+      const DsanEventRecord& rb = b.window[j];
+      if (ra.time == rb.time && ra.seq == rb.seq &&
+          ra.parent_seq == rb.parent_seq) {
+        ++i;
+        ++j;
+        continue;
+      }
+      break;
+    }
+    auto print_context = [&ss](const std::string& label,
+                               const std::vector<DsanEventRecord>& w,
+                               size_t at) {
+      constexpr size_t kContext = 4;
+      size_t lo = at > kContext ? at - kContext : 0;
+      size_t hi = std::min(w.size(), at + kContext + 1);
+      ss << "  event context (" << label << "):\n";
+      for (size_t k = lo; k < hi; ++k) {
+        ss << (k == at ? "    > " : "      ") << "#" << w[k].index
+           << " t=" << w[k].time << " seq=" << w[k].seq << " parent=";
+        if (w[k].parent_seq == ~uint64_t{0}) {
+          ss << "none";
+        } else {
+          ss << w[k].parent_seq;
+        }
+        ss << "\n";
+      }
+    };
+    if (i < a.window.size() || j < b.window.size()) {
+      ss << "  first differing event within the captured window:\n";
+      if (i < a.window.size()) print_context(label_a, a.window, i);
+      if (j < b.window.size()) print_context(label_b, b.window, j);
+    } else {
+      ss << "  captured windows are identical (divergence is outside the "
+            "capture range)\n";
+    }
+  } else {
+    ss << "  re-run with a capture window over (" << d.window_begin << ", "
+       << d.window_end << "] for event-level context\n";
+  }
+  return ss.str();
+}
+
+std::string SerializeTrail(const DsanTrail& t) {
+  std::ostringstream ss;
+  ss << "dsan-trail v1\n";
+  ss << "events " << t.events << "\n";
+  ss << "digest " << Hex(t.final_digest) << "\n";
+  ss << "rng " << t.rng_draws << "\n";
+  ss << "interval " << t.interval << "\n";
+  for (const auto& [name, draws] : t.rng_streams) {
+    ss << "stream " << name << " " << draws << "\n";
+  }
+  for (const DsanCheckpoint& c : t.checkpoints) {
+    ss << "checkpoint " << c.event_index << " " << Hex(c.digest) << " "
+       << c.time << " " << c.seq << " " << c.rng_draws << "\n";
+  }
+  for (const DsanEventRecord& r : t.window) {
+    ss << "event " << r.index << " " << r.time << " " << r.seq << " "
+       << r.parent_seq << "\n";
+  }
+  return ss.str();
+}
+
+bool ParseTrail(const std::string& text, DsanTrail* out) {
+  *out = DsanTrail{};
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "dsan-trail v1") return false;
+  out->enabled = true;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key.empty()) continue;
+    if (key == "events") {
+      ls >> out->events;
+    } else if (key == "digest") {
+      std::string hex;
+      ls >> hex;
+      out->final_digest = std::stoull(hex, nullptr, 16);
+    } else if (key == "rng") {
+      ls >> out->rng_draws;
+    } else if (key == "interval") {
+      ls >> out->interval;
+    } else if (key == "stream") {
+      std::string name;
+      uint64_t draws = 0;
+      ls >> name >> draws;
+      out->rng_streams.emplace_back(name, draws);
+    } else if (key == "checkpoint") {
+      DsanCheckpoint c;
+      std::string hex;
+      ls >> c.event_index >> hex >> c.time >> c.seq >> c.rng_draws;
+      c.digest = std::stoull(hex, nullptr, 16);
+      out->checkpoints.push_back(c);
+    } else if (key == "event") {
+      DsanEventRecord r;
+      ls >> r.index >> r.time >> r.seq >> r.parent_seq;
+      out->window.push_back(r);
+    } else {
+      return false;  // unknown key: refuse rather than mis-compare
+    }
+    if (ls.fail()) return false;
+  }
+  return true;
+}
+
+}  // namespace natto::sim

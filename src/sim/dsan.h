@@ -1,0 +1,153 @@
+#ifndef NATTO_SIM_DSAN_H_
+#define NATTO_SIM_DSAN_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace natto::sim {
+
+/// Runtime determinism sanitizer ("dsan", DESIGN.md §4.10).
+///
+/// `byte_identity_test` can prove *that* two runs diverged; this layer says
+/// *where*. A `DeterminismLedger` attached to a `Simulator` folds every
+/// fired event's `(fire_time, seq, parent_seq)` into a rolling FNV-1a
+/// digest, together with the number of RNG draws made by instrumented
+/// `natto::Rng` streams, and checkpoints the digest every N events into a
+/// bounded trail. Two runs of the same cell (serial vs NATTO_JOBS=8, or a
+/// run vs a saved trail file) are then compared checkpoint-by-checkpoint:
+/// the first mismatching checkpoint bounds the divergence to one window of
+/// N events, and a targeted re-run with a capture window set over that
+/// window records the raw event stream for an event-level first-difference
+/// report.
+///
+/// Off by default: the simulator holds a null ledger pointer and pays one
+/// branch per event; nothing allocates, and output is byte-identical to a
+/// build without this file.
+struct DsanOptions {
+  /// Master switch. `txn::Cluster` only constructs a ledger when true.
+  bool enabled = false;
+  /// Events per checkpoint window. The trail self-compacts (spacing
+  /// doubles) when it would exceed `trail_capacity`, so small values are
+  /// safe for long runs; the *effective* spacing is in DsanTrail::interval.
+  uint64_t checkpoint_every = 4096;
+  /// Max checkpoints retained. Reaching it halves the trail and doubles
+  /// the spacing — memory stays bounded, coverage stays whole-run.
+  size_t trail_capacity = 1024;
+  /// Optional event-index capture window [capture_begin, capture_end):
+  /// events whose 1-based execution index falls inside are recorded raw
+  /// (for divergence reports). Empty (0, 0) captures nothing.
+  uint64_t capture_begin = 0;
+  uint64_t capture_end = 0;
+};
+
+/// One digest checkpoint: the ledger state after `event_index` events.
+struct DsanCheckpoint {
+  uint64_t event_index = 0;  // 1-based count of events folded in
+  uint64_t digest = 0;       // rolling digest after that event
+  SimTime time = 0;          // fire time of the checkpoint event
+  uint64_t seq = 0;          // seq of the checkpoint event
+  uint64_t rng_draws = 0;    // total instrumented RNG draws so far
+};
+
+/// One raw fired event, recorded only inside the capture window.
+struct DsanEventRecord {
+  uint64_t index = 0;  // 1-based execution index
+  SimTime time = 0;
+  uint64_t seq = 0;
+  /// seq of the event whose callback scheduled this one (the causal
+  /// parent), or ~0 for events scheduled outside any callback. This is the
+  /// "callback tag": it identifies the scheduling site process-independently
+  /// (a code address would not survive ASLR or a rebuild).
+  uint64_t parent_seq = 0;
+};
+
+/// Snapshot of a ledger: the digest trail of one simulation cell.
+struct DsanTrail {
+  bool enabled = false;
+  uint64_t final_digest = 0;
+  uint64_t events = 0;     // total events folded in
+  uint64_t rng_draws = 0;  // total draws across all instrumented streams
+  uint64_t interval = 0;   // effective checkpoint spacing (after compaction)
+  std::vector<DsanCheckpoint> checkpoints;       // ascending event_index
+  std::vector<DsanEventRecord> window;           // captured raw events
+  std::vector<std::pair<std::string, uint64_t>>  // per-stream draw counts
+      rng_streams;
+};
+
+/// Where two trails first disagree, in event-index terms.
+struct DsanDivergence {
+  bool comparable = false;  // false: no common checkpoints and no basis
+  bool diverged = false;
+  /// Event-index window bounding the first divergence:
+  /// (window_begin, window_end]. window_begin is the last event index where
+  /// both trails agreed (0 = diverged from the start).
+  uint64_t window_begin = 0;
+  uint64_t window_end = 0;
+  std::string what;  // one-line cause summary
+};
+
+class DeterminismLedger {
+ public:
+  explicit DeterminismLedger(const DsanOptions& options);
+
+  DeterminismLedger(const DeterminismLedger&) = delete;
+  DeterminismLedger& operator=(const DeterminismLedger&) = delete;
+
+  /// Hot path, called by the simulator once per executed event. Folds the
+  /// triple into the digest and checkpoints on interval boundaries.
+  void RecordEvent(SimTime fire_time, uint64_t seq, uint64_t parent_seq);
+
+  /// Registers a named RNG stream and returns its draw counter; hand the
+  /// pointer to `Rng::Instrument`. Counters live as long as the ledger.
+  /// Registering the same name twice returns the same counter.
+  uint64_t* RegisterRngStream(const std::string& name);
+
+  /// Snapshot of the trail so far.
+  DsanTrail Trail() const;
+
+  uint64_t events() const { return events_; }
+  uint64_t digest() const { return digest_; }
+  const DsanOptions& options() const { return options_; }
+
+ private:
+  void Compact();
+
+  DsanOptions options_;
+  uint64_t digest_;
+  uint64_t events_ = 0;
+  uint64_t interval_;
+  std::vector<DsanCheckpoint> checkpoints_;
+  std::vector<DsanEventRecord> window_;
+  /// Ordered by name so Trail() output never depends on insertion order.
+  std::map<std::string, std::unique_ptr<uint64_t>> rng_streams_;
+};
+
+/// Compares two trails checkpoint-by-checkpoint (aligned on common event
+/// indices — the trails may have different effective intervals after
+/// compaction) and returns the first divergence window. Identical trails
+/// return {comparable=true, diverged=false}.
+DsanDivergence DiffTrails(const DsanTrail& a, const DsanTrail& b);
+
+/// Renders a human-readable first-divergence report: final digests, the
+/// checkpoint neighborhood of the divergent window, and — when both trails
+/// carry captured events for the window — the first differing raw event
+/// with surrounding context. `label_a`/`label_b` name the two runs.
+std::string FormatDivergenceReport(const std::string& label_a,
+                                   const DsanTrail& a,
+                                   const std::string& label_b,
+                                   const DsanTrail& b,
+                                   const DsanDivergence& d);
+
+/// Text round-trip for trail files (the `--dsan-trail` / `--dsan-diff=FILE`
+/// flow). The format is line-based and versioned.
+std::string SerializeTrail(const DsanTrail& t);
+bool ParseTrail(const std::string& text, DsanTrail* out);
+
+}  // namespace natto::sim
+
+#endif  // NATTO_SIM_DSAN_H_

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/dsan.h"
 
 namespace natto::sim {
 
@@ -11,7 +12,7 @@ Simulator::EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
                           << " Now()=" << now_;
   if (t < now_) t = now_;
   uint64_t seq = next_seq_++;
-  queue_.Push(t, seq, std::move(cb));
+  queue_.Push(t, seq, std::move(cb), firing_seq_);
   return seq;
 }
 
@@ -35,12 +36,18 @@ void Simulator::FireOrDiscard(EventNode* n) {
   now_ = n->time;
   queue_.AdvanceTo(now_);
   ++executed_;
+  if (ledger_ != nullptr) {
+    ledger_->RecordEvent(n->time, n->seq, n->parent_seq);
+  }
   // The callback must be moved out before it runs: it may schedule new
   // events, and the node's storage is recycled into the pool they draw
-  // from.
+  // from. firing_seq_ tags those schedules with this event as their causal
+  // parent (consumed by the dsan ledger).
+  firing_seq_ = n->seq;
   EventFn fn = std::move(n->fn);
   queue_.Recycle(n);
   fn();
+  firing_seq_ = kNoParent;
 }
 
 void Simulator::Run() {

@@ -10,6 +10,8 @@
 
 namespace natto::sim {
 
+class DeterminismLedger;
+
 /// Deterministic discrete-event simulator. All nodes (clients, servers,
 /// proxies, replicas) share one `Simulator`; events scheduled at equal times
 /// run in scheduling order (FIFO), which keeps runs exactly reproducible.
@@ -69,6 +71,15 @@ class Simulator {
   /// count).
   uint64_t executed_events() const { return executed_; }
 
+  /// Attaches a determinism-sanitizer ledger (sim/dsan.h). Every executed
+  /// event is folded into the ledger's digest; null (the default) is the
+  /// zero-overhead off state — one branch per event, nothing else.
+  void set_ledger(DeterminismLedger* ledger) { ledger_ = ledger; }
+  DeterminismLedger* ledger() const { return ledger_; }
+
+  /// Sentinel parent for events scheduled outside any event callback.
+  static constexpr uint64_t kNoParent = ~uint64_t{0};
+
  private:
   /// Runs the node's callback (or discards it if cancelled) and recycles
   /// the node into the queue's pool.
@@ -77,7 +88,11 @@ class Simulator {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t executed_ = 0;
+  /// seq of the event currently firing (causal parent for events its
+  /// callback schedules); kNoParent between events.
+  uint64_t firing_seq_ = kNoParent;
   bool stopped_ = false;
+  DeterminismLedger* ledger_ = nullptr;
   CalendarQueue queue_;
   /// Tombstones for Cancel(); consulted only when non-empty, so the
   /// fault-free hot path pays a single empty() test per event.

@@ -26,6 +26,14 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
       rng_(options_.seed) {
   NATTO_CHECK(topology_.num_sites() <= matrix_.num_sites())
       << "topology uses more sites than the latency matrix defines";
+  if (options_.dsan.enabled) {
+    // Attach before anything draws randomness or schedules events so the
+    // ledger sees the whole run; instrumenting the root RNG here covers
+    // every stream forked from it (transport, raft, clocks, engines).
+    ledger_ = std::make_unique<sim::DeterminismLedger>(options_.dsan);
+    simulator_.set_ledger(ledger_.get());
+    rng_.Instrument(ledger_->RegisterRngStream("cluster"));
+  }
   if (options_.trace.enabled) {
     tracer_ = std::make_unique<obs::Tracer>(options_.trace);
   }

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "raft/group.h"
+#include "sim/dsan.h"
 #include "sim/simulator.h"
 #include "txn/topology.h"
 
@@ -41,6 +42,12 @@ struct ClusterOptions {
 
   /// Transaction-lifecycle tracing (off by default; see src/obs/trace.h).
   obs::TraceOptions trace;
+
+  /// Determinism sanitizer (off by default; see src/sim/dsan.h). When
+  /// enabled the cluster owns a DeterminismLedger, attaches it to the
+  /// simulator, and instruments its root RNG stream; runs stay otherwise
+  /// untouched (the ledger only observes).
+  sim::DsanOptions dsan;
 
   /// Scripted fault schedule (empty by default). A non-empty schedule makes
   /// the cluster construct a FaultInjector, start raft election timers and
@@ -75,6 +82,10 @@ class Cluster {
   /// paths guard with `if (auto* t = cluster->tracer())`.
   obs::Tracer* tracer() { return tracer_.get(); }
 
+  /// Determinism-sanitizer ledger, or nullptr when dsan is disabled (the
+  /// same null fast path as the tracer and fault injector).
+  sim::DeterminismLedger* ledger() { return ledger_.get(); }
+
   raft::RaftGroup* group(int partition) { return groups_[partition].get(); }
 
   /// Fresh deterministic RNG stream for a component.
@@ -108,6 +119,7 @@ class Cluster {
   sim::Simulator simulator_;
   Rng rng_;
   obs::MetricsRegistry metrics_;
+  std::unique_ptr<sim::DeterminismLedger> ledger_;
   std::unique_ptr<obs::Tracer> tracer_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<raft::RaftGroup>> groups_;

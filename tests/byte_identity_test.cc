@@ -17,6 +17,7 @@
 
 #include "harness/experiment.h"
 #include "harness/systems.h"
+#include "sim/dsan.h"
 #include "workload/ycsbt.h"
 
 namespace natto::harness {
@@ -66,9 +67,12 @@ std::string RenderTable(const std::vector<GridPoint>& points,
 
 // gtest's ASSERT_* macros need a void function, so this fills `out` instead
 // of returning the table. `mutate` tweaks each point's config before the
-// run (batching knobs in the tests below).
+// run (batching knobs in the tests below). Passing `trails` additionally
+// enables the determinism sanitizer and collects one digest trail per cell,
+// in grid order.
 void RunAndRender(const char* jobs, std::string* out,
-                  const std::function<void(ExperimentConfig*)>& mutate = {}) {
+                  const std::function<void(ExperimentConfig*)>& mutate = {},
+                  std::vector<sim::DsanTrail>* trails = nullptr) {
   ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
   std::vector<System> systems = {MakeSystem(SystemKind::kCarouselBasic),
                                  MakeSystem(SystemKind::kNattoRecsf)};
@@ -78,10 +82,20 @@ void RunAndRender(const char* jobs, std::string* out,
   if (mutate) {
     for (GridPoint& p : points) mutate(&p.config);
   }
+  if (trails != nullptr) {
+    for (GridPoint& p : points) p.config.cluster.dsan.enabled = true;
+  }
   // jobs <= 0 routes through DefaultJobs(), which reads NATTO_JOBS — the
   // exact code path every bench binary and nattosim take.
   auto grid = RunGrid(points, systems, /*jobs=*/0);
   *out = RenderTable(points, grid);
+  if (trails != nullptr) {
+    for (const auto& row : grid) {
+      for (const ExperimentResult& r : row) {
+        trails->insert(trails->end(), r.dsan.begin(), r.dsan.end());
+      }
+    }
+  }
 }
 
 // Chaos determinism: a scripted fault schedule (leader crash + recovery +
@@ -89,12 +103,14 @@ void RunAndRender(const char* jobs, std::string* out,
 // armed) must be exactly as reproducible as a fault-free run — same seed
 // and schedule render byte-identical tables serially and under
 // NATTO_JOBS=8, including the per-bucket availability timeline.
-void RunChaosAndRender(const char* jobs, std::string* out) {
+void RunChaosAndRender(const char* jobs, std::string* out,
+                       std::vector<sim::DsanTrail>* trails = nullptr) {
   ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
   std::vector<System> systems = {MakeSystem(SystemKind::kTwoPl),
                                  MakeSystem(SystemKind::kCarouselFast),
                                  MakeSystem(SystemKind::kNattoRecsf)};
   ExperimentConfig config = TinyConfig(30);
+  if (trails != nullptr) config.cluster.dsan.enabled = true;
   config.request_timeout = Millis(800);
   config.backoff_base = Millis(25);
   config.timeline_bucket = Seconds(1);
@@ -118,6 +134,11 @@ void RunChaosAndRender(const char* jobs, std::string* out) {
       table += buf;
     }
     table += '\n';
+  }
+  if (trails != nullptr) {
+    for (const ExperimentResult& r : grid[0]) {
+      trails->insert(trails->end(), r.dsan.begin(), r.dsan.end());
+    }
   }
   *out = table;
 }
@@ -215,6 +236,52 @@ TEST(ByteIdentityTest, BatchingOnSerialVsParallelIsByteIdentical) {
   EXPECT_EQ(serial, parallel)
       << "batching broke job-count determinism";
   EXPECT_NE(serial.find("Natto"), std::string::npos);
+}
+
+TEST(ByteIdentityTest, DsanDigestsMatchSerialVsParallelOnFig7Tiny) {
+  std::string serial, parallel;
+  std::vector<sim::DsanTrail> serial_trails, parallel_trails;
+  RunAndRender("1", &serial, {}, &serial_trails);
+  RunAndRender("8", &parallel, {}, &parallel_trails);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel);
+  // The ledger must not perturb output: with dsan on, the rendered bytes
+  // still match the pre-dsan golden exactly.
+  CompareOrWriteGolden("fig7_ycsbt_tiny.golden", serial);
+  // 2 points x 2 systems x 2 repeats = 8 cells, trails in grid order.
+  ASSERT_EQ(serial_trails.size(), 8u);
+  ASSERT_EQ(parallel_trails.size(), serial_trails.size());
+  for (size_t i = 0; i < serial_trails.size(); ++i) {
+    EXPECT_GT(serial_trails[i].events, 0u) << "cell " << i;
+    EXPECT_GT(serial_trails[i].rng_draws, 0u) << "cell " << i;
+    sim::DsanDivergence d =
+        sim::DiffTrails(serial_trails[i], parallel_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs NATTO_JOBS=8: " << d.what;
+  }
+}
+
+TEST(ByteIdentityTest, DsanDigestsMatchSerialVsParallelOnFailoverChaos) {
+  std::string serial, parallel;
+  std::vector<sim::DsanTrail> serial_trails, parallel_trails;
+  RunChaosAndRender("1", &serial, &serial_trails);
+  RunChaosAndRender("8", &parallel, &parallel_trails);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel);
+  CompareOrWriteGolden("failover_chaos_tiny.golden", serial);
+  // 3 systems x 2 repeats = 6 cells; crashes, partitions and failovers must
+  // fold into the same digest regardless of job count.
+  ASSERT_EQ(serial_trails.size(), 6u);
+  ASSERT_EQ(parallel_trails.size(), serial_trails.size());
+  for (size_t i = 0; i < serial_trails.size(); ++i) {
+    EXPECT_GT(serial_trails[i].events, 0u) << "cell " << i;
+    sim::DsanDivergence d =
+        sim::DiffTrails(serial_trails[i], parallel_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs NATTO_JOBS=8: " << d.what;
+  }
 }
 
 TEST(ByteIdentityTest, SerialParallelAndRerunTablesAreByteIdentical) {

@@ -1,0 +1,262 @@
+// Tests for the determinism sanitizer (sim/dsan.h, DESIGN.md §4.10): digest
+// reproducibility, checkpoint-window localization of an injected divergence,
+// trail self-compaction, serialization round-trips, and the Rng draw-count
+// instrumentation.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/dsan.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using natto::Rng;
+using natto::sim::DeterminismLedger;
+using natto::sim::DiffTrails;
+using natto::sim::DsanDivergence;
+using natto::sim::DsanOptions;
+using natto::sim::DsanTrail;
+using natto::sim::FormatDivergenceReport;
+using natto::sim::ParseTrail;
+using natto::sim::SerializeTrail;
+using natto::sim::Simulator;
+
+// Runs a single-chain toy simulation of `events` events: each event draws a
+// delay from an instrumented Rng stream and schedules the next. Event k is
+// both the k-th scheduled and the k-th executed event, so `perturb_at = k`
+// shifts exactly event k's fire time — an injected divergence at a known
+// event index.
+DsanTrail RunChain(int events, uint64_t perturb_at, const DsanOptions& opt) {
+  DeterminismLedger ledger(opt);
+  Simulator sim;
+  sim.set_ledger(&ledger);
+  Rng rng(1234);
+  rng.Instrument(ledger.RegisterRngStream("toy"));
+  int scheduled = 1;
+  std::function<void()> tick = [&]() {
+    if (scheduled >= events) return;
+    ++scheduled;
+    auto d = static_cast<natto::SimDuration>(rng.UniformInt(1, 5));
+    if (static_cast<uint64_t>(scheduled) == perturb_at) d += 1;
+    sim.ScheduleAfter(d, [&] { tick(); });
+  };
+  sim.ScheduleAfter(1, [&] { tick(); });
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), static_cast<uint64_t>(events));
+  return ledger.Trail();
+}
+
+TEST(DsanLedger, DigestIsReproducibleAcrossIdenticalRuns) {
+  DsanOptions opt;
+  opt.enabled = true;
+  opt.checkpoint_every = 10;
+  DsanTrail a = RunChain(100, 0, opt);
+  DsanTrail b = RunChain(100, 0, opt);
+  EXPECT_TRUE(a.enabled);
+  EXPECT_EQ(a.events, 100u);
+  EXPECT_EQ(a.final_digest, b.final_digest);
+  // One draw per scheduled successor: events 1..99 each draw once, the last
+  // event returns without drawing.
+  EXPECT_EQ(a.rng_draws, 99u);
+  EXPECT_EQ(a.rng_draws, b.rng_draws);
+  ASSERT_EQ(a.checkpoints.size(), 10u);
+  ASSERT_EQ(a.checkpoints.size(), b.checkpoints.size());
+  for (size_t i = 0; i < a.checkpoints.size(); ++i) {
+    EXPECT_EQ(a.checkpoints[i].event_index, b.checkpoints[i].event_index);
+    EXPECT_EQ(a.checkpoints[i].digest, b.checkpoints[i].digest);
+    EXPECT_EQ(a.checkpoints[i].rng_draws, b.checkpoints[i].rng_draws);
+  }
+  DsanDivergence d = DiffTrails(a, b);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_FALSE(d.diverged);
+}
+
+TEST(DsanLedger, InjectedDivergenceLocalizesToItsCheckpointWindow) {
+  DsanOptions opt;
+  opt.enabled = true;
+  opt.checkpoint_every = 8;
+  DsanTrail a = RunChain(100, 0, opt);
+  DsanTrail b = RunChain(100, 26, opt);  // event 26 fires one tick late
+  DsanDivergence d = DiffTrails(a, b);
+  ASSERT_TRUE(d.comparable);
+  ASSERT_TRUE(d.diverged);
+  // The first differing event (index 26) must fall inside the reported
+  // window, and the window must be exactly one checkpoint interval wide —
+  // checkpoints 24 (last agreeing) and 32 (first disagreeing).
+  EXPECT_LT(d.window_begin, 26u);
+  EXPECT_GE(d.window_end, 26u);
+  EXPECT_EQ(d.window_end - d.window_begin, opt.checkpoint_every);
+  EXPECT_NE(d.what.find("digest mismatch"), std::string::npos) << d.what;
+}
+
+TEST(DsanLedger, CaptureWindowYieldsEventLevelReport) {
+  DsanOptions opt;
+  opt.enabled = true;
+  opt.checkpoint_every = 8;
+  opt.capture_begin = 24;
+  opt.capture_end = 32;
+  DsanTrail a = RunChain(100, 0, opt);
+  DsanTrail b = RunChain(100, 26, opt);
+  // The window captures events (24, 32]: eight records, all scheduled from
+  // inside callbacks (so each has a real causal parent).
+  ASSERT_EQ(a.window.size(), 8u);
+  EXPECT_EQ(a.window.front().index, 25u);
+  EXPECT_EQ(a.window.back().index, 32u);
+  for (const auto& r : a.window) {
+    EXPECT_NE(r.parent_seq, Simulator::kNoParent);
+  }
+  DsanDivergence d = DiffTrails(a, b);
+  ASSERT_TRUE(d.diverged);
+  std::string report = FormatDivergenceReport("base", a, "perturbed", b, d);
+  EXPECT_NE(report.find("first differing event"), std::string::npos) << report;
+  EXPECT_NE(report.find("divergent window"), std::string::npos) << report;
+}
+
+TEST(DsanLedger, TrailSelfCompactsAndStaysComparable) {
+  DsanOptions tight;
+  tight.enabled = true;
+  tight.checkpoint_every = 1;
+  tight.trail_capacity = 8;
+  DsanTrail compacted = RunChain(200, 0, tight);
+  // 200 events through a capacity-8 trail: the interval must have doubled
+  // its way up while the checkpoint count stayed bounded.
+  EXPECT_LE(compacted.checkpoints.size(), 8u);
+  EXPECT_GE(compacted.interval, 32u);
+  for (size_t i = 0; i < compacted.checkpoints.size(); ++i) {
+    EXPECT_EQ(compacted.checkpoints[i].event_index % compacted.interval, 0u);
+    if (i > 0) {
+      EXPECT_GT(compacted.checkpoints[i].event_index,
+                compacted.checkpoints[i - 1].event_index);
+    }
+  }
+
+  // A fine-grained trail of the same run compares clean against the
+  // compacted one...
+  DsanOptions fine;
+  fine.enabled = true;
+  fine.checkpoint_every = 4;
+  DsanTrail identical = RunChain(200, 0, fine);
+  DsanDivergence same = DiffTrails(compacted, identical);
+  EXPECT_TRUE(same.comparable);
+  EXPECT_FALSE(same.diverged);
+
+  // ...and a perturbed fine-grained trail still localizes through the
+  // interval mismatch: alignment happens on common (multiple-of-32) indices.
+  DsanTrail perturbed = RunChain(200, 100, fine);
+  DsanDivergence d = DiffTrails(compacted, perturbed);
+  ASSERT_TRUE(d.diverged);
+  EXPECT_LT(d.window_begin, 100u);
+  EXPECT_GE(d.window_end, 100u);
+  EXPECT_LE(d.window_end - d.window_begin, compacted.interval);
+}
+
+TEST(DsanTrailIo, SerializeParseRoundTrip) {
+  DsanOptions opt;
+  opt.enabled = true;
+  opt.checkpoint_every = 8;
+  opt.capture_begin = 24;
+  opt.capture_end = 32;
+  DsanTrail t = RunChain(100, 0, opt);
+  DsanTrail p;
+  ASSERT_TRUE(ParseTrail(SerializeTrail(t), &p));
+  EXPECT_TRUE(p.enabled);
+  EXPECT_EQ(p.events, t.events);
+  EXPECT_EQ(p.final_digest, t.final_digest);
+  EXPECT_EQ(p.rng_draws, t.rng_draws);
+  EXPECT_EQ(p.interval, t.interval);
+  ASSERT_EQ(p.rng_streams.size(), 1u);
+  EXPECT_EQ(p.rng_streams[0].first, "toy");
+  EXPECT_EQ(p.rng_streams[0].second, t.rng_draws);
+  ASSERT_EQ(p.checkpoints.size(), t.checkpoints.size());
+  for (size_t i = 0; i < p.checkpoints.size(); ++i) {
+    EXPECT_EQ(p.checkpoints[i].event_index, t.checkpoints[i].event_index);
+    EXPECT_EQ(p.checkpoints[i].digest, t.checkpoints[i].digest);
+    EXPECT_EQ(p.checkpoints[i].time, t.checkpoints[i].time);
+    EXPECT_EQ(p.checkpoints[i].seq, t.checkpoints[i].seq);
+    EXPECT_EQ(p.checkpoints[i].rng_draws, t.checkpoints[i].rng_draws);
+  }
+  ASSERT_EQ(p.window.size(), t.window.size());
+  for (size_t i = 0; i < p.window.size(); ++i) {
+    EXPECT_EQ(p.window[i].index, t.window[i].index);
+    EXPECT_EQ(p.window[i].time, t.window[i].time);
+    EXPECT_EQ(p.window[i].seq, t.window[i].seq);
+    EXPECT_EQ(p.window[i].parent_seq, t.window[i].parent_seq);
+  }
+  // A parsed trail diffs clean against the original.
+  DsanDivergence d = DiffTrails(t, p);
+  EXPECT_TRUE(d.comparable);
+  EXPECT_FALSE(d.diverged);
+}
+
+TEST(DsanTrailIo, ParseRejectsUnknownVersionsAndKeys) {
+  DsanTrail p;
+  EXPECT_FALSE(ParseTrail("", &p));
+  EXPECT_FALSE(ParseTrail("dsan-trail v2\n", &p));
+  EXPECT_FALSE(ParseTrail("dsan-trail v1\nbogus 1\n", &p));
+  EXPECT_FALSE(ParseTrail("dsan-trail v1\nevents notanumber\n", &p));
+  EXPECT_TRUE(ParseTrail("dsan-trail v1\nevents 5\n", &p));
+  EXPECT_EQ(p.events, 5u);
+}
+
+TEST(DsanRng, InstrumentationCountsDrawsWithoutChangingValues) {
+  uint64_t draws = 0;
+  Rng counted(7);
+  counted.Instrument(&draws);
+  Rng plain(7);
+  // Same seed, same sequence: counting must not perturb the stream.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(counted.UniformInt(0, 1000), plain.UniformInt(0, 1000));
+  }
+  EXPECT_EQ(draws, 16u);
+  // Clamped Bernoulli short-circuits without a draw.
+  EXPECT_FALSE(counted.Bernoulli(0.0));
+  EXPECT_TRUE(counted.Bernoulli(1.0));
+  EXPECT_EQ(draws, 16u);
+  counted.Bernoulli(0.5);
+  EXPECT_EQ(draws, 17u);
+  // Fork draws once for the child seed and hands the counter down, so a
+  // whole fork tree counts into one stream.
+  Rng child = counted.Fork();
+  EXPECT_EQ(draws, 18u);
+  child.UniformDouble();
+  EXPECT_EQ(draws, 19u);
+}
+
+TEST(DsanLedger, SameStreamNameSharesOneCounter) {
+  DsanOptions opt;
+  opt.enabled = true;
+  DeterminismLedger ledger(opt);
+  uint64_t* first = ledger.RegisterRngStream("shared");
+  uint64_t* again = ledger.RegisterRngStream("shared");
+  EXPECT_EQ(first, again);
+  *first += 3;
+  DsanTrail t = ledger.Trail();
+  ASSERT_EQ(t.rng_streams.size(), 1u);
+  EXPECT_EQ(t.rng_streams[0].second, 3u);
+  EXPECT_EQ(t.rng_draws, 3u);
+}
+
+TEST(DsanLedger, NullLedgerAndDisabledTrailsAreHandled) {
+  // A simulator without a ledger runs exactly as before.
+  Simulator sim;
+  EXPECT_EQ(sim.ledger(), nullptr);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(i, [&fired] { ++fired; });
+  }
+  sim.Run();
+  EXPECT_EQ(fired, 10);
+  // Diffing against a trail recorded with dsan off is refused, not wrong.
+  DsanOptions opt;
+  opt.enabled = true;
+  DsanTrail enabled = RunChain(20, 0, opt);
+  DsanDivergence d = DiffTrails(enabled, DsanTrail{});
+  EXPECT_FALSE(d.comparable);
+  EXPECT_FALSE(d.diverged);
+}
+
+}  // namespace

@@ -1,0 +1,17 @@
+// Fixture: environment reads in library code (2 violations). Only the
+// harness entry points (with a NOLINT) and tools/ may read env.
+#include <cstdlib>
+
+const char* Violations() {
+  const char* a = std::getenv("NATTO_FOO");  // flagged
+  const char* b = getenv("PATH");            // flagged
+  return a ? a : b;
+}
+
+const char* NotViolations() {
+  // NOLINTNEXTLINE(natto-env-read)
+  const char* a = std::getenv("NATTO_SANCTIONED");
+  int getenv = 3;  // an identifier, not a call: fine
+  (void)getenv;
+  return a;
+}

@@ -1,0 +1,27 @@
+// Fixture: ordered containers keyed by pointer types (3 violations).
+// Iterating such a container walks allocation addresses, which differ from
+// run to run.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node {};
+struct ById {
+  bool operator()(const Node* a, const Node* b) const;
+};
+
+void Violations() {
+  std::map<Node*, int> by_addr;            // pointer key: flagged
+  std::set<const Node*> seen;              // pointer key: flagged
+  std::multimap<Node*, std::string> tags;  // pointer key: flagged
+  (void)by_addr, (void)seen, (void)tags;
+}
+
+void NotViolations() {
+  std::map<int, Node*> by_id;            // pointer VALUE is fine
+  std::set<Node*, ById> ordered;         // explicit comparator: fine
+  std::map<std::string, Node*> by_name;  // pointer value again: fine
+  // NOLINTNEXTLINE(natto-pointer-key)
+  std::set<Node*> suppressed;
+  (void)by_id, (void)ordered, (void)by_name, (void)suppressed;
+}

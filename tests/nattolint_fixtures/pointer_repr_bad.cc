@@ -1,0 +1,24 @@
+// Fixture: pointer values leaking into output or hashes (3 violations).
+// Addresses differ run to run, so anything derived from them breaks
+// byte-identity.
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+
+struct Node {};
+
+void Violations(const Node* n) {
+  std::printf("node at %p\n", static_cast<const void*>(n));  // %p: flagged
+  std::hash<const Node*> hasher;                 // pointer hash: flagged
+  uint64_t bits = reinterpret_cast<uintptr_t>(n);  // addr as int: flagged
+  (void)hasher, (void)bits;
+}
+
+void NotViolations(const Node* n) {
+  std::printf("node %d\n", 7);                  // no %p: fine
+  std::hash<int> int_hasher;                    // non-pointer hash: fine
+  const void* p = static_cast<const void*>(n);  // static_cast: fine
+  // NOLINTNEXTLINE(natto-pointer-repr)
+  std::printf("dbg %p\n", p);
+  (void)int_hasher, (void)p;
+}

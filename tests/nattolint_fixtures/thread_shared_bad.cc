@@ -1,0 +1,11 @@
+// Fixture: thread-keyed or volatile state in src/ translation units
+// (2 violations). Cells are single-threaded and instance-isolated; state
+// keyed to worker threads makes results depend on the thread schedule.
+thread_local int tls_scratch = 0;      // flagged
+volatile bool stop_requested = false;  // flagged
+
+int NotViolations() {
+  // NOLINTNEXTLINE(natto-thread-shared)
+  thread_local int suppressed = 0;
+  return tls_scratch + (stop_requested ? 1 : 0) + suppressed;
+}

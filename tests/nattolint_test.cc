@@ -197,6 +197,74 @@ TEST(NattolintBatchBypass, HeadersAreExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 7: natto-pointer-key
+// ---------------------------------------------------------------------------
+
+TEST(NattolintPointerKey, FlagsPointerKeyedOrderedContainers) {
+  auto vs = LintFixture("pointer_key_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-pointer-key"], 3)
+      << "map<Node*,..>, set<const Node*>, multimap<Node*,..>";
+  EXPECT_EQ(static_cast<int>(vs.size()), 3)
+      << "pointer values, explicit comparators and NOLINT must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: natto-pointer-repr
+// ---------------------------------------------------------------------------
+
+TEST(NattolintPointerRepr, FlagsPointerValueLeaks) {
+  auto vs = LintFixture("pointer_repr_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-pointer-repr"], 3)
+      << "%p format, std::hash<T*>, reinterpret_cast<uintptr_t>";
+  EXPECT_EQ(static_cast<int>(vs.size()), 3)
+      << "static_cast<void*> and non-pointer hashes must not fire";
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: natto-env-read
+// ---------------------------------------------------------------------------
+
+TEST(NattolintEnvRead, FlagsGetenvInLibraryCode) {
+  auto vs = LintFixture("env_read_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-env-read"], 2) << "std::getenv and bare getenv";
+  EXPECT_EQ(static_cast<int>(vs.size()), 2)
+      << "NOLINT'd entry point and a plain identifier must not fire";
+}
+
+TEST(NattolintEnvRead, ToolsDirectoryIsExempt) {
+  // tools/ drives experiments from the command line; reading env there is
+  // the sanctioned pattern.
+  auto vs = nattolint::LintContent("tools/fixture/env_read_bad.cc",
+                                   ReadFixture("env_read_bad.cc"), {});
+  EXPECT_EQ(CountByRule(vs)["natto-env-read"], 0);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 10: natto-thread-shared
+// ---------------------------------------------------------------------------
+
+TEST(NattolintThreadShared, FlagsThreadLocalAndVolatileInSrc) {
+  auto vs = LintFixture("thread_shared_bad.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-thread-shared"], 2) << "thread_local and volatile";
+  EXPECT_EQ(static_cast<int>(vs.size()), 2) << "the NOLINT'd one must not fire";
+}
+
+TEST(NattolintThreadShared, OnlySrcTranslationUnitsApply) {
+  // bench/ drives the harness from one thread per cell anyway, and headers
+  // are covered when their including TU is scanned.
+  auto bench = nattolint::LintContent("bench/fixture/thread_shared_bad.cc",
+                                      ReadFixture("thread_shared_bad.cc"), {});
+  EXPECT_EQ(CountByRule(bench)["natto-thread-shared"], 0);
+  auto header = nattolint::LintContent("src/fixture/thread_shared_bad.h",
+                                       ReadFixture("thread_shared_bad.cc"), {});
+  EXPECT_EQ(CountByRule(header)["natto-thread-shared"], 0);
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions & stripping
 // ---------------------------------------------------------------------------
 
@@ -239,6 +307,52 @@ TEST(NattolintFormat, ViolationLinesAreOneBasedAndSorted) {
   ASSERT_EQ(lines.size(), 5u);
   EXPECT_GE(lines.front(), 1);
   EXPECT_TRUE(std::is_sorted(lines.begin(), lines.end()));
+}
+
+TEST(NattolintFormat, OutputIsStablySortedAcrossRulesAndPaths) {
+  // Merge violations from two pseudo-files in reverse path order and assert
+  // SortViolations restores (file, line, rule) order — the order every
+  // entry point prints.
+  auto a = nattolint::LintContent("src/zeta/fixture.cc",
+                                  ReadFixture("rng_bad.cc"), {});
+  auto b = nattolint::LintContent("src/alpha/fixture.cc",
+                                  ReadFixture("wallclock_bad.cc"), {});
+  std::vector<nattolint::Violation> merged;
+  merged.insert(merged.end(), a.begin(), a.end());
+  merged.insert(merged.end(), b.begin(), b.end());
+  nattolint::SortViolations(&merged);
+  ASSERT_EQ(merged.size(), a.size() + b.size());
+  for (size_t i = 1; i < merged.size(); ++i) {
+    bool ordered = merged[i - 1].file < merged[i].file ||
+                   (merged[i - 1].file == merged[i].file &&
+                    merged[i - 1].line <= merged[i].line);
+    EXPECT_TRUE(ordered) << "out of order at index " << i;
+  }
+  EXPECT_EQ(merged.front().file, "src/alpha/fixture.cc");
+  EXPECT_EQ(merged.back().file, "src/zeta/fixture.cc");
+}
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+TEST(NattolintRules, RegistryListsAllTenRulesWithDocs) {
+  const auto& rules = nattolint::Rules();
+  ASSERT_EQ(rules.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& r : rules) {
+    names.insert(r.name);
+    EXPECT_TRUE(r.doc != nullptr && r.doc[0] != '\0')
+        << r.name << " has no doc line";
+  }
+  // Every rule that can fire is registered under its exact name.
+  for (const char* expected :
+       {"natto-wallclock", "natto-ambient-rng", "natto-mutable-static",
+        "natto-unordered-iter", "natto-check-side-effect",
+        "natto-batch-bypass", "natto-pointer-key", "natto-pointer-repr",
+        "natto-env-read", "natto-thread-shared"}) {
+    EXPECT_TRUE(names.count(expected)) << "missing rule " << expected;
+  }
 }
 
 // The real-tree guarantee (zero violations in src/ bench/ tools/) is its own

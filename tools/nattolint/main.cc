@@ -16,12 +16,21 @@ void PrintUsage() {
       "Usage:\n"
       "  nattolint --root <repo-root>     lint src/ bench/ tools/ under root\n"
       "  nattolint <file>...              lint individual files\n"
+      "  nattolint --list-rules           print every rule with its doc line\n"
       "\n"
       "Exit status: 0 = clean, 1 = violations found, 2 = usage error.\n"
       "Suppress a finding with // NOLINT(natto-<rule>) on the line or\n"
-      "// NOLINTNEXTLINE(natto-<rule>) on the line before.\n"
-      "Rules: natto-wallclock, natto-ambient-rng, natto-mutable-static,\n"
-      "       natto-unordered-iter, natto-check-side-effect.\n");
+      "// NOLINTNEXTLINE(natto-<rule>) on the line before.\n");
+  std::printf("Rules:\n");
+  for (const nattolint::RuleDoc& r : nattolint::Rules()) {
+    std::printf("  %-24s %s\n", r.name, r.doc);
+  }
+}
+
+void PrintRules() {
+  for (const nattolint::RuleDoc& r : nattolint::Rules()) {
+    std::printf("%s: %s\n", r.name, r.doc);
+  }
 }
 
 std::string ReadFileOrDie(const std::string& path, bool* ok) {
@@ -45,6 +54,10 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       PrintUsage();
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      PrintRules();
       return 0;
     }
     if (arg == "--root") {
@@ -81,6 +94,9 @@ int main(int argc, char** argv) {
     std::vector<nattolint::Violation> v = nattolint::LintContent(f, content, {});
     violations.insert(violations.end(), v.begin(), v.end());
   }
+  // Stable path-sorted output regardless of how inputs were gathered, so
+  // successive runs diff cleanly.
+  nattolint::SortViolations(&violations);
 
   for (const nattolint::Violation& v : violations) {
     std::fprintf(stderr, "%s\n", nattolint::FormatViolation(v).c_str());

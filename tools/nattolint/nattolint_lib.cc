@@ -2,45 +2,30 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace nattolint {
-
 namespace {
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+// ---------------------------------------------------------------------------
+// Small string/path helpers.
+// ---------------------------------------------------------------------------
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// True iff `text` contains `word` with identifier boundaries on both sides.
-bool ContainsWord(const std::string& text, const std::string& word) {
-  size_t pos = 0;
-  while ((pos = text.find(word, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
-    size_t end = pos + word.size();
-    bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
-    if (left_ok && right_ok) return true;
-    pos += 1;
-  }
-  return false;
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-size_t SkipSpaces(const std::string& s, size_t i) {
-  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
-  return i;
-}
-
-std::string ReadIdent(const std::string& s, size_t i) {
-  size_t start = i;
-  while (i < s.size() && IsIdentChar(s[i])) ++i;
-  return s.substr(start, i - start);
+bool HasPrefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
 }
 
 bool HasSuffix(const std::string& s, const std::string& suffix) {
@@ -48,20 +33,17 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-bool HasPrefix(const std::string& s, const std::string& prefix) {
-  return s.compare(0, prefix.size(), prefix) == 0;
-}
-
-/// Normalizes a path for textual matching: backslashes to slashes, strips
-/// leading "./".
+// Normalizes a path for textual matching: backslashes to slashes, strips
+// leading "./".
 std::string NormPath(std::string p) {
   std::replace(p.begin(), p.end(), '\\', '/');
   while (HasPrefix(p, "./")) p = p.substr(2);
   return p;
 }
 
+// True when `norm` lives under a directory (chain) named `dir`, either at
+// the front of the path or anywhere inside it.
 bool PathContainsDir(const std::string& norm, const std::string& dir) {
-  // Matches "dir/" either at the start or after a '/'.
   if (HasPrefix(norm, dir + "/")) return true;
   return norm.find("/" + dir + "/") != std::string::npos;
 }
@@ -70,36 +52,36 @@ bool IsTranslationUnit(const std::string& norm) {
   return HasSuffix(norm, ".cc") || HasSuffix(norm, ".cpp");
 }
 
+bool IsHeader(const std::string& norm) {
+  return HasSuffix(norm, ".h") || HasSuffix(norm, ".hpp");
+}
+
 bool IsSourceFile(const std::string& norm) {
-  return IsTranslationUnit(norm) || HasSuffix(norm, ".h") ||
-         HasSuffix(norm, ".hpp");
+  return IsTranslationUnit(norm) || IsHeader(norm);
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions
+// Suppressions. Markers live in comment text, which the tokenizer keeps per
+// line, so suppression survives the code/comment split.
 // ---------------------------------------------------------------------------
 
-/// Parses the NOLINT rule list out of one line's comment text. Returns true
-/// if `rule` is suppressed: bare NOLINT and NOLINT(natto-*) suppress every
-/// natto rule, NOLINT(natto-foo) only that one. `marker` is "NOLINT" or
-/// "NOLINTNEXTLINE".
+// Parses the NOLINT rule list out of one line's comment text. Returns true
+// if `rule` is suppressed: bare NOLINT and NOLINT(natto-*) suppress every
+// natto rule, NOLINT(natto-foo) only that one. `marker` is "NOLINT" or
+// "NOLINTNEXTLINE". A malformed list (no closing paren) suppresses
+// leniently.
 bool CommentSuppresses(const std::string& comment, const std::string& marker,
                        const std::string& rule) {
   size_t pos = 0;
   while ((pos = comment.find(marker, pos)) != std::string::npos) {
     size_t end = pos + marker.size();
-    // Reject NOLINTNEXTLINE when looking for NOLINT.
-    if (end < comment.size() && IsIdentChar(comment[end]) &&
-        comment[end] != '(') {
+    // Reject a longer marker containing this one (NOLINT inside
+    // NOLINTNEXTLINE): the char after must not extend the identifier.
+    if (end < comment.size() && IsIdentChar(comment[end])) {
       pos = end;
       continue;
     }
     if (end >= comment.size() || comment[end] != '(') {
-      if (marker == "NOLINT" && end < comment.size() &&
-          HasPrefix(comment.substr(pos), "NOLINTNEXTLINE")) {
-        pos = end;
-        continue;
-      }
       return true;  // bare marker: suppress everything
     }
     size_t close = comment.find(')', end);
@@ -120,628 +102,755 @@ bool CommentSuppresses(const std::string& comment, const std::string& marker,
 }
 
 // ---------------------------------------------------------------------------
-// Rule helpers
+// Token-stream helpers shared by the rules.
 // ---------------------------------------------------------------------------
 
-/// Wall-clock call tokens banned outside src/sim/. `time(` and friends need
-/// a word boundary and must not be member accesses (`.time(`, `->time(`,
-/// `::time(` on a non-std qualifier are still flagged only for the exact
-/// libc spellings below).
-const char* const kWallclockTokens[] = {
-    "system_clock", "steady_clock", "high_resolution_clock",
-    "gettimeofday",  "clock_gettime", "localtime",
-    "gmtime",        "mktime",        "strftime",
-};
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
 
-bool LineHasWallclock(const std::string& code, std::string* what) {
-  for (const char* tok : kWallclockTokens) {
-    if (ContainsWord(code, tok)) {
-      *what = tok;
-      return true;
-    }
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// Net template-angle depth change contributed by one token. Comparison and
+// compound-assignment operators that merely contain '<'/'>' characters are
+// neutral; "<<"/">>" count double because nested template argument lists
+// close with a single ">>" token.
+int AngleDelta(const Token& t) {
+  if (t.kind != TokKind::kPunct) return 0;
+  if (t.text == "<") return 1;
+  if (t.text == ">") return -1;
+  if (t.text == "<<") return 2;
+  if (t.text == ">>") return -2;
+  return 0;
+}
+
+// Given `toks[open]` == "<", returns the index of the token that closes the
+// template argument list (possibly a ">>" closing two levels at once), or
+// toks.size() if unbalanced.
+size_t MatchAngle(const std::vector<Token>& toks, size_t open) {
+  int depth = 0;
+  for (size_t k = open; k < toks.size(); ++k) {
+    depth += AngleDelta(toks[k]);
+    if (depth <= 0) return k;
   }
-  // Bare `time(`: word-bounded, not a member/qualified call like `.time(`.
-  size_t pos = 0;
-  while ((pos = code.find("time", pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    size_t end = pos + 4;
-    size_t after = SkipSpaces(code, end);
-    bool calls = after < code.size() && code[after] == '(';
-    if (left_ok && calls) {
-      // Allow member access: scan backwards over whitespace for '.', "->",
-      // or ':' (method calls and qualified non-libc names).
-      size_t b = pos;
-      while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1]))) {
-        --b;
-      }
-      bool member = b > 0 && (code[b - 1] == '.' || code[b - 1] == ':' ||
-                              (b > 1 && code[b - 2] == '-' &&
-                               code[b - 1] == '>'));
-      if (!member) {
-        *what = "time(";
-        return true;
-      }
+  return toks.size();
+}
+
+// Concatenates token spellings over [begin, end) — used to echo expressions
+// back in diagnostics ("st.votes"). Adjacent identifiers get a space so the
+// echo stays readable; punctuation joins tightly.
+std::string SpanText(const std::vector<Token>& toks, size_t begin,
+                     size_t end) {
+  std::string out;
+  for (size_t k = begin; k < end && k < toks.size(); ++k) {
+    if (!out.empty() && toks[k].kind != TokKind::kPunct &&
+        toks[k - 1].kind != TokKind::kPunct) {
+      out += ' ';
     }
-    pos = end;
+    out += toks[k].text;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Unordered-container name collection (context for natto-unordered-iter).
+// ---------------------------------------------------------------------------
+
+const char* const kUnorderedTypes[] = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+
+bool IsUnorderedTypeName(const std::string& text) {
+  for (const char* name : kUnorderedTypes) {
+    if (text == name) return true;
   }
   return false;
 }
 
-const char* const kRngTokens[] = {
-    "std::rand",   "srand",         "random_device", "default_random_engine",
-    "mt19937",     "minstd_rand",   "ranlux24",      "ranlux48",
-    "knuth_b",
-};
-
-bool LineHasAmbientRng(const std::string& code, std::string* what) {
-  for (const char* tok : kRngTokens) {
-    // mt19937 must also catch mt19937_64: match by prefix with a left
-    // boundary only.
-    size_t pos = 0;
-    while ((pos = code.find(tok, pos)) != std::string::npos) {
-      bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-      // "std::rand" needs a right boundary so "std::random_device" is not
-      // double-reported under it; prefix tokens (mt19937*) do not.
-      std::string t(tok);
-      bool needs_right = (t == "std::rand" || t == "srand" || t == "knuth_b");
-      size_t end = pos + t.size();
-      bool right_ok =
-          !needs_right || end >= code.size() || !IsIdentChar(code[end]);
-      if (left_ok && right_ok) {
-        *what = t;
-        return true;
-      }
-      pos += 1;
-    }
-  }
-  return false;
-}
-
-/// Mutable static detection. Finds a word-bounded `static`, skips
-/// storage/qualifier tokens that keep it mutable (`inline`, `thread_local`),
-/// and bails on `const`/`constexpr`/`constinit`/`static_assert`. Then scans
-/// the rest of the line: hitting `(` first means a function declaration
-/// (fine); hitting `=`, `{`, `;`, or end-of-line means a variable
-/// declaration (flagged).
-bool LineHasMutableStatic(const std::string& code) {
-  size_t pos = 0;
-  while ((pos = code.find("static", pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    size_t end = pos + 6;
-    if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
-      pos = end;  // static_assert, static_cast, SomeStaticName, ...
+void CollectUnorderedNamesInto(const std::vector<Token>& toks,
+                               std::set<std::string>* out) {
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || !IsUnorderedTypeName(toks[i].text))
       continue;
-    }
-    size_t i = SkipSpaces(code, end);
-    // Skip qualifiers that do not affect mutability.
-    for (;;) {
-      std::string word = ReadIdent(code, i);
-      if (word == "inline" || word == "thread_local") {
-        i = SkipSpaces(code, i + word.size());
-        continue;
+    if (!IsPunct(toks[i + 1], "<")) continue;
+    size_t close = MatchAngle(toks, i + 1);
+    if (close >= toks.size()) continue;
+    size_t j = close + 1;
+    // `::iterator`, `::value_type` etc. are type mentions, not declarations.
+    if (j < toks.size() && IsPunct(toks[j], "::")) continue;
+    // Walk the declarator list: `unordered_map<K, V> a, *b, &c;`.
+    while (j < toks.size()) {
+      while (j < toks.size() && (IsPunct(toks[j], "*") ||
+                                 IsPunct(toks[j], "&") ||
+                                 IsPunct(toks[j], "&&"))) {
+        ++j;
       }
-      if (word == "const" || word == "constexpr" || word == "constinit") {
-        return false;  // immutable: fine
+      if (j >= toks.size() || toks[j].kind != TokKind::kIdent) break;
+      // A '(' after the name means a function declaration returning the
+      // container, not a variable of that type.
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], "(")) break;
+      out->insert(toks[j].text);
+      if (j + 1 < toks.size() && IsPunct(toks[j + 1], ",")) {
+        j += 2;
+        continue;
       }
       break;
     }
-    // First structural character decides: '(' = function, else variable.
-    for (size_t j = i; j < code.size(); ++j) {
-      char c = code[j];
-      if (c == '(') return false;
-      if (c == '=' || c == '{' || c == ';') return true;
-      if (c == '<') {
-        // Balance template args so Foo<decltype(x)> parens don't fool us.
-        int depth = 1;
-        ++j;
-        while (j < code.size() && depth > 0) {
-          if (code[j] == '<') ++depth;
-          if (code[j] == '>') --depth;
-          ++j;
-        }
-        --j;
-      }
-    }
-    return true;  // declaration continues on the next line: be conservative
-  }
-  return false;
-}
-
-/// Extracts identifiers declared with unordered container types from one
-/// file. Understands `std::unordered_map<...> name1, name2;` including
-/// nested templates; skips `::iterator` uses and function declarations.
-void CollectUnorderedNamesInto(const std::string& content,
-                               std::set<std::string>* out) {
-  static const char* const kTypes[] = {
-      "unordered_map", "unordered_set", "unordered_multimap",
-      "unordered_multiset"};
-  for (const char* type : kTypes) {
-    size_t pos = 0;
-    std::string needle = std::string(type) + "<";
-    while ((pos = content.find(needle, pos)) != std::string::npos) {
-      bool left_ok = pos == 0 || !IsIdentChar(content[pos - 1]);
-      size_t i = pos + needle.size();
-      pos = i;
-      if (!left_ok) continue;
-      // Balance angle brackets to find the end of the template args.
-      int depth = 1;
-      while (i < content.size() && depth > 0) {
-        if (content[i] == '<') ++depth;
-        if (content[i] == '>') --depth;
-        ++i;
-      }
-      if (depth != 0) continue;
-      i = SkipSpaces(content, i);
-      if (i + 1 < content.size() && content[i] == ':' &&
-          content[i + 1] == ':') {
-        continue;  // ...>::iterator etc.
-      }
-      // Declarator list: name [, name]*; references/pointers included.
-      for (;;) {
-        while (i < content.size() &&
-               (content[i] == '&' || content[i] == '*')) {
-          i = SkipSpaces(content, i + 1);
-        }
-        if (i >= content.size() || !IsIdentStart(content[i])) break;
-        std::string name = ReadIdent(content, i);
-        i += name.size();
-        size_t after = SkipSpaces(content, i);
-        if (after < content.size() && content[after] == '(') {
-          break;  // function returning an unordered container
-        }
-        out->insert(name);
-        if (after < content.size() && content[after] == ',') {
-          i = SkipSpaces(content, after + 1);
-          continue;
-        }
-        break;
-      }
-    }
   }
 }
 
-/// Finds every range-for in `code` (one scrubbed line) and reports the
-/// iterated expression(s). Only single-line `for (decl : expr)` headers are
-/// recognized — the codebase's formatter keeps them on one line.
-std::vector<std::string> RangeForExprs(const std::string& code) {
-  std::vector<std::string> out;
-  size_t pos = 0;
-  while ((pos = code.find("for", pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    size_t end = pos + 3;
-    if (!left_ok || (end < code.size() && IsIdentChar(code[end]))) {
-      pos = end;
-      continue;
-    }
-    size_t open = SkipSpaces(code, end);
-    if (open >= code.size() || code[open] != '(') {
-      pos = end;
-      continue;
-    }
-    int depth = 1;
-    size_t i = open + 1;
-    size_t colon = std::string::npos;
-    while (i < code.size() && depth > 0) {
-      char c = code[i];
-      if (c == '(' || c == '[' || c == '{') ++depth;
-      if (c == ')' || c == ']' || c == '}') --depth;
-      if (c == ':' && depth == 1) {
-        bool dbl = (i + 1 < code.size() && code[i + 1] == ':') ||
-                   (i > 0 && code[i - 1] == ':');
-        if (!dbl && colon == std::string::npos) colon = i;
-      }
-      ++i;
-    }
-    if (depth == 0 && colon != std::string::npos) {
-      std::string expr = code.substr(colon + 1, (i - 1) - (colon + 1));
-      size_t a = expr.find_first_not_of(" \t");
-      size_t b = expr.find_last_not_of(" \t");
-      if (a != std::string::npos) out.push_back(expr.substr(a, b - a + 1));
-    }
-    pos = i;
-  }
-  return out;
-}
+// ---------------------------------------------------------------------------
+// Range-for target extraction (natto-unordered-iter).
+// ---------------------------------------------------------------------------
 
-/// Resolves a range-for expression to the name checked against the unordered
-/// context. Returns {name, is_field_or_member}: `st.votes` -> {"votes",
-/// true}, `queue_` -> {"queue_", true}, `reads` -> {"reads", false}.
-/// Expressions the scanner cannot type (calls, indexing, casts) return "".
-std::pair<std::string, bool> IterTargetName(std::string expr) {
-  if (expr.find('(') != std::string::npos ||
-      expr.find('[') != std::string::npos) {
-    return {"", false};
-  }
-  while (!expr.empty() && (expr[0] == '*' || expr[0] == '&')) {
-    expr = expr.substr(1);
-  }
-  bool field = false;
-  size_t dot = expr.rfind('.');
-  size_t arrow = expr.rfind("->");
-  size_t cut = std::string::npos;
-  if (dot != std::string::npos) cut = dot + 1;
-  if (arrow != std::string::npos && (cut == std::string::npos || arrow + 2 > cut)) {
-    cut = arrow + 2;
-  }
-  if (cut != std::string::npos) {
-    expr = expr.substr(cut);
-    field = true;
-  }
-  if (expr.empty() || !IsIdentStart(expr[0])) return {"", false};
-  for (char c : expr) {
-    if (!IsIdentChar(c)) return {"", false};
-  }
-  // Trailing-underscore identifiers are members by convention.
-  if (!field && HasSuffix(expr, "_")) field = true;
-  return {expr, field};
-}
+struct IterTarget {
+  std::string name;     // trailing identifier of the range expression
+  bool member = false;  // accessed via . / -> or named with a trailing '_'
+  std::string expr;     // the expression as written, for the diagnostic
+};
 
-/// Balanced argument text of each `MACRO(...)` occurrence in `code`.
-std::vector<std::string> MacroArgs(const std::string& code,
-                                   const std::string& macro) {
-  std::vector<std::string> out;
-  size_t pos = 0;
-  while ((pos = code.find(macro, pos)) != std::string::npos) {
-    bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
-    size_t open = pos + macro.size();
-    if (!left_ok || open >= code.size() || code[open] != '(') {
-      pos = open;
-      continue;
-    }
-    int depth = 1;
-    size_t i = open + 1;
-    while (i < code.size() && depth > 0) {
-      if (code[i] == '(') ++depth;
-      if (code[i] == ')') --depth;
-      ++i;
-    }
-    out.push_back(code.substr(open + 1, (i - 1) - (open + 1)));
-    pos = i;
+// Inspects the range expression tokens [begin, end) of a range-for. Returns
+// an empty name for expressions we cannot attribute to a variable
+// (function-call results, indexing) — those are skipped, not flagged.
+IterTarget ClassifyRangeExpr(const std::vector<Token>& toks, size_t begin,
+                             size_t end) {
+  IterTarget t;
+  for (size_t k = begin; k < end; ++k) {
+    if (IsPunct(toks[k], "(") || IsPunct(toks[k], "[")) return t;
   }
-  return out;
-}
-
-/// True if a check condition contains ++, --, or an assignment (including
-/// compound assignments, which also mutate). Comparison operators ==, !=,
-/// <=, >= and the spaceship are not flagged.
-bool HasSideEffect(const std::string& arg) {
-  for (size_t i = 0; i + 1 < arg.size(); ++i) {
-    if ((arg[i] == '+' && arg[i + 1] == '+') ||
-        (arg[i] == '-' && arg[i + 1] == '-')) {
-      return true;
-    }
+  size_t b = begin;
+  while (b < end && (IsPunct(toks[b], "*") || IsPunct(toks[b], "&"))) ++b;
+  if (b >= end) return t;
+  // Find the last member-access operator, if any.
+  size_t last_access = end;
+  for (size_t k = b; k < end; ++k) {
+    if (IsPunct(toks[k], ".") || IsPunct(toks[k], "->")) last_access = k;
   }
-  for (size_t i = 0; i < arg.size(); ++i) {
-    if (arg[i] != '=') continue;
-    char prev = i > 0 ? arg[i - 1] : ' ';
-    char next = i + 1 < arg.size() ? arg[i + 1] : ' ';
-    if (next == '=') {
-      ++i;  // skip the second '=' of ==
-      continue;
+  if (last_access != end) {
+    if (last_access + 2 != end ||
+        toks[last_access + 1].kind != TokKind::kIdent) {
+      return t;
     }
-    if (prev == '=' || prev == '!' || prev == '<' || prev == '>') continue;
-    if (prev == '[') continue;  // lambda capture [=]
-    return true;  // plain or compound assignment
+    t.name = toks[last_access + 1].text;
+    t.member = true;
+  } else {
+    if (b + 1 != end || toks[b].kind != TokKind::kIdent) return t;
+    t.name = toks[b].text;
+    t.member = HasSuffix(t.name, "_");
   }
-  return false;
+  t.expr = SpanText(toks, begin, end);
+  return t;
 }
 
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Scrub
+// Tokenizer.
 // ---------------------------------------------------------------------------
 
-std::vector<ScrubbedLine> Scrub(const std::string& content) {
-  std::vector<ScrubbedLine> lines;
-  lines.emplace_back();
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
-                     kRawString };
-  State state = State::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
+TokenizedFile Tokenize(const std::string& content) {
+  TokenizedFile out;
+  size_t lines = 1 + static_cast<size_t>(
+                         std::count(content.begin(), content.end(), '\n'));
+  out.comments.assign(lines, "");
+  const size_t n = content.size();
   size_t i = 0;
-  auto cur = [&]() -> ScrubbedLine& { return lines.back(); };
-  while (i < content.size()) {
+  int line = 1;
+  auto comment_char = [&](char c) {
+    out.comments[static_cast<size_t>(line) - 1] += c;
+  };
+  // Multi-character punctuators, longest first so maximal munch wins
+  // ("<<=" before "<<" before "<").
+  static const char* const kPuncts[] = {
+      "<<=", ">>=", "->*", "...", "<=>", "::", "->", "++", "--", "<<", ">>",
+      "<=",  ">=",  "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+      "^=",  "&=",  "|=",  "##",  ".*"};
+
+  while (i < n) {
     char c = content[i];
     if (c == '\n') {
-      if (state == State::kLineComment) state = State::kCode;
-      // Unterminated ordinary literals do not span lines.
-      if (state == State::kString || state == State::kChar) {
-        state = State::kCode;
-      }
-      lines.emplace_back();
+      ++line;
       ++i;
       continue;
     }
-    switch (state) {
-      case State::kCode: {
-        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
-          state = State::kLineComment;
-          cur().code += "  ";
-          i += 2;
-          continue;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      i += 2;
+      while (i < n && content[i] != '\n') comment_char(content[i++]);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      i += 2;
+      while (i < n &&
+             !(content[i] == '*' && i + 1 < n && content[i + 1] == '/')) {
+        if (content[i] == '\n') {
+          ++line;
+        } else {
+          comment_char(content[i]);
         }
-        if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
-          state = State::kBlockComment;
-          cur().code += "  ";
-          i += 2;
-          continue;
+        ++i;
+      }
+      i = (i + 2 <= n) ? i + 2 : n;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      Token t{TokKind::kIdent, "", line};
+      while (i < n && IsIdentChar(content[i])) t.text += content[i++];
+      // Raw string literal: the "identifier" was really an encoding prefix.
+      if (i < n && content[i] == '"' &&
+          (t.text == "R" || t.text == "u8R" || t.text == "uR" ||
+           t.text == "LR")) {
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && content[i] != '(' && content[i] != '\n') {
+          delim += content[i++];
         }
-        if (c == 'R' && i + 1 < content.size() && content[i + 1] == '"' &&
-            (i == 0 || !IsIdentChar(content[i - 1]))) {
-          size_t open = content.find('(', i + 2);
-          if (open != std::string::npos) {
-            raw_delim = ")" + content.substr(i + 2, open - (i + 2)) + "\"";
-            state = State::kRawString;
-            cur().code += std::string(open - i + 1, ' ');
-            i = open + 1;
-            continue;
+        if (i < n && content[i] == '(') {
+          ++i;
+          const std::string close = ")" + delim + "\"";
+          Token s{TokKind::kString, "", line};
+          while (i < n && content.compare(i, close.size(), close) != 0) {
+            if (content[i] == '\n') ++line;
+            s.text += content[i++];
           }
+          if (i < n) i += close.size();
+          out.tokens.push_back(std::move(s));
         }
-        if (c == '"') {
-          state = State::kString;
-          cur().code += ' ';
-          ++i;
-          continue;
-        }
-        if (c == '\'') {
-          state = State::kChar;
-          cur().code += ' ';
-          ++i;
-          continue;
-        }
-        cur().code += c;
-        ++i;
-        break;
+        continue;
       }
-      case State::kLineComment:
-        cur().comment += c;
-        cur().code += ' ';
-        ++i;
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
-          state = State::kCode;
-          cur().code += "  ";
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      Token t{TokKind::kNumber, "", line};
+      while (i < n) {
+        char d = content[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          t.text += d;
+          ++i;
+        } else if ((d == '+' || d == '-') && !t.text.empty() &&
+                   (t.text.back() == 'e' || t.text.back() == 'E' ||
+                    t.text.back() == 'p' || t.text.back() == 'P')) {
+          t.text += d;
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      Token t{quote == '"' ? TokKind::kString : TokKind::kCharLit, "", line};
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\n') break;  // unterminated: stop at end of line
+        if (content[i] == '\\' && i + 1 < n) {
+          t.text += content[i];
+          t.text += content[i + 1];
           i += 2;
           continue;
         }
-        cur().comment += c;
-        cur().code += ' ';
-        ++i;
-        break;
-      case State::kString:
-      case State::kChar: {
-        char quote = state == State::kString ? '"' : '\'';
-        if (c == '\\' && i + 1 < content.size()) {
-          cur().code += "  ";
-          i += 2;
-          continue;
-        }
-        if (c == quote) state = State::kCode;
-        cur().code += ' ';
-        ++i;
-        break;
+        t.text += content[i++];
       }
-      case State::kRawString: {
-        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
-          state = State::kCode;
-          cur().code += std::string(raw_delim.size(), ' ');
-          i += raw_delim.size();
-          continue;
-        }
-        cur().code += ' ';
-        ++i;
+      if (i < n && content[i] == quote) ++i;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation: maximal munch.
+    Token t{TokKind::kPunct, "", line};
+    for (const char* p : kPuncts) {
+      size_t len = std::strlen(p);
+      if (content.compare(i, len, p) == 0) {
+        t.text = p;
         break;
       }
     }
+    if (t.text.empty()) t.text = std::string(1, c);
+    i += t.text.size();
+    out.tokens.push_back(std::move(t));
   }
-  return lines;
+  return out;
 }
+
+// ---------------------------------------------------------------------------
+// Public helpers.
+// ---------------------------------------------------------------------------
 
 std::set<std::string> CollectUnorderedNames(const std::string& content) {
-  std::vector<ScrubbedLine> lines = Scrub(content);
-  std::string code;
-  for (const ScrubbedLine& l : lines) {
-    code += l.code;
-    code += '\n';
-  }
-  std::set<std::string> out;
-  CollectUnorderedNamesInto(code, &out);
-  return out;
+  std::set<std::string> names;
+  TokenizedFile tf = Tokenize(content);
+  CollectUnorderedNamesInto(tf.tokens, &names);
+  return names;
 }
 
-// ---------------------------------------------------------------------------
-// LintContent
-// ---------------------------------------------------------------------------
-
-std::vector<Violation> LintContent(
-    const std::string& path, const std::string& content,
-    const std::set<std::string>& header_unordered_names) {
-  std::vector<Violation> out;
-  std::string norm = NormPath(path);
-  if (!IsSourceFile(norm)) return out;
-
-  bool wallclock_exempt = PathContainsDir(norm, "src/sim") ||
-                          HasPrefix(norm, "sim/");
-  bool rng_exempt = HasSuffix(norm, "common/rng.h");
-  bool is_tu = IsTranslationUnit(norm);
-  // Translation units under src/net host the link-batching flush queue;
-  // scheduling a delivery directly on the simulator there bypasses it.
-  bool batch_bypass_applies =
-      is_tu && (PathContainsDir(norm, "src/net") || HasPrefix(norm, "net/"));
-
-  std::vector<ScrubbedLine> lines = Scrub(content);
-
-  // Names declared unordered in this very file (any scope — the scanner does
-  // not track scopes): plain locals are checked against these only, while
-  // member accesses also consult the sibling-header context.
-  std::set<std::string> local_names;
-  {
-    std::string all_code;
-    for (const ScrubbedLine& l : lines) {
-      all_code += l.code;
-      all_code += '\n';
-    }
-    CollectUnorderedNamesInto(all_code, &local_names);
-  }
-  std::set<std::string> unordered_names = header_unordered_names;
-  unordered_names.insert(local_names.begin(), local_names.end());
-
-  auto suppressed = [&](size_t idx, const std::string& rule) {
-    if (CommentSuppresses(lines[idx].comment, "NOLINT", rule)) return true;
-    if (idx > 0 &&
-        CommentSuppresses(lines[idx - 1].comment, "NOLINTNEXTLINE", rule)) {
-      return true;
-    }
-    return false;
+const std::vector<RuleDoc>& Rules() {
+  static const std::vector<RuleDoc> kRules = {
+      {"natto-wallclock",
+       "wall-clock APIs outside src/sim/; simulated code takes time from "
+       "sim::Clock"},
+      {"natto-ambient-rng",
+       "ambient randomness (std::rand, mt19937, random_device, ...) outside "
+       "common/rng.h; draw from a seeded common::Rng stream"},
+      {"natto-mutable-static",
+       "mutable static state; cells must be instance-isolated, so thread a "
+       "dependency instead"},
+      {"natto-unordered-iter",
+       "range-for over an unordered container in a translation unit; "
+       "iteration order is nondeterministic"},
+      {"natto-check-side-effect",
+       "NATTO_CHECK/NATTO_DCHECK condition with side effects; NDEBUG builds "
+       "would skip them"},
+      {"natto-batch-bypass",
+       "direct ->ScheduleAt( in src/net translation units bypasses the link "
+       "batching flush queue"},
+      {"natto-pointer-key",
+       "ordered std::map/std::set keyed by a pointer; iteration follows "
+       "allocation addresses, which differ run to run"},
+      {"natto-pointer-repr",
+       // The doc string names the banned token itself.
+       // NOLINTNEXTLINE(natto-pointer-repr)
+       "pointer value leaking into output or hashes (%p, std::hash over a "
+       "pointer, reinterpret_cast to [u]intptr_t)"},
+      {"natto-env-read",
+       "getenv outside tools/ and the sanctioned harness entry points; "
+       "library behavior must come from explicit options"},
+      {"natto-thread-shared",
+       "thread_local/volatile state in src/ translation units; state must be "
+       "owned per cell, not per thread"},
   };
-  auto add = [&](size_t idx, const std::string& rule, std::string msg) {
-    if (suppressed(idx, rule)) return;
-    out.push_back(Violation{path, static_cast<int>(idx) + 1, rule,
-                            std::move(msg)});
-  };
-
-  for (size_t idx = 0; idx < lines.size(); ++idx) {
-    const std::string& code = lines[idx].code;
-    if (code.find_first_not_of(" \t") == std::string::npos) continue;
-
-    if (!wallclock_exempt) {
-      std::string what;
-      if (LineHasWallclock(code, &what)) {
-        add(idx, "natto-wallclock",
-            "wall-clock API '" + what +
-                "' outside src/sim/; simulations must use SimTime "
-                "(sim/clock.h)");
-      }
-    }
-    if (!rng_exempt) {
-      std::string what;
-      if (LineHasAmbientRng(code, &what)) {
-        add(idx, "natto-ambient-rng",
-            "ambient randomness '" + what +
-                "'; all RNG must flow through a seeded natto::Rng "
-                "(common/rng.h)");
-      }
-    }
-    if (LineHasMutableStatic(code)) {
-      add(idx, "natto-mutable-static",
-          "mutable static state; engines must be instance-isolated "
-          "(state shared across simulation cells breaks run identity)");
-    }
-    if (is_tu) {
-      for (const std::string& expr : RangeForExprs(code)) {
-        auto [name, is_member] = IterTargetName(expr);
-        if (name.empty()) continue;
-        bool hit = is_member ? (unordered_names.count(name) > 0)
-                             : (local_names.count(name) > 0);
-        if (hit) {
-          add(idx, "natto-unordered-iter",
-              "range-for over unordered container '" + expr +
-                  "'; iteration order is hash-dependent — use std::map/"
-                  "std::set or iterate sorted keys");
-        }
-      }
-    }
-    if (batch_bypass_applies && code.find("->ScheduleAt(") != std::string::npos) {
-      add(idx, "natto-batch-bypass",
-          "direct simulator ScheduleAt inside src/net bypasses the "
-          "link-batching flush queue; route deliveries through "
-          "ScheduleWireDelivery/FlushLink (or NOLINT the one framing site)");
-    }
-    for (const char* macro : {"NATTO_CHECK", "NATTO_DCHECK"}) {
-      for (const std::string& arg : MacroArgs(code, macro)) {
-        if (HasSideEffect(arg)) {
-          add(idx, "natto-check-side-effect",
-              std::string(macro) +
-                  " condition has side effects (++/--/assignment); DCHECKs "
-                  "vanish in release builds and CHECK args must be pure");
-        }
-      }
-    }
-  }
-  return out;
+  return kRules;
 }
 
-// ---------------------------------------------------------------------------
-// LintTree
-// ---------------------------------------------------------------------------
-
-std::vector<Violation> LintTree(const std::string& root) {
-  namespace fs = std::filesystem;
-  std::vector<Violation> out;
-  // directory -> (header names union, TU paths)
-  std::map<std::string, std::set<std::string>> dir_header_names;
-  std::vector<fs::path> tus;
-  std::vector<fs::path> headers;
-
-  for (const char* sub : {"src", "bench", "tools"}) {
-    fs::path base = fs::path(root) / sub;
-    if (!fs::exists(base)) continue;
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) continue;
-      std::string norm = NormPath(entry.path().string());
-      if (!IsSourceFile(norm)) continue;
-      if (IsTranslationUnit(norm)) {
-        tus.push_back(entry.path());
-      } else {
-        headers.push_back(entry.path());
-      }
-    }
-  }
-
-  auto read_file = [](const fs::path& p) {
-    std::ifstream in(p, std::ios::binary);
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return ss.str();
-  };
-  auto rel = [&](const fs::path& p) {
-    std::error_code ec;
-    fs::path r = fs::relative(p, root, ec);
-    return NormPath((ec || r.empty()) ? p.string() : r.string());
-  };
-
-  std::map<fs::path, std::string> header_content;
-  for (const fs::path& h : headers) {
-    std::string content = read_file(h);
-    CollectUnorderedNamesInto(
-        [&] {
-          std::string code;
-          for (const ScrubbedLine& l : Scrub(content)) {
-            code += l.code;
-            code += '\n';
-          }
-          return code;
-        }(),
-        &dir_header_names[NormPath(h.parent_path().string())]);
-    header_content[h] = std::move(content);
-  }
-
-  std::sort(tus.begin(), tus.end());
-  std::sort(headers.begin(), headers.end());
-  for (const fs::path& h : headers) {
-    std::vector<Violation> v = LintContent(rel(h), header_content[h], {});
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  for (const fs::path& tu : tus) {
-    const std::set<std::string>& names =
-        dir_header_names[NormPath(tu.parent_path().string())];
-    std::vector<Violation> v = LintContent(rel(tu), read_file(tu), names);
-    out.insert(out.end(), v.begin(), v.end());
-  }
-  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
-    if (a.file != b.file) return a.file < b.file;
-    if (a.line != b.line) return a.line < b.line;
-    return a.rule < b.rule;
-  });
-  return out;
+void SortViolations(std::vector<Violation>* violations) {
+  std::sort(violations->begin(), violations->end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
 }
 
 std::string FormatViolation(const Violation& v) {
   std::ostringstream ss;
   ss << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
   return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// The linting pass proper: every rule walks the same token stream.
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> LintContent(
+    const std::string& path, const std::string& content,
+    const std::set<std::string>& header_unordered_names) {
+  const std::string norm = NormPath(path);
+  const bool is_tu = IsTranslationUnit(norm);
+  const bool wallclock_applies =
+      !(PathContainsDir(norm, "src/sim") || HasPrefix(norm, "sim/"));
+  const bool rng_applies =
+      !(HasSuffix(norm, "/common/rng.h") || norm == "common/rng.h");
+  const bool batch_applies =
+      is_tu && (PathContainsDir(norm, "src/net") || HasPrefix(norm, "net/"));
+  const bool env_applies = !PathContainsDir(norm, "tools");
+  const bool thread_applies =
+      is_tu && (PathContainsDir(norm, "src") || HasPrefix(norm, "src/"));
+
+  TokenizedFile tf = Tokenize(content);
+  const std::vector<Token>& toks = tf.tokens;
+  const size_t n = toks.size();
+
+  std::vector<Violation> out;
+  std::set<std::pair<std::string, int>> reported;
+  auto suppressed = [&](int ln, const char* rule) {
+    size_t idx = static_cast<size_t>(ln) - 1;
+    if (idx < tf.comments.size() &&
+        CommentSuppresses(tf.comments[idx], "NOLINT", rule)) {
+      return true;
+    }
+    if (idx >= 1 && idx - 1 < tf.comments.size() &&
+        CommentSuppresses(tf.comments[idx - 1], "NOLINTNEXTLINE", rule)) {
+      return true;
+    }
+    return false;
+  };
+  // One finding per (rule, line): several banned tokens on a line are the
+  // same mistake, and the dedupe keeps diffs stable.
+  auto add = [&](int ln, const char* rule, std::string message) {
+    if (suppressed(ln, rule)) return;
+    if (!reported.insert({rule, ln}).second) return;
+    out.push_back(Violation{path, ln, rule, std::move(message)});
+  };
+
+  // --- natto-wallclock -----------------------------------------------------
+  if (wallclock_applies) {
+    static const char* const kWallclock[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "gettimeofday", "clock_gettime", "localtime",
+        "gmtime",       "mktime",       "strftime"};
+    for (size_t i = 0; i < n; ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      bool hit = false;
+      for (const char* w : kWallclock) {
+        if (toks[i].text == w) {
+          hit = true;
+          break;
+        }
+      }
+      if (!hit && toks[i].text == "time" && i + 1 < n &&
+          IsPunct(toks[i + 1], "(")) {
+        // Bare `time(...)` is libc's wall clock; a member or qualified call
+        // (`s.time(0)`, `Foo::time()`) is somebody's own API.
+        bool member =
+            i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->") ||
+                      IsPunct(toks[i - 1], "::"));
+        hit = !member;
+      }
+      if (hit) {
+        add(toks[i].line, "natto-wallclock",
+            "uses wall-clock API '" + toks[i].text +
+                "'; simulated code must take time from sim::Clock");
+      }
+    }
+  }
+
+  // --- natto-ambient-rng ---------------------------------------------------
+  if (rng_applies) {
+    static const char* const kRngExact[] = {"srand", "knuth_b"};
+    static const char* const kRngPrefix[] = {
+        "mt19937",       "ranlux24",      "ranlux48",
+        "minstd_rand",   "random_device", "default_random_engine"};
+    for (size_t i = 0; i < n; ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& text = toks[i].text;
+      bool hit = false;
+      for (const char* w : kRngExact) {
+        if (text == w) hit = true;
+      }
+      for (const char* w : kRngPrefix) {
+        if (HasPrefix(text, w)) hit = true;
+      }
+      if (text == "rand" && i >= 2 && IsPunct(toks[i - 1], "::") &&
+          IsIdent(toks[i - 2], "std")) {
+        hit = true;
+      }
+      if (hit) {
+        add(toks[i].line, "natto-ambient-rng",
+            "uses ambient RNG '" + text +
+                "'; draw from a seeded common::Rng stream instead");
+      }
+    }
+  }
+
+  // --- natto-mutable-static ------------------------------------------------
+  for (size_t i = 0; i < n; ++i) {
+    if (!IsIdent(toks[i], "static")) continue;
+    size_t j = i + 1;
+    while (j < n &&
+           (IsIdent(toks[j], "inline") || IsIdent(toks[j], "thread_local"))) {
+      ++j;
+    }
+    if (j < n && (IsIdent(toks[j], "const") || IsIdent(toks[j], "constexpr") ||
+                  IsIdent(toks[j], "constinit"))) {
+      continue;
+    }
+    // Scan for the first structural token at template depth 0: '(' means a
+    // function, '=', '{' or ';' means a variable definition.
+    int depth = 0;
+    for (size_t k = j; k < n; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokKind::kPunct && depth == 0) {
+        if (t.text == "(") break;
+        if (t.text == "=" || t.text == "{" || t.text == ";") {
+          add(toks[i].line, "natto-mutable-static",
+              "mutable static state; results must not depend on process "
+              "lifetime — thread the state through an owning object");
+          break;
+        }
+      }
+      depth += AngleDelta(t);
+      if (depth < 0) depth = 0;
+    }
+  }
+
+  // --- natto-unordered-iter ------------------------------------------------
+  if (is_tu) {
+    std::set<std::string> local_names;
+    CollectUnorderedNamesInto(toks, &local_names);
+    std::set<std::string> all_names = local_names;
+    all_names.insert(header_unordered_names.begin(),
+                     header_unordered_names.end());
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (!IsIdent(toks[i], "for") || !IsPunct(toks[i + 1], "(")) continue;
+      int depth = 1;
+      size_t colon = 0;
+      bool has_colon = false;
+      size_t k = i + 2;
+      for (; k < n; ++k) {
+        const Token& t = toks[k];
+        if (t.kind != TokKind::kPunct) continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{") {
+          ++depth;
+        } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+          if (--depth == 0) break;
+        } else if (t.text == ":" && depth == 1 && !has_colon) {
+          colon = k;
+          has_colon = true;
+        }
+      }
+      if (k >= n || !has_colon) continue;
+      IterTarget target = ClassifyRangeExpr(toks, colon + 1, k);
+      if (target.name.empty()) continue;
+      // Members resolve against the combined name context; a plain local
+      // name only counts if this file declared it unordered (a same-named
+      // ordered local shadows any header member).
+      bool flagged = target.member ? all_names.count(target.name) > 0
+                                   : local_names.count(target.name) > 0;
+      if (flagged) {
+        add(toks[i].line, "natto-unordered-iter",
+            "range-for over unordered container '" + target.expr +
+                "'; iteration order is nondeterministic — copy keys to a "
+                "sorted vector first");
+      }
+    }
+  }
+
+  // --- natto-check-side-effect ---------------------------------------------
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (!(IsIdent(toks[i], "NATTO_CHECK") || IsIdent(toks[i], "NATTO_DCHECK")))
+      continue;
+    if (!IsPunct(toks[i + 1], "(")) continue;
+    int depth = 1;
+    size_t k = i + 2;
+    for (; k < n && depth > 0; ++k) {
+      if (IsPunct(toks[k], "(")) ++depth;
+      if (IsPunct(toks[k], ")")) --depth;
+    }
+    static const char* const kMutators[] = {"=",  "+=", "-=",  "*=",  "/=",
+                                            "%=", "&=", "|=",  "^=",  "<<=",
+                                            ">>=", "++", "--"};
+    for (size_t a = i + 2; a + 1 < k; ++a) {
+      const Token& t = toks[a];
+      if (t.kind != TokKind::kPunct) continue;
+      bool mutates = false;
+      for (const char* m : kMutators) {
+        if (t.text == m) mutates = true;
+      }
+      // `[=]` is a lambda capture default, not an assignment.
+      if (mutates && t.text == "=" && a > 0 && IsPunct(toks[a - 1], "[")) {
+        mutates = false;
+      }
+      if (mutates) {
+        add(toks[i].line, "natto-check-side-effect",
+            toks[i].text +
+                " condition has side effects; NDEBUG builds would skip "
+                "them — hoist the mutation out of the check");
+        break;
+      }
+    }
+  }
+
+  // --- natto-batch-bypass --------------------------------------------------
+  if (batch_applies) {
+    for (size_t i = 0; i + 2 < n; ++i) {
+      if (IsPunct(toks[i], "->") && IsIdent(toks[i + 1], "ScheduleAt") &&
+          IsPunct(toks[i + 2], "(")) {
+        add(toks[i + 1].line, "natto-batch-bypass",
+            "schedules directly via ->ScheduleAt(; src/net code must go "
+            "through the link batching flush queue");
+      }
+    }
+  }
+
+  // --- natto-pointer-key ---------------------------------------------------
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& text = toks[i].text;
+    const bool is_map = (text == "map" || text == "multimap");
+    const bool is_set = (text == "set" || text == "multiset");
+    if (!is_map && !is_set) continue;
+    if (!(i >= 2 && IsPunct(toks[i - 1], "::") && IsIdent(toks[i - 2], "std")))
+      continue;
+    if (!IsPunct(toks[i + 1], "<")) continue;
+    size_t close = MatchAngle(toks, i + 1);
+    if (close >= n) continue;
+    // Split the template arguments on top-level commas.
+    std::vector<std::pair<size_t, size_t>> args;
+    size_t arg_begin = i + 2;
+    int angle = 1;
+    int paren = 0;
+    for (size_t k = i + 2; k <= close; ++k) {
+      const Token& t = toks[k];
+      if (IsPunct(t, "(")) ++paren;
+      if (IsPunct(t, ")")) --paren;
+      if (k == close) {
+        args.push_back({arg_begin, k});
+        break;
+      }
+      if (IsPunct(t, ",") && angle == 1 && paren == 0) {
+        args.push_back({arg_begin, k});
+        arg_begin = k + 1;
+      }
+      angle += AngleDelta(t);
+    }
+    if (args.empty()) continue;
+    // An explicit comparator argument is the sanctioned escape: the author
+    // has taken ordering into their own hands.
+    const bool comparator_given = is_map ? args.size() >= 3 : args.size() >= 2;
+    if (comparator_given) continue;
+    bool key_has_ptr = false;
+    for (size_t k = args[0].first; k < args[0].second; ++k) {
+      if (IsPunct(toks[k], "*")) key_has_ptr = true;
+    }
+    if (key_has_ptr) {
+      add(toks[i].line, "natto-pointer-key",
+          "ordered std::" + text +
+              " keyed by a pointer; iteration follows allocation addresses "
+              "— key by a stable id or pass an explicit comparator");
+    }
+  }
+
+  // --- natto-pointer-repr --------------------------------------------------
+  for (size_t i = 0; i < n; ++i) {
+    const Token& t = toks[i];
+    // The needle the rule searches for.
+    // NOLINTNEXTLINE(natto-pointer-repr)
+    if (t.kind == TokKind::kString && t.text.find("%p") != std::string::npos) {
+      add(t.line, "natto-pointer-repr",
+          // The diagnostic quotes the banned token itself.
+          // NOLINTNEXTLINE(natto-pointer-repr)
+          "\"%p\" formats a raw pointer value; addresses differ run to run — "
+          "print a stable id instead");
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+    if (t.text == "hash" && i >= 2 && IsPunct(toks[i - 1], "::") &&
+        IsIdent(toks[i - 2], "std") && i + 1 < n &&
+        IsPunct(toks[i + 1], "<")) {
+      size_t close = MatchAngle(toks, i + 1);
+      for (size_t k = i + 2; k < close && k < n; ++k) {
+        if (IsPunct(toks[k], "*")) {
+          add(t.line, "natto-pointer-repr",
+              "std::hash over a pointer type; hash values track allocation "
+              "addresses — hash a stable id instead");
+          break;
+        }
+      }
+      continue;
+    }
+    if (t.text == "reinterpret_cast" && i + 1 < n &&
+        IsPunct(toks[i + 1], "<")) {
+      size_t close = MatchAngle(toks, i + 1);
+      for (size_t k = i + 2; k < close && k < n; ++k) {
+        if (IsIdent(toks[k], "uintptr_t") || IsIdent(toks[k], "intptr_t")) {
+          add(t.line, "natto-pointer-repr",
+              "reinterpret_cast of a pointer to an integer; the value is an "
+              "allocation address — use a stable id instead");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- natto-env-read ------------------------------------------------------
+  if (env_applies) {
+    for (size_t i = 0; i + 1 < n; ++i) {
+      if (!(IsIdent(toks[i], "getenv") || IsIdent(toks[i], "secure_getenv")))
+        continue;
+      if (!IsPunct(toks[i + 1], "(")) continue;
+      add(toks[i].line, "natto-env-read",
+          "reads the environment with '" + toks[i].text +
+              "'; library behavior must come from explicit options — only "
+              "the harness entry points may read env (with a NOLINT)");
+    }
+  }
+
+  // --- natto-thread-shared -------------------------------------------------
+  if (thread_applies) {
+    for (size_t i = 0; i < n; ++i) {
+      if (IsIdent(toks[i], "thread_local")) {
+        add(toks[i].line, "natto-thread-shared",
+            "thread_local state keys data to worker threads; cells must own "
+            "their state so results do not depend on the thread schedule");
+      } else if (IsIdent(toks[i], "volatile")) {
+        add(toks[i].line, "natto-thread-shared",
+            "volatile shared state suggests cross-thread signaling; cells "
+            "are single-threaded — use explicit ownership instead");
+      }
+    }
+  }
+
+  SortViolations(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking.
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<Violation> out;
+  // Relative directory -> relative file paths in that directory.
+  std::map<std::string, std::vector<std::string>> by_dir;
+  for (const char* top : {"src", "bench", "tools"}) {
+    fs::path base = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      std::string rel =
+          NormPath(fs::relative(it->path(), root, ec).generic_string());
+      if (!IsSourceFile(rel)) continue;
+      size_t slash = rel.find_last_of('/');
+      std::string dir = (slash == std::string::npos) ? "" : rel.substr(0, slash);
+      by_dir[dir].push_back(rel);
+    }
+  }
+  auto read_file = [&](const std::string& rel, std::string* content) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    *content = ss.str();
+    return true;
+  };
+  for (auto& [dir, files] : by_dir) {
+    (void)dir;
+    std::sort(files.begin(), files.end());
+    // Union of names declared unordered in this directory's headers: the
+    // member-name context for its translation units.
+    std::set<std::string> header_names;
+    for (const std::string& rel : files) {
+      if (!IsHeader(rel)) continue;
+      std::string content;
+      if (read_file(rel, &content)) {
+        std::set<std::string> names = CollectUnorderedNames(content);
+        header_names.insert(names.begin(), names.end());
+      }
+    }
+    for (const std::string& rel : files) {
+      std::string content;
+      if (!read_file(rel, &content)) continue;
+      std::vector<Violation> v =
+          LintContent(rel, content,
+                      IsTranslationUnit(rel) ? header_names
+                                             : std::set<std::string>{});
+      out.insert(out.end(), v.begin(), v.end());
+    }
+  }
+  SortViolations(&out);
+  return out;
 }
 
 }  // namespace nattolint

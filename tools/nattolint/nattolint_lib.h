@@ -7,12 +7,15 @@
 
 /// nattolint: an in-repo static-analysis pass that enforces the repo's
 /// determinism and safety invariants as hard build failures. It is a
-/// token/regex-lite scanner, not a compiler plugin: comments and string
-/// literals are stripped before matching, per-line `// NOLINT(natto-<rule>)`
-/// (or `NOLINTNEXTLINE`) suppresses a finding, and the heuristics are tuned
-/// to the idioms this codebase actually uses.
+/// token-stream scanner, not a compiler plugin: each file is tokenized once
+/// (comments and literals split out from code, every token carrying its line
+/// number) and all rules walk the same token stream. Per-line
+/// `// NOLINT(natto-<rule>)` (or `NOLINTNEXTLINE` on the line before)
+/// suppresses a finding; bare NOLINT and NOLINT(natto-*) suppress every
+/// rule. The heuristics are tuned to the idioms this codebase actually uses.
 ///
-/// Rules (all documented in DESIGN.md "Determinism invariants"):
+/// Rules (all documented in DESIGN.md "Determinism invariants"; run
+/// `nattolint --list-rules` for the same list):
 ///   natto-wallclock          wall-clock APIs outside src/sim/
 ///   natto-ambient-rng        ambient randomness outside common/rng.h
 ///   natto-mutable-static     mutable static state (the PR 1 bug class)
@@ -22,8 +25,19 @@
 ///                            side effects (++/--/assignment)
 ///   natto-batch-bypass       direct `->ScheduleAt(` in src/net translation
 ///                            units, which bypasses the link-batching flush
-///                            queue (the single wire-delivery framing site
-///                            carries a NOLINT)
+///                            queue
+///   natto-pointer-key        ordered std::map/std::set keyed by a pointer
+///                            type: iteration follows allocation addresses,
+///                            which differ run to run
+///   natto-pointer-repr       pointer values leaking into output or hashes
+///                            (%p, std::hash over a pointer,
+///                            reinterpret_cast to [u]intptr_t)
+///   natto-env-read           getenv outside tools/ and the harness config
+///                            entry points (library behavior must come from
+///                            explicit options, not ambient environment)
+///   natto-thread-shared      thread_local / volatile state in src/
+///                            translation units (cells must be
+///                            instance-isolated, not thread-keyed)
 namespace nattolint {
 
 struct Violation {
@@ -33,20 +47,34 @@ struct Violation {
   std::string message;
 };
 
-/// One logical line of a source file after comment/string stripping.
-struct ScrubbedLine {
-  std::string code;          // original text with comments/literals blanked
-  std::string comment;       // concatenated comment text on this line
-  bool suppress_next = false;  // carries NOLINTNEXTLINE state (internal)
+/// Token classes the scanner distinguishes. Literal tokens keep their
+/// content (natto-pointer-repr looks for "%p" inside strings); every other
+/// rule only inspects identifiers and punctuation, so literal text can never
+/// produce a false positive there.
+enum class TokKind { kIdent, kNumber, kPunct, kString, kCharLit };
+
+struct Token {
+  TokKind kind = TokKind::kIdent;
+  std::string text;  // identifier/number spelling, punctuator, or literal
+                     // content (without quotes)
+  int line = 0;      // 1-based line of the token's first character
 };
 
-/// Strips //, /* */ comments, "..." and '...' literals, and R"(...)" raw
-/// strings from `content`, preserving line structure. Stripped characters
-/// become spaces so columns keep their meaning; comment text is kept
-/// separately so NOLINT markers survive.
-std::vector<ScrubbedLine> Scrub(const std::string& content);
+/// One tokenized file: the code token stream plus per-line comment text
+/// (1-based line L's comments are `comments[L-1]`), kept separately so
+/// NOLINT markers survive stripping.
+struct TokenizedFile {
+  std::vector<Token> tokens;
+  std::vector<std::string> comments;
+};
 
-/// Returns identifiers declared in `content` (a scrubbed or raw file) with a
+/// Single-pass tokenizer: handles //, /* */ comments, "..." and '...'
+/// literals, R"delim(...)delim" raw strings, and maximal-munch multi-char
+/// punctuators (::, ->, ++, <=, <<=, ...). Unterminated ordinary literals
+/// do not span lines.
+TokenizedFile Tokenize(const std::string& content);
+
+/// Returns identifiers declared in `content` with a
 /// std::unordered_{map,set,multimap,multiset} type: members, locals, and
 /// file-scope variables. Function declarations returning unordered types and
 /// `::iterator` mentions are excluded. Used to build the name context for
@@ -65,8 +93,21 @@ std::vector<Violation> LintContent(
 /// Recursively lints `root`'s src/, bench/, and tools/ trees (.cc, .cpp,
 /// .h). For each translation unit the unordered-name context is the union of
 /// all headers in its own directory. Returns findings sorted by path then
-/// line.
+/// line (SortViolations order).
 std::vector<Violation> LintTree(const std::string& root);
+
+/// One rule's name and one-line documentation (`nattolint --list-rules`).
+struct RuleDoc {
+  const char* name;
+  const char* doc;
+};
+
+/// All rules in stable (registration) order.
+const std::vector<RuleDoc>& Rules();
+
+/// Sorts findings by (file, line, rule, message) — the stable output order
+/// every entry point uses, so diffs against previous runs are meaningful.
+void SortViolations(std::vector<Violation>* violations);
 
 /// Renders one finding as "path:line: [rule] message".
 std::string FormatViolation(const Violation& v);

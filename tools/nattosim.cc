@@ -16,10 +16,12 @@
 #include <memory>
 #include <string>
 
+#include "bench_util.h"
 #include "harness/experiment.h"
 #include "harness/histogram.h"
 #include "harness/systems.h"
 #include "obs/trace.h"
+#include "sim/dsan.h"
 #include "workload/retwis.h"
 #include "workload/smallbank.h"
 #include "workload/ycsbt.h"
@@ -50,6 +52,7 @@ struct Flags {
   int trace_sample = 1;      // 1-in-N sampling when tracing
   bool timeline = false;     // print one transaction's span timeline
   uint64_t timeline_txn = 0; // 0 = first finished sampled transaction
+  bench::DsanArgs dsan;      // --dsan / --dsan-trail / --dsan-diff
 };
 
 void PrintUsage() {
@@ -79,7 +82,17 @@ void PrintUsage() {
       "                    trace_event JSON for chrome://tracing)\n"
       "  --trace-sample=N  record 1-in-N transactions (default 1 = all)\n"
       "  --timeline[=ID]   print the span timeline of transaction ID\n"
-      "                    (default: first finished sampled transaction)\n");
+      "                    (default: first finished sampled transaction)\n"
+      "  --dsan            attach the determinism sanitizer; print each\n"
+      "                    repeat's event-ledger digest after the run\n"
+      "  --dsan-trail=PATH also write the digest trails to PATH (a labeled\n"
+      "                    trail file for later --dsan-diff=PATH runs)\n"
+      "  --dsan-diff[=PATH] diff the digest trails: against the trail file\n"
+      "                    PATH when given, else run the experiment twice\n"
+      "                    (serial, then 8 jobs) and compare; on divergence,\n"
+      "                    re-run with a capture window over the divergent\n"
+      "                    checkpoint interval and print an event-level\n"
+      "                    first-difference report (exit 1)\n");
 }
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -136,6 +149,8 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     } else if (ParseFlag(argv[i], "--timeline", &v)) {
       flags->timeline = true;
       flags->timeline_txn = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (bench::ParseDsanArg(argv[i], &flags->dsan)) {
+      // handled
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return false;
@@ -169,6 +184,61 @@ bool SystemFromName(const std::string& name, SystemKind* out) {
     }
   }
   return false;
+}
+
+/// --dsan-diff self mode: run the configured experiment twice — serial, then
+/// fanned across 8 jobs — and compare the per-repeat digest trails. Any
+/// job-count-dependent behavior (shared mutable state between cells, an
+/// iteration order leaking host addresses, ...) shows up as a divergent
+/// checkpoint window; the divergent repeat is then re-run with a capture
+/// window over that interval for an event-level first-difference report.
+int RunDsanSelfDiff(ExperimentConfig config, const System& system,
+                    const WorkloadFactory& workload) {
+  auto collect = [&](const ExperimentConfig& c, int jobs) {
+    std::vector<bench::LabeledTrail> trails;
+    bench::CollectDsanTrails({system},
+                             RunGrid({GridPoint{c, workload}}, {system}, jobs),
+                             "", &trails);
+    return trails;
+  };
+  std::fprintf(stderr,
+               "dsan: self-diff — running %d repeat(s) serial, then with 8 "
+               "jobs\n",
+               config.repeats);
+  std::vector<bench::LabeledTrail> serial = collect(config, 1);
+  std::vector<bench::LabeledTrail> parallel = collect(config, 8);
+  if (serial.size() != parallel.size()) {
+    std::fprintf(stderr, "dsan: trail counts differ (%zu vs %zu)\n",
+                 serial.size(), parallel.size());
+    return 1;
+  }
+  for (size_t i = 0; i < serial.size(); ++i) {
+    sim::DsanDivergence d =
+        sim::DiffTrails(serial[i].trail, parallel[i].trail);
+    if (!d.diverged) continue;
+    std::fprintf(stderr, "dsan: cell %s DIVERGED: %s\n",
+                 serial[i].label.c_str(), d.what.c_str());
+    // Event-level context: re-run both sides with a capture window over the
+    // divergent interval. One cell on its own always runs single-threaded
+    // (parallelism is across cells), so the parallel side is reproduced by
+    // re-running the whole grid at 8 jobs.
+    ExperimentConfig cap = config;
+    cap.cluster.dsan.capture_begin = d.window_begin;
+    cap.cluster.dsan.capture_end = d.window_end;
+    std::vector<bench::LabeledTrail> cs = collect(cap, 1);
+    std::vector<bench::LabeledTrail> cp = collect(cap, 8);
+    const sim::DsanTrail& a = i < cs.size() ? cs[i].trail : serial[i].trail;
+    const sim::DsanTrail& b = i < cp.size() ? cp[i].trail : parallel[i].trail;
+    std::string report =
+        sim::FormatDivergenceReport("serial", a, "jobs=8", b,
+                                    sim::DiffTrails(a, b));
+    std::fprintf(stderr, "%s", report.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "dsan: serial and 8-job runs are identical (%zu repeat(s))\n",
+               serial.size());
+  return 0;
 }
 
 }  // namespace
@@ -214,6 +284,7 @@ int main(int argc, char** argv) {
   config.cluster.transport.packet_loss = flags.loss;
   config.cluster.trace.enabled = !flags.trace_path.empty() || flags.timeline;
   config.cluster.trace.sample_period = flags.trace_sample;
+  bench::ApplyDsanArgs(flags.dsan, &config);
 
   WorkloadFactory workload;
   if (flags.workload == "ycsbt") {
@@ -245,8 +316,9 @@ int main(int argc, char** argv) {
               system.name.c_str(), flags.workload.c_str(),
               flags.matrix.c_str(), flags.rate, flags.zipf,
               flags.high_fraction);
-  ExperimentResult r =
-      RunGrid({GridPoint{config, workload}}, {system}, flags.jobs)[0][0];
+  std::vector<std::vector<ExperimentResult>> results =
+      RunGrid({GridPoint{config, workload}}, {system}, flags.jobs);
+  const ExperimentResult& r = results[0][0];
   std::printf("\n%22s: %8.1f +- %.0f ms\n", "p95 high-priority",
               r.p95_high_ms.mean, r.p95_high_ms.ci95);
   std::printf("%22s: %8.1f +- %.0f ms\n", "p95 low-priority",
@@ -304,6 +376,15 @@ int main(int argc, char** argv) {
     } else {
       std::printf("\n--- transaction timeline ---\n%s",
                   obs::RenderTimeline(*pick).c_str());
+    }
+  }
+
+  if (flags.dsan.enabled) {
+    std::vector<bench::LabeledTrail> trails;
+    bench::CollectDsanTrails({system}, results, "", &trails);
+    if (!bench::FinishDsanTrails(flags.dsan, trails)) return 1;
+    if (flags.dsan.diff && flags.dsan.baseline_path.empty()) {
+      return RunDsanSelfDiff(config, system, workload);
     }
   }
   return 0;
