@@ -127,6 +127,13 @@ struct DsanArgs {
 inline bool ParseDsanArg(const std::string& arg, DsanArgs* args) {
   if (arg == "--dsan") {
     args->enabled = true;
+  } else if (arg == "--dsan-trail" || arg == "--dsan-trail=") {
+    // A trail flag without a path would silently open an empty filename;
+    // fail loudly with the exact spelling instead of falling through to the
+    // generic unknown-argument error (bare) or writing to "" (trailing =).
+    std::fprintf(stderr,
+                 "%s requires a path: --dsan-trail=<path>\n", arg.c_str());
+    std::exit(2);
   } else if (arg.rfind("--dsan-trail=", 0) == 0) {
     args->enabled = true;
     args->trail_path = arg.substr(13);

@@ -7,6 +7,14 @@
 
 namespace natto {
 
+namespace internal {
+/// Per-thread side channel for the parallel kernel: while a worker runs an
+/// event callback it points this at the event's draw-delta slot so dsan can
+/// reconstruct the serial cumulative draw count at the merge barrier. Null
+/// (the default, and always on the serial path) costs one branch per draw.
+inline thread_local uint64_t* rng_thread_draw_delta = nullptr;
+}  // namespace internal
+
 /// Deterministic random source. Every component that needs randomness owns an
 /// `Rng` seeded from the experiment seed so that runs are exactly
 /// reproducible; nothing in the library calls global random state.
@@ -80,9 +88,24 @@ class Rng {
   /// made directly through engine() are not counted.
   void Instrument(uint64_t* counter) { draws_ = counter; }
 
+  /// Arms (or disarms, with null) the calling thread's draw-delta slot; set
+  /// by the parallel kernel around each event callback. Only instrumented
+  /// draws bump the delta, so serial and parallel dsan streams agree.
+  static void SetThreadDrawDelta(uint64_t* delta) {
+    internal::rng_thread_draw_delta = delta;
+  }
+
  private:
   void Tick() {
-    if (draws_ != nullptr) ++*draws_;
+    if (draws_ != nullptr) {
+      // Site workers share fork-tree counters across threads; a plain
+      // increment would race under the parallel kernel. Relaxed is enough:
+      // the merge barrier's mutex orders the final read.
+      __atomic_fetch_add(draws_, 1, __ATOMIC_RELAXED);
+      if (internal::rng_thread_draw_delta != nullptr) {
+        ++*internal::rng_thread_draw_delta;
+      }
+    }
   }
 
   std::mt19937_64 engine_;

@@ -202,6 +202,10 @@ void ApplyEnvOverrides(ExperimentConfig* config) {
       config->cluster.dsan.enabled = true;
     }
   }
+  if (const char* t = std::getenv("NATTO_SIM_THREADS")) {  // NOLINT(natto-env-read)
+    int v = std::atoi(t);
+    if (v > 0) config->cluster.sim_threads = v;
+  }
 }
 
 }  // namespace natto::harness

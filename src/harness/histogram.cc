@@ -54,7 +54,11 @@ double LatencyHistogram::mean() const {
 }
 
 double LatencyHistogram::Percentile(double q) const {
-  if (count_ == 0) return 0;
+  // Degenerate inputs produce rank 0 under the ceil-rank formula below
+  // (count_ == 0 makes every target 0; q <= 0 makes ceil(q*n) <= 0): both
+  // answer "the value no sample is below", which is 0.0 by definition —
+  // never a bucket midpoint read off uninitialized rank state.
+  if (count_ == 0 || q <= 0.0) return 0.0;
   // Nearest-rank: report the bucket holding the ceil(q*n)-th sample. The
   // previous `seen > floor(q*n)` form skewed one sample high (p50 of two
   // samples in distinct buckets landed in the upper bucket).

@@ -19,6 +19,14 @@ class DelayModel {
   /// Returns the sampled one-way delay for a message on a link whose average
   /// one-way delay is `mean`. Must be >= 0.
   virtual SimDuration Sample(SimDuration mean, Rng& rng) = 0;
+
+  /// Guaranteed lower bound on Sample(mean, ·) / mean, in (0, 1]. The
+  /// parallel kernel multiplies the topology's minimum cross-site delay by
+  /// this to get a conservative PDES lookahead; 1.0 (the default) is exact
+  /// for models that never sample below the mean. Truncation to integer
+  /// SimDuration only rounds samples down by less than one tick, which the
+  /// kernel's floor absorbs.
+  virtual double min_scale_factor() const { return 1.0; }
 };
 
 /// Delay is exactly the link average; models the paper's observation that
@@ -36,6 +44,9 @@ class UniformJitterDelayModel : public DelayModel {
 
   SimDuration Sample(SimDuration mean, Rng& rng) override;
 
+  /// Samples are uniform in [mean*(1-jitter), mean*(1+jitter)].
+  double min_scale_factor() const override { return 1.0 - jitter_; }
+
  private:
   double jitter_;
 };
@@ -52,6 +63,11 @@ class ParetoDelayModel : public DelayModel {
 
   /// Pareto shape parameter solved so that stddev/mean == variance_ratio.
   double alpha() const { return alpha_; }
+
+  /// Pareto samples never fall below the scale xm = mean*(alpha-1)/alpha.
+  double min_scale_factor() const override {
+    return variance_ratio_ == 0.0 ? 1.0 : (alpha_ - 1.0) / alpha_;
+  }
 
  private:
   double variance_ratio_;

@@ -21,9 +21,26 @@ Transport::Transport(sim::Simulator* simulator, const LatencyMatrix* matrix,
   if (delay_model_ == nullptr) delay_model_ = MakeConstantDelay();
   int n = matrix_->num_sites();
   link_free_at_.assign(static_cast<size_t>(n) * n, 0);
+  // Lane 0 serves the serial kernel and the main thread; lanes 1..n serve
+  // the parallel kernel's per-site workers. Pools are lazily chunked, so
+  // unused lanes cost one empty vector each.
+  envelope_pools_.resize(static_cast<size_t>(n) + 1);
   if (batching_enabled()) {
     NATTO_CHECK(options_.max_batch_delay >= 0);
     link_batches_.assign(static_cast<size_t>(n) * n, LinkBatch{});
+  }
+  if (simulator_->site_parallel()) {
+    // Under the site-parallel kernel Send/Deliver run concurrently on
+    // worker lanes; every stateful wire model (batch FIFOs, link/node
+    // serialization clocks, the loss/jitter RNG — min_scale_factor() == 1
+    // iff the model never draws) would race or diverge from serial order.
+    NATTO_CHECK(!batching_enabled() && options_.packet_loss == 0.0 &&
+                options_.link_bandwidth_bytes_per_sec == 0.0 &&
+                options_.node_cost_per_message == 0 &&
+                options_.node_cost_per_kib == 0 &&
+                delay_model_->min_scale_factor() == 1.0)
+        << "site-parallel simulation requires the stateless transport fast "
+           "path (no batching, loss, capacity, CPU cost, or random delays)";
   }
 }
 
@@ -146,17 +163,20 @@ double Transport::EffectiveLinkRate(int from_site, int to_site) const {
 }
 
 Transport::Envelope* Transport::AllocEnvelope() {
-  if (free_envelopes_ == nullptr) {
+  auto lane = static_cast<size_t>(simulator_->CurrentLane());
+  NATTO_DCHECK(lane < envelope_pools_.size());
+  EnvelopePool& pool = envelope_pools_[lane];
+  if (pool.free == nullptr) {
     constexpr int kChunk = 64;
-    envelope_chunks_.push_back(std::make_unique<Envelope[]>(kChunk));
-    Envelope* chunk = envelope_chunks_.back().get();
+    pool.chunks.push_back(std::make_unique<Envelope[]>(kChunk));
+    Envelope* chunk = pool.chunks.back().get();
     for (int i = kChunk - 1; i >= 0; --i) {
-      chunk[i].next = free_envelopes_;
-      free_envelopes_ = &chunk[i];
+      chunk[i].next = pool.free;
+      pool.free = &chunk[i];
     }
   }
-  Envelope* env = free_envelopes_;
-  free_envelopes_ = env->next;
+  Envelope* env = pool.free;
+  pool.free = env->next;
   return env;
 }
 
@@ -167,8 +187,10 @@ void Transport::Deliver(Envelope* env) {
   const int sa = env->from_site;
   const int sb = env->to_site;
   const NodeId to = env->to;
-  env->next = free_envelopes_;
-  free_envelopes_ = env;
+  EnvelopePool& pool =
+      envelope_pools_[static_cast<size_t>(simulator_->CurrentLane())];
+  env->next = pool.free;
+  pool.free = env;
 
   NATTO_DCHECK(messages_in_flight_ > 0);
   --messages_in_flight_;
@@ -197,8 +219,10 @@ void Transport::Deliver(Envelope* env) {
 }
 
 void Transport::ScheduleWireDelivery(SimTime at, Envelope* env) {
-  simulator_->ScheduleAt(  // NOLINT(natto-batch-bypass)
-      at, [this, env]() { Deliver(env); });
+  // Routed to the destination's site so the parallel kernel delivers on the
+  // receiver's lane; the serial kernel treats the site as a no-op.
+  simulator_->ScheduleAtSite(  // NOLINT(natto-batch-bypass)
+      env->to_site, at, [this, env]() { Deliver(env); });
 }
 
 void Transport::EnqueueBatched(int sa, int sb, Envelope* env,

@@ -1,6 +1,7 @@
 #ifndef NATTO_NET_TRANSPORT_H_
 #define NATTO_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -265,21 +266,32 @@ class Transport {
   /// runs. Ordered map: iteration order must not depend on hash layout.
   std::map<std::pair<int, int>, LinkOverlay> link_overlays_;
 
-  uint64_t messages_sent_ = 0;
-  uint64_t bytes_sent_ = 0;
-  uint64_t messages_delivered_ = 0;
-  uint64_t messages_in_flight_ = 0;
-  uint64_t delivery_drops_ = 0;
-  uint64_t messages_dropped_ = 0;
-  uint64_t messages_lost_ = 0;
-  uint64_t dropped_crash_ = 0;
-  uint64_t dropped_partition_ = 0;
-  uint64_t dropped_loss_ = 0;
-  uint64_t batches_sent_ = 0;
+  /// Traffic counters are atomics so Send/Deliver may run on the parallel
+  /// kernel's worker lanes (each message is sent and delivered once, so
+  /// relaxed RMW totals are exact; cross-thread ordering comes from the
+  /// kernel's window barrier). Serial cost: one locked add on x86.
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> messages_delivered_{0};
+  std::atomic<uint64_t> messages_in_flight_{0};
+  std::atomic<uint64_t> delivery_drops_{0};
+  std::atomic<uint64_t> messages_dropped_{0};
+  std::atomic<uint64_t> messages_lost_{0};
+  std::atomic<uint64_t> dropped_crash_{0};
+  std::atomic<uint64_t> dropped_partition_{0};
+  std::atomic<uint64_t> dropped_loss_{0};
+  std::atomic<uint64_t> batches_sent_{0};
 
-  /// Envelope pool: chunked storage plus an intrusive free list.
-  std::vector<std::unique_ptr<Envelope[]>> envelope_chunks_;
-  Envelope* free_envelopes_ = nullptr;
+  /// Envelope pool: chunked storage plus an intrusive free list, one pool
+  /// per execution lane (lane 0 = main thread / serial kernel; 1 + site on
+  /// worker lanes) so concurrent Send/Deliver never share a free list. An
+  /// envelope may be allocated on one lane and recycled on another — the
+  /// storage chunks outlive the transport either way.
+  struct EnvelopePool {
+    std::vector<std::unique_ptr<Envelope[]>> chunks;
+    Envelope* free = nullptr;
+  };
+  std::vector<EnvelopePool> envelope_pools_;
 
   // Registry mirrors; null until RegisterMetrics.
   obs::Counter* messages_sent_metric_ = nullptr;

@@ -1,6 +1,7 @@
 #ifndef NATTO_OBS_METRICS_H_
 #define NATTO_OBS_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -10,15 +11,17 @@
 namespace natto::obs {
 
 /// Monotone integer counter. Handles are owned by a MetricsRegistry and stay
-/// valid for the registry's lifetime; incrementing is a plain integer add,
-/// so instrumented hot paths pay what the hand-rolled stat fields paid.
+/// valid for the registry's lifetime. Increments are relaxed atomic adds so
+/// instrumented code may run on the parallel kernel's worker lanes; on x86
+/// that is the same locked add an uncontended mutex would start with, and
+/// the single-threaded cost stays a single instruction.
 class Counter {
  public:
-  void Inc(int64_t n = 1) { value_ += n; }
-  int64_t value() const { return value_; }
+  void Inc(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
 /// Last-written value (queue depths, cache sizes). Merged across runs by
@@ -88,8 +91,11 @@ struct MetricsSnapshot {
 /// Cluster): engines, the transport, lock tables and the harness client all
 /// register their instruments here instead of keeping ad-hoc stat fields.
 /// Get-or-create by name: components that share a name share the instrument.
-/// Not thread-safe — a cell is single-threaded by construction, and the
-/// parallel experiment runner gives every cell its own registry.
+/// Registration and Snapshot() are not thread-safe — components register at
+/// construction and snapshot after the run, both on the main thread. Counter
+/// increments through handles are atomic, so worker-lane callbacks under the
+/// parallel kernel may bump them concurrently; the parallel experiment
+/// runner additionally gives every cell its own registry.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;

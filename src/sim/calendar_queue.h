@@ -94,6 +94,13 @@ class CalendarQueue {
     // Older (smaller-seq) events for this or an earlier bucket may still
     // sit in the overflow heap; move them in first so bucket lists stay
     // seq-ordered per timestamp.
+    //
+    // Cancellation audit: a cancelled event may cross the horizon here (or
+    // in the pop-side pull-in above) after its tombstone was laid. That is
+    // safe because tombstones live in the *simulator* keyed by seq, not in
+    // this structure: migration moves the node with its seq intact, and the
+    // discard happens wherever the node eventually pops.
+    // sim_kernel_test.cc (CancelSurvivesOverflowMigration) pins this.
     while (!overflow_.empty() && (overflow_[0]->time >> kBucketShift) <= b) {
       RingAppend(OverflowPop());
     }
@@ -150,6 +157,38 @@ class CalendarQueue {
         return head;
       }
       // Active bucket fully drained.
+      active_bucket_ = -1;
+      ClearBucketBit(b);
+    }
+  }
+
+  /// Returns the earliest pending event without removing it, or nullptr
+  /// when empty. Performs the same lazy migration/distribution work a pop
+  /// would (overflow pull-in, bucket distribution), so a following
+  /// PopIfAtMost finds the head already staged; the observable pop sequence
+  /// is unchanged. The parallel kernel peeks every partition's head to pick
+  /// the next window or serialized step.
+  EventNode* PeekEarliest() {
+    if (size_ == 0) return nullptr;
+    while (!overflow_.empty() &&
+           (overflow_[0]->time >> kBucketShift) < cursor_bucket_ + kNumBuckets) {
+      RingAppend(OverflowPop());
+    }
+    for (;;) {
+      int64_t b = FindFirstBucket();
+      if (b < 0) {
+        // Ring empty: the minimum lives in the overflow heap (it stays
+        // there — see PopIfAtMost on why migration waits for the cursor).
+        return overflow_.empty() ? nullptr : overflow_[0];
+      }
+      if (b != active_bucket_) {
+        if (active_bucket_ >= 0) ReabsorbActive();
+        Distribute(b);
+      }
+      if (sub_mask_ != 0) {
+        return sub_heads_[CountTrailingZeros(sub_mask_)];
+      }
+      // The tracked bucket was drained by earlier pops; clear and rescan.
       active_bucket_ = -1;
       ClearBucketBit(b);
     }

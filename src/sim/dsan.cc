@@ -40,6 +40,24 @@ DeterminismLedger::DeterminismLedger(const DsanOptions& options)
 
 void DeterminismLedger::RecordEvent(SimTime fire_time, uint64_t seq,
                                     uint64_t parent_seq) {
+  RecordEventImpl(fire_time, seq, parent_seq, nullptr);
+}
+
+void DeterminismLedger::RecordEventReplay(SimTime fire_time, uint64_t seq,
+                                          uint64_t parent_seq,
+                                          uint64_t draws_before) {
+  RecordEventImpl(fire_time, seq, parent_seq, &draws_before);
+}
+
+uint64_t DeterminismLedger::LiveDrawTotal() const {
+  uint64_t draws = 0;
+  for (const auto& [name, counter] : rng_streams_) draws += *counter;
+  return draws;
+}
+
+void DeterminismLedger::RecordEventImpl(SimTime fire_time, uint64_t seq,
+                                        uint64_t parent_seq,
+                                        const uint64_t* draws_override) {
   digest_ = FnvMix64(digest_, static_cast<uint64_t>(fire_time));
   digest_ = FnvMix64(digest_, seq);
   digest_ = FnvMix64(digest_, parent_seq);
@@ -49,8 +67,11 @@ void DeterminismLedger::RecordEvent(SimTime fire_time, uint64_t seq,
     window_.push_back(DsanEventRecord{events_, fire_time, seq, parent_seq});
   }
   if (events_ % interval_ == 0) {
-    uint64_t draws = 0;
-    for (const auto& [name, counter] : rng_streams_) draws += *counter;
+    // Serial path: RecordEvent runs before the event's callback, so the
+    // live counters hold exactly the draws made by earlier events. The
+    // parallel replay passes that same quantity explicitly.
+    uint64_t draws = draws_override != nullptr ? *draws_override
+                                               : LiveDrawTotal();
     checkpoints_.push_back(
         DsanCheckpoint{events_, digest_, fire_time, seq, draws});
     if (checkpoints_.size() >= options_.trail_capacity &&

@@ -102,6 +102,20 @@ class DeterminismLedger {
   /// triple into the digest and checkpoints on interval boundaries.
   void RecordEvent(SimTime fire_time, uint64_t seq, uint64_t parent_seq);
 
+  /// Merge-barrier variant used by the parallel kernel's serial replay:
+  /// identical to RecordEvent except the checkpoint draw count is taken
+  /// from `draws_before` (the reconstructed serial cumulative count before
+  /// this event's callback) instead of summing the live stream counters,
+  /// which at the barrier already include draws from events that serially
+  /// come *after* this one.
+  void RecordEventReplay(SimTime fire_time, uint64_t seq, uint64_t parent_seq,
+                         uint64_t draws_before);
+
+  /// Sum of all registered stream counters right now. The parallel kernel
+  /// snapshots this before dispatching a window to anchor per-event draw
+  /// deltas.
+  uint64_t LiveDrawTotal() const;
+
   /// Registers a named RNG stream and returns its draw counter; hand the
   /// pointer to `Rng::Instrument`. Counters live as long as the ledger.
   /// Registering the same name twice returns the same counter.
@@ -115,6 +129,8 @@ class DeterminismLedger {
   const DsanOptions& options() const { return options_; }
 
  private:
+  void RecordEventImpl(SimTime fire_time, uint64_t seq, uint64_t parent_seq,
+                       const uint64_t* draws_override);
   void Compact();
 
   DsanOptions options_;

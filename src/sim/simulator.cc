@@ -8,6 +8,9 @@
 namespace natto::sim {
 
 Simulator::EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
+  if (parallel_ != nullptr) {
+    return ParallelSchedule(kInheritSite, t, std::move(cb));
+  }
   NATTO_DCHECK(t >= now_) << "ScheduleAt in the past: t=" << t
                           << " Now()=" << now_;
   if (t < now_) t = now_;
@@ -16,12 +19,22 @@ Simulator::EventId Simulator::ScheduleAt(SimTime t, Callback cb) {
   return seq;
 }
 
+Simulator::EventId Simulator::ScheduleAtSite(int site, SimTime t, Callback cb) {
+  if (parallel_ != nullptr) {
+    return ParallelSchedule(site, t, std::move(cb));
+  }
+  // Serial kernel: site routing is a no-op; one queue serves everything.
+  return ScheduleAt(t, std::move(cb));
+}
+
 Simulator::EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
   if (delay < 0) delay = 0;
-  return ScheduleAt(now_ + delay, std::move(cb));
+  // Now(), not now_: on a parallel worker lane "now" is the site clock.
+  return ScheduleAt(Now() + delay, std::move(cb));
 }
 
 bool Simulator::Cancel(EventId id) {
+  if (parallel_ != nullptr) return ParallelCancel(id);
   if (id >= next_seq_) return false;
   return cancelled_.insert(id).second;
 }
@@ -51,6 +64,10 @@ void Simulator::FireOrDiscard(EventNode* n) {
 }
 
 void Simulator::Run() {
+  if (parallel_ != nullptr) {
+    ParallelRun(kSimTimeMax, /*settle=*/false);
+    return;
+  }
   stopped_ = false;
   while (!stopped_) {
     EventNode* n = queue_.PopIfAtMost(kSimTimeMax);
@@ -60,6 +77,10 @@ void Simulator::Run() {
 }
 
 void Simulator::RunUntil(SimTime t) {
+  if (parallel_ != nullptr) {
+    ParallelRun(t, /*settle=*/true);
+    return;
+  }
   stopped_ = false;
   while (!stopped_) {
     EventNode* n = queue_.PopIfAtMost(t);

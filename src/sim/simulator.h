@@ -1,7 +1,9 @@
 #ifndef NATTO_SIM_SIMULATOR_H_
 #define NATTO_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <unordered_set>
 
 #include "common/sim_time.h"
@@ -11,6 +13,30 @@
 namespace natto::sim {
 
 class DeterminismLedger;
+class ParallelKernel;
+struct ParallelPhaseStats;
+
+/// Configuration for the intra-run parallel kernel (sim/parallel_kernel.h,
+/// DESIGN.md §4.11). Default-constructed options describe the serial
+/// kernel; ConfigureParallel with num_threads <= 1 is a no-op.
+struct ParallelOptions {
+  /// Worker threads, including the caller (which participates in windows).
+  int num_threads = 1;
+  /// Site partitions owning their own CalendarQueue. 0 = degenerate mode:
+  /// every event stays in the global queue and RunUntil executes the exact
+  /// serial loop, but through the kernel's dispatch path (used by Cluster,
+  /// whose engine stack is not yet site-confined).
+  int num_sites = 0;
+  /// Conservative PDES lookahead: a callback firing at time T on one site
+  /// may schedule onto *another* site no earlier than T + lookahead. 0
+  /// forces every event through the serialized path (correct, no speedup).
+  SimDuration lookahead = 0;
+  /// Keep provisional->canonical id mappings for events scheduled by one
+  /// window and still pending after it, so Cancel of such ids works from
+  /// later windows. Costs one hash entry per deferred cross-window
+  /// schedule; workloads that never cancel can turn it off.
+  bool track_cancel_ids = true;
+};
 
 /// Deterministic discrete-event simulator. All nodes (clients, servers,
 /// proxies, replicas) share one `Simulator`; events scheduled at equal times
@@ -31,17 +57,33 @@ class Simulator {
   /// Handle for Cancel(); every Schedule* call returns a fresh one.
   using EventId = uint64_t;
 
-  Simulator() = default;
+  // Both out-of-line (parallel_kernel.cc): ParallelKernel is incomplete
+  // here and unique_ptr needs the full type to destroy it.
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current simulated time. Starts at 0.
-  SimTime Now() const { return now_; }
+  /// Current simulated time. Starts at 0. Inside a parallel window this is
+  /// the executing site's local clock (the serial Now() an event at that
+  /// timestamp would observe).
+  SimTime Now() const { return parallel_ == nullptr ? now_ : ParallelNow(); }
 
   /// Schedules `cb` to run at absolute simulated time `t` (>= Now()).
   /// Scheduling in the past is a programming error (NATTO_DCHECK); release
   /// builds clamp to Now(), mirroring ScheduleAfter's negative-delay clamp.
   EventId ScheduleAt(SimTime t, Callback cb);
+
+  /// Site-routing sentinels for ScheduleAtSite.
+  static constexpr int kGlobalSite = -1;   // main-thread global queue
+  static constexpr int kInheritSite = -2;  // same site as the caller
+
+  /// ScheduleAt variant that names the partition the event belongs to.
+  /// Serial kernel (and degenerate parallel mode): identical to ScheduleAt.
+  /// Site-parallel kernel: the event lands in `site`'s calendar queue and
+  /// fires on that site's lane. Cross-site schedules from a worker must
+  /// satisfy t >= window_end (guaranteed when t >= Now() + lookahead).
+  EventId ScheduleAtSite(int site, SimTime t, Callback cb);
 
   /// Schedules `cb` to run `delay` after Now(). Negative delays are clamped
   /// to zero (a message can never arrive in the past).
@@ -61,11 +103,37 @@ class Simulator {
   void RunUntil(SimTime t);
 
   /// Requests that `Run()`/`RunUntil()` return after the current event.
-  void Stop() { stopped_ = true; }
+  /// Under the site-parallel kernel a Stop() from a worker-lane callback
+  /// takes effect at the next window barrier: the in-flight window finishes
+  /// (its merged outcome is deterministic), then the run loop returns.
+  void Stop() { stopped_.store(true, std::memory_order_relaxed); }
+
+  /// Installs the parallel kernel (sim/parallel_kernel.h). Must be called
+  /// before any event is scheduled or executed; no-op when
+  /// options.num_threads <= 1, keeping the exact serial code path.
+  void ConfigureParallel(const ParallelOptions& options);
+
+  /// True when the site-parallel kernel is installed (num_sites > 0).
+  /// Transport uses this to insist on its stateless fast path.
+  bool site_parallel() const;
+
+  /// Points the site-parallel kernel at a phase-profiling sink
+  /// (sim/parallel_kernel.h). Null (the default) disables collection; a
+  /// no-op on the serial kernel and in degenerate mode. Timing never feeds
+  /// back into execution, so determinism is unaffected.
+  void SetParallelPhaseStats(ParallelPhaseStats* stats);
+
+  /// Execution lane of the calling thread: 0 on the main thread (serial
+  /// kernel, degenerate mode, and between windows), 1 + site inside a
+  /// worker-executed event. Indexes per-lane pools (e.g. Transport
+  /// envelopes).
+  int CurrentLane() const;
 
   /// Number of events not yet executed (cancelled-but-undrained events
-  /// included).
-  size_t pending_events() const { return queue_.size(); }
+  /// included). Counts all partitions under the site-parallel kernel.
+  size_t pending_events() const {
+    return parallel_ == nullptr ? queue_.size() : ParallelPending();
+  }
 
   /// Total events executed since construction (cancelled events never
   /// count).
@@ -81,9 +149,19 @@ class Simulator {
   static constexpr uint64_t kNoParent = ~uint64_t{0};
 
  private:
+  friend class ParallelKernel;
+
   /// Runs the node's callback (or discards it if cancelled) and recycles
   /// the node into the queue's pool.
   void FireOrDiscard(EventNode* n);
+
+  /// Parallel-kernel delegates, defined in parallel_kernel.cc (the only TU
+  /// that sees the full ParallelKernel type).
+  SimTime ParallelNow() const;
+  size_t ParallelPending() const;
+  EventId ParallelSchedule(int site, SimTime t, Callback cb);
+  bool ParallelCancel(EventId id);
+  void ParallelRun(SimTime limit, bool settle);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
@@ -91,9 +169,12 @@ class Simulator {
   /// seq of the event currently firing (causal parent for events its
   /// callback schedules); kNoParent between events.
   uint64_t firing_seq_ = kNoParent;
-  bool stopped_ = false;
+  /// Atomic so a worker-lane callback can request Stop(); relaxed is enough
+  /// (the window barrier's mutex orders the main thread's read).
+  std::atomic<bool> stopped_{false};
   DeterminismLedger* ledger_ = nullptr;
   CalendarQueue queue_;
+  std::unique_ptr<ParallelKernel> parallel_;
   /// Tombstones for Cancel(); consulted only when non-empty, so the
   /// fault-free hot path pays a single empty() test per event.
   std::unordered_set<uint64_t> cancelled_;

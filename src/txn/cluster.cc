@@ -1,5 +1,6 @@
 #include "txn/cluster.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -26,6 +27,14 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
       rng_(options_.seed) {
   NATTO_CHECK(topology_.num_sites() <= matrix_.num_sites())
       << "topology uses more sites than the latency matrix defines";
+  if (options_.sim_threads > 1) {
+    // Degenerate parallel mode (num_sites = 0): the kernel's dispatch path
+    // runs but every event stays in the global queue, so output is
+    // byte-identical to serial at any thread count. Must precede any
+    // scheduling — this is the first simulator touch in construction.
+    simulator_.ConfigureParallel(sim::ParallelOptions{
+        options_.sim_threads, 0, ConservativeLookahead(), true});
+  }
   if (options_.dsan.enabled) {
     // Attach before anything draws randomness or schedules events so the
     // ledger sees the whole run; instrumenting the root RNG here covers
@@ -68,6 +77,20 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
         tracer_.get(), options_.fault_schedule);
     fault_injector_->Arm();
   }
+}
+
+SimDuration Cluster::ConservativeLookahead() const {
+  SimDuration min_delay = kSimTimeMax;
+  int n = topology_.num_sites();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      min_delay = std::min(min_delay, matrix_.OneWay(a, b));
+    }
+  }
+  if (min_delay == kSimTimeMax) return 0;  // single-site deployment
+  double scale = MakeDelayModel(options_)->min_scale_factor();
+  return static_cast<SimDuration>(static_cast<double>(min_delay) * scale);
 }
 
 int Cluster::CoordinatorSite(int site) const {

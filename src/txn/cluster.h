@@ -60,6 +60,15 @@ struct ClusterOptions {
   /// is treated as lost to a leader failure.
   SimDuration replication_timeout = Millis(1500);
 
+  /// Simulation kernel threads (NATTO_SIM_THREADS). 1 (default) runs the
+  /// exact serial kernel. >1 installs the parallel kernel in degenerate
+  /// (all-global) mode: output stays byte-identical by construction while
+  /// the windowed dispatch path is exercised end-to-end. True site-parallel
+  /// windows are currently kernel-level only (perf_kernel, the parallel
+  /// kernel tests) — the cluster's engine stack is not yet site-confined;
+  /// ConservativeLookahead() is what site confinement will plug in.
+  int sim_threads = 1;
+
   uint64_t seed = 1;
 };
 
@@ -111,6 +120,12 @@ class Cluster {
   /// The injector driving the configured fault schedule, or nullptr when
   /// the schedule is empty (null fast path).
   fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  /// Conservative PDES lookahead for this deployment: the minimum
+  /// cross-site one-way delay in the latency matrix (over the topology's
+  /// sites) scaled by the delay model's guaranteed minimum factor. Any
+  /// event on one site can influence another site no sooner than this.
+  SimDuration ConservativeLookahead() const;
 
  private:
   net::LatencyMatrix matrix_;

@@ -104,12 +104,14 @@ void RunAndRender(const char* jobs, std::string* out,
 // and schedule render byte-identical tables serially and under
 // NATTO_JOBS=8, including the per-bucket availability timeline.
 void RunChaosAndRender(const char* jobs, std::string* out,
-                       std::vector<sim::DsanTrail>* trails = nullptr) {
+                       std::vector<sim::DsanTrail>* trails = nullptr,
+                       const std::function<void(ExperimentConfig*)>& mutate = {}) {
   ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
   std::vector<System> systems = {MakeSystem(SystemKind::kTwoPl),
                                  MakeSystem(SystemKind::kCarouselFast),
                                  MakeSystem(SystemKind::kNattoRecsf)};
   ExperimentConfig config = TinyConfig(30);
+  if (mutate) mutate(&config);
   if (trails != nullptr) config.cluster.dsan.enabled = true;
   config.request_timeout = Millis(800);
   config.backoff_base = Millis(25);
@@ -281,6 +283,52 @@ TEST(ByteIdentityTest, DsanDigestsMatchSerialVsParallelOnFailoverChaos) {
     EXPECT_TRUE(d.comparable) << "cell " << i;
     EXPECT_FALSE(d.diverged)
         << "cell " << i << " diverged serial vs NATTO_JOBS=8: " << d.what;
+  }
+}
+
+// NATTO_SIM_THREADS=4 installs the parallel simulation kernel (degenerate
+// mode for the cluster's engine stack, DESIGN.md §4.11); the contract is
+// byte-identity at any thread count, alone and combined with the NATTO_JOBS
+// cell fan-out, down to the dsan digest trails.
+TEST(ByteIdentityTest, SimThreads4IsByteIdenticalToSerialOnFig7Tiny) {
+  auto threaded = [](ExperimentConfig* c) { c->cluster.sim_threads = 4; };
+  std::string baseline, with_threads, with_threads_and_jobs;
+  std::vector<sim::DsanTrail> base_trails, thread_trails;
+  RunAndRender("1", &baseline, {}, &base_trails);
+  RunAndRender("1", &with_threads, threaded, &thread_trails);
+  RunAndRender("8", &with_threads_and_jobs, threaded);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(with_threads, baseline)
+      << "sim_threads=4 changed the rendered fig7 table";
+  EXPECT_EQ(with_threads_and_jobs, baseline)
+      << "sim_threads=4 + NATTO_JOBS=8 changed the rendered fig7 table";
+  CompareOrWriteGolden("fig7_ycsbt_tiny.golden", with_threads);
+  ASSERT_EQ(thread_trails.size(), base_trails.size());
+  for (size_t i = 0; i < base_trails.size(); ++i) {
+    EXPECT_GT(base_trails[i].events, 0u) << "cell " << i;
+    sim::DsanDivergence d = sim::DiffTrails(base_trails[i], thread_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs sim_threads=4: " << d.what;
+  }
+}
+
+TEST(ByteIdentityTest, SimThreads4IsByteIdenticalToSerialOnFailoverChaos) {
+  auto threaded = [](ExperimentConfig* c) { c->cluster.sim_threads = 4; };
+  std::string baseline, with_threads;
+  std::vector<sim::DsanTrail> base_trails, thread_trails;
+  RunChaosAndRender("1", &baseline, &base_trails);
+  RunChaosAndRender("8", &with_threads, &thread_trails, threaded);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(with_threads, baseline)
+      << "sim_threads=4 + NATTO_JOBS=8 changed the chaos table";
+  CompareOrWriteGolden("failover_chaos_tiny.golden", with_threads);
+  ASSERT_EQ(thread_trails.size(), base_trails.size());
+  for (size_t i = 0; i < base_trails.size(); ++i) {
+    sim::DsanDivergence d = sim::DiffTrails(base_trails[i], thread_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs sim_threads=4: " << d.what;
   }
 }
 

@@ -72,6 +72,58 @@ TEST(ClusterTest, RunsDeterministicallyFromSeed) {
   EXPECT_NE(t1, t2);
 }
 
+TEST(ClusterTest, ConservativeLookaheadTracksMinLinkAndDelayModel) {
+  // Constant delays: the lookahead is the minimum cross-site one-way delay
+  // over the topology's sites — VA-WA's 67 ms RTT halved on AzureFive.
+  Cluster constant(net::LatencyMatrix::AzureFive(), Topology::Spread(5, 3, 5),
+                   NoSkew());
+  EXPECT_EQ(constant.ConservativeLookahead(), Millis(67) / 2);
+
+  // Uniform jitter scales the guaranteed minimum by (1 - jitter).
+  ClusterOptions jitter = NoSkew();
+  jitter.uniform_jitter = 0.25;
+  Cluster jittered(net::LatencyMatrix::AzureFive(), Topology::Spread(5, 3, 5),
+                   jitter);
+  EXPECT_EQ(jittered.ConservativeLookahead(),
+            static_cast<SimDuration>((Millis(67) / 2) * 0.75));
+
+  // Pareto delays have samples down to xm = mean * (alpha-1)/alpha: a
+  // positive lookahead strictly below the constant-model bound.
+  ClusterOptions pareto = NoSkew();
+  pareto.delay_variance_ratio = 0.2;
+  Cluster heavy(net::LatencyMatrix::AzureFive(), Topology::Spread(5, 3, 5),
+                pareto);
+  EXPECT_GT(heavy.ConservativeLookahead(), 0);
+  EXPECT_LT(heavy.ConservativeLookahead(), constant.ConservativeLookahead());
+
+  // A single-site topology has no cross-site links: no lookahead.
+  Cluster single(net::LatencyMatrix::AzureFive(), Topology::Spread(1, 1, 1),
+                 NoSkew());
+  EXPECT_EQ(single.ConservativeLookahead(), 0);
+}
+
+TEST(ClusterTest, SimThreadsInstallsDegenerateParallelKernel) {
+  // sim_threads > 1 installs the kernel in degenerate mode: dispatch runs
+  // through it (site_parallel() stays false) and engine output is
+  // byte-identical — byte_identity_test pins the full-table guarantee.
+  ClusterOptions o = NoSkew();
+  o.sim_threads = 4;
+  Cluster c(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), o);
+  EXPECT_FALSE(c.simulator()->site_parallel());
+  SimTime done = 0;
+  (void)c.group(0)->leader()->Propose(1,
+                                      [&]() { done = c.simulator()->Now(); });
+  c.simulator()->RunUntil(Seconds(2));
+  ClusterOptions serial = NoSkew();
+  Cluster s(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), serial);
+  SimTime done_serial = 0;
+  (void)s.group(0)->leader()->Propose(
+      1, [&]() { done_serial = s.simulator()->Now(); });
+  s.simulator()->RunUntil(Seconds(2));
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(done, done_serial);
+}
+
 TEST(ClusterTest, RejectsTopologyLargerThanMatrix) {
   EXPECT_DEATH(
       Cluster(net::LatencyMatrix::LocalTriangle(), Topology::Spread(5, 3, 5),

@@ -12,6 +12,8 @@
 #include "sim/dsan.h"
 #include "sim/simulator.h"
 
+#include "../bench/bench_util.h"  // DsanArgs / ParseDsanArg under test
+
 namespace {
 
 using natto::Rng;
@@ -238,6 +240,23 @@ TEST(DsanLedger, SameStreamNameSharesOneCounter) {
   ASSERT_EQ(t.rng_streams.size(), 1u);
   EXPECT_EQ(t.rng_streams[0].second, 3u);
   EXPECT_EQ(t.rng_draws, 3u);
+}
+
+TEST(DsanArgsTest, TrailFlagWithoutPathExitsWithUsageError) {
+  // Regression: `--dsan-trail=` used to store an empty trail path (silently
+  // writing to "") and bare `--dsan-trail` fell through to the generic
+  // unknown-argument error. Both are now a loud usage failure naming the
+  // exact spelling.
+  natto::bench::DsanArgs args;
+  EXPECT_EXIT(natto::bench::ParseDsanArg("--dsan-trail=", &args),
+              ::testing::ExitedWithCode(2), "requires a path");
+  EXPECT_EXIT(natto::bench::ParseDsanArg("--dsan-trail", &args),
+              ::testing::ExitedWithCode(2), "requires a path");
+  // The well-formed spellings still parse.
+  EXPECT_TRUE(natto::bench::ParseDsanArg("--dsan-trail=/tmp/t.trail", &args));
+  EXPECT_TRUE(args.enabled);
+  EXPECT_EQ(args.trail_path, "/tmp/t.trail");
+  EXPECT_FALSE(natto::bench::ParseDsanArg("--not-a-dsan-flag", &args));
 }
 
 TEST(DsanLedger, NullLedgerAndDisabledTrailsAreHandled) {

@@ -4,6 +4,7 @@
 
 struct FakeSimulator {
   void ScheduleAt(long at, int fn);
+  void ScheduleAtSite(int site, long at, int fn);
   void ScheduleAfter(long delay, int fn);
 };
 
@@ -14,8 +15,16 @@ struct FakeTransport {
     simulator_->ScheduleAt(at, 1);  // should fire: bypasses the flush queue
   }
 
+  void BadSiteDelivery(long at) {
+    simulator_->ScheduleAtSite(0, at, 5);  // should fire: same bypass
+  }
+
   void OkFramingSite(long at) {
     simulator_->ScheduleAt(at, 2);  // NOLINT(natto-batch-bypass)
+  }
+
+  void OkSiteFastPath(long at) {
+    simulator_->ScheduleAtSite(0, at, 6);  // NOLINT(natto-batch-bypass)
   }
 
   void OkSuppressedNextLine(long at) {

@@ -1,0 +1,12 @@
+// nattolint: synchronized-tu(fixture worker pool; state handoff via mutex)
+// Fixture for the synchronized-tu relaxation of natto-thread-shared
+// (2 violations). The file-level annotation permits thread_local, but only
+// on lines that carry a comment justifying that specific use; volatile
+// stays banned outright.
+thread_local int worker_slot = -1;  // worker identity, set once at spawn
+
+thread_local int unjustified = 0;
+
+volatile bool stop_flag = false;  // still flagged: comment does not help
+
+int Use() { return worker_slot + unjustified + (stop_flag ? 1 : 0); }

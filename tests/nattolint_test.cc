@@ -173,10 +173,10 @@ TEST(NattolintBatchBypass, FlagsDirectScheduleAtInNet) {
   auto vs = nattolint::LintContent("src/net/fixture.cc",
                                    ReadFixture("net_schedule_bad.cc"), {});
   auto by_rule = CountByRule(vs);
-  EXPECT_EQ(by_rule["natto-batch-bypass"], 1)
-      << "one unsuppressed ->ScheduleAt(; NOLINT, NOLINTNEXTLINE and "
-         "ScheduleAfter must not fire";
-  EXPECT_EQ(static_cast<int>(vs.size()), 1);
+  EXPECT_EQ(by_rule["natto-batch-bypass"], 2)
+      << "one unsuppressed ->ScheduleAt( and one ->ScheduleAtSite(; NOLINT, "
+         "NOLINTNEXTLINE and ScheduleAfter must not fire";
+  EXPECT_EQ(static_cast<int>(vs.size()), 2);
 }
 
 TEST(NattolintBatchBypass, OtherDirectoriesAreExempt) {
@@ -251,6 +251,29 @@ TEST(NattolintThreadShared, FlagsThreadLocalAndVolatileInSrc) {
   auto by_rule = CountByRule(vs);
   EXPECT_EQ(by_rule["natto-thread-shared"], 2) << "thread_local and volatile";
   EXPECT_EQ(static_cast<int>(vs.size()), 2) << "the NOLINT'd one must not fire";
+}
+
+TEST(NattolintThreadShared, SynchronizedTuPermitsCommentedThreadLocal) {
+  // A `nattolint: synchronized-tu(<reason>)` file comment relaxes the rule
+  // for thread_local on lines that carry a justifying comment; a bare
+  // thread_local and any volatile still fire.
+  auto vs = LintFixture("thread_shared_synchronized_ok.cc");
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-thread-shared"], 2)
+      << "uncommented thread_local and volatile; the commented thread_local "
+         "must not fire";
+  EXPECT_EQ(static_cast<int>(vs.size()), 2);
+}
+
+TEST(NattolintThreadShared, EmptyReasonAnnotationIsIgnored) {
+  // The annotation must say why: an empty reason leaves the rule fully
+  // armed, so even a commented thread_local fires.
+  auto vs = nattolint::LintContent(
+      "src/sim/fixture.cc",
+      "// nattolint: synchronized-tu( )\n"
+      "thread_local int x = 0;  // commented but still flagged\n",
+      {});
+  EXPECT_EQ(CountByRule(vs)["natto-thread-shared"], 1);
 }
 
 TEST(NattolintThreadShared, OnlySrcTranslationUnitsApply) {

@@ -317,6 +317,41 @@ TEST(SimKernelTest, StopMidBucketPreservesRemainderOfTheInstant) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(SimKernelTest, StopAtExactRunUntilBoundaryDoesNotDoubleFireOnResume) {
+  // Regression: Stop() called from a callback firing exactly at the
+  // RunUntil(t) limit must leave the *rest* of instant t queued, and a
+  // subsequent RunUntil(t) must fire each remaining event exactly once —
+  // neither skipping them (boundary treated as exhausted) nor replaying
+  // the stopped event. Lockstepped against the reference heap.
+  auto drive = [](auto& sim) {
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+      sim.ScheduleAt(Millis(7), [&sim, &order, i]() {
+        order.push_back(i);
+        if (i == 1) sim.Stop();
+      });
+    }
+    sim.ScheduleAt(Millis(7) + 1, [&order]() { order.push_back(99); });
+    sim.RunUntil(Millis(7));
+    std::vector<int> after_stop = order;
+    SimTime now_at_stop = sim.Now();
+    sim.RunUntil(Millis(7));  // resume the same boundary
+    sim.RunUntil(Millis(7));  // idempotent: instant fully drained now
+    std::vector<int> after_resume = order;
+    sim.Run();
+    return std::make_tuple(after_stop, now_at_stop, after_resume, order,
+                           sim.Now(), sim.executed_events());
+  };
+  Simulator sim;
+  ReferenceSimulator ref;
+  auto actual = drive(sim);
+  auto expected = drive(ref);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(std::get<0>(actual), (std::vector<int>{0, 1}));
+  EXPECT_EQ(std::get<2>(actual), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(std::get<3>(actual), (std::vector<int>{0, 1, 2, 3, 99}));
+}
+
 TEST(SimKernelTest, ReentrantScheduleAtNowRunsAfterQueuedPeers) {
   Simulator sim;
   std::vector<int> order;
@@ -344,6 +379,37 @@ TEST(SimKernelTest, CancelledEventIsDiscardedWithoutRunningOrAdvancing) {
   EXPECT_EQ(sim.Now(), Millis(2));
   EXPECT_EQ(sim.executed_events(), 1u);
   EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimKernelTest, CancelSurvivesOverflowMigration) {
+  // Audit pin for CalendarQueue::Push's migrate-before-insert: an event
+  // cancelled while parked in the overflow heap must still be discarded
+  // after it migrates into the ring (the tombstone is keyed by seq, which
+  // migration preserves). Lockstepped against the reference heap, which
+  // has no ring/overflow split at all.
+  auto drive = [](auto& sim) {
+    std::vector<int> order;
+    // Far beyond the ~524 ms ring horizon: lives in the overflow heap.
+    auto doomed = sim.ScheduleAt(Seconds(1), [&order]() { order.push_back(-1); });
+    sim.ScheduleAt(Seconds(1) - 5, [&order]() { order.push_back(0); });
+    sim.ScheduleAt(Seconds(1), [&order]() { order.push_back(1); });
+    sim.ScheduleAt(Seconds(1) + 5, [&order]() { order.push_back(2); });
+    bool cancelled = sim.Cancel(doomed);
+    // Advance past the horizon so the overflow events migrate into the
+    // ring (the cancelled node travels with its seq intact), then drain.
+    sim.RunUntil(Millis(600));
+    sim.Run();
+    return std::make_tuple(cancelled, order, sim.Now(), sim.executed_events(),
+                           sim.pending_events());
+  };
+  Simulator sim;
+  ReferenceSimulator ref;
+  auto actual = drive(sim);
+  auto expected = drive(ref);
+  EXPECT_EQ(actual, expected);
+  EXPECT_TRUE(std::get<0>(actual));
+  EXPECT_EQ(std::get<1>(actual), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(std::get<3>(actual), 3u);
 }
 
 TEST(SimKernelTest, FarFutureEventsCrossTheOverflowHorizonInOrder) {

@@ -54,6 +54,22 @@ TEST(LatencyHistogramTest, PercentileUsesCeilRank) {
   EXPECT_NEAR(g.Percentile(0.95), 95, 95 * 0.05);
 }
 
+TEST(LatencyHistogramTest, PercentileDegenerateInputsReturnZero) {
+  // Regression: an empty histogram (count_ == 0) or a non-positive
+  // quantile makes the ceil-rank target 0, which used to walk off the
+  // bucket scan and report an arbitrary bucket midpoint. Both now answer
+  // 0.0 — "the value no sample is below".
+  harness::LatencyHistogram empty;
+  EXPECT_EQ(empty.Percentile(0.95), 0.0);
+  EXPECT_EQ(empty.Percentile(0.0), 0.0);
+
+  harness::LatencyHistogram h;
+  h.Record(50);
+  EXPECT_EQ(h.Percentile(0.0), 0.0);
+  EXPECT_EQ(h.Percentile(-0.5), 0.0);
+  EXPECT_GT(h.Percentile(1.0), 0.0);  // real samples still report
+}
+
 TEST(DelayEstimatorTest, EstimateUsesCeilRank) {
   net::DelayEstimator est(Seconds(1), /*quantile=*/0.5);
   est.AddSample(0, Millis(10));

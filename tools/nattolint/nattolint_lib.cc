@@ -410,8 +410,8 @@ const std::vector<RuleDoc>& Rules() {
        "NATTO_CHECK/NATTO_DCHECK condition with side effects; NDEBUG builds "
        "would skip them"},
       {"natto-batch-bypass",
-       "direct ->ScheduleAt( in src/net translation units bypasses the link "
-       "batching flush queue"},
+       "direct ->ScheduleAt(/->ScheduleAtSite( in src/net translation units "
+       "bypasses the link batching flush queue"},
       {"natto-pointer-key",
        "ordered std::map/std::set keyed by a pointer; iteration follows "
        "allocation addresses, which differ run to run"},
@@ -425,7 +425,9 @@ const std::vector<RuleDoc>& Rules() {
        "library behavior must come from explicit options"},
       {"natto-thread-shared",
        "thread_local/volatile state in src/ translation units; state must be "
-       "owned per cell, not per thread"},
+       "owned per cell, not per thread. A `nattolint: synchronized-tu("
+       "<reason>)` file comment permits thread_local on lines that carry a "
+       "justifying comment (volatile stays banned)"},
   };
   return kRules;
 }
@@ -468,6 +470,30 @@ std::vector<Violation> LintContent(
   TokenizedFile tf = Tokenize(content);
   const std::vector<Token>& toks = tf.tokens;
   const size_t n = toks.size();
+
+  // File-level annotation `nattolint: synchronized-tu(<reason>)`, placed in
+  // any comment (by convention the first line of the TU). It declares the
+  // whole TU an explicitly synchronized component — a worker pool or lock
+  // protocol reviewed as a unit — and relaxes natto-thread-shared for
+  // thread_local only: each thread_local line must still carry a comment
+  // justifying that specific use. volatile stays banned, and an annotation
+  // with an empty reason is ignored (the annotation must say why).
+  bool synchronized_tu = false;
+  for (const std::string& c : tf.comments) {
+    size_t pos = c.find("nattolint:");
+    if (pos == std::string::npos) continue;
+    size_t mark = c.find("synchronized-tu(", pos);
+    if (mark == std::string::npos) continue;
+    size_t open = mark + std::strlen("synchronized-tu(");
+    size_t close = c.find(')', open);
+    if (close == std::string::npos) continue;
+    for (size_t k = open; k < close; ++k) {
+      if (!std::isspace(static_cast<unsigned char>(c[k]))) {
+        synchronized_tu = true;
+        break;
+      }
+    }
+  }
 
   std::vector<Violation> out;
   std::set<std::pair<std::string, int>> reported;
@@ -662,11 +688,14 @@ std::vector<Violation> LintContent(
   // --- natto-batch-bypass --------------------------------------------------
   if (batch_applies) {
     for (size_t i = 0; i + 2 < n; ++i) {
-      if (IsPunct(toks[i], "->") && IsIdent(toks[i + 1], "ScheduleAt") &&
+      if (IsPunct(toks[i], "->") &&
+          (IsIdent(toks[i + 1], "ScheduleAt") ||
+           IsIdent(toks[i + 1], "ScheduleAtSite")) &&
           IsPunct(toks[i + 2], "(")) {
         add(toks[i + 1].line, "natto-batch-bypass",
-            "schedules directly via ->ScheduleAt(; src/net code must go "
-            "through the link batching flush queue");
+            "schedules directly via ->" + toks[i + 1].text +
+                "(; src/net code must go through the link batching flush "
+                "queue");
       }
     }
   }
@@ -778,9 +807,19 @@ std::vector<Violation> LintContent(
   if (thread_applies) {
     for (size_t i = 0; i < n; ++i) {
       if (IsIdent(toks[i], "thread_local")) {
-        add(toks[i].line, "natto-thread-shared",
-            "thread_local state keys data to worker threads; cells must own "
-            "their state so results do not depend on the thread schedule");
+        size_t idx = static_cast<size_t>(toks[i].line) - 1;
+        bool commented = idx < tf.comments.size() && !tf.comments[idx].empty();
+        if (synchronized_tu && commented) continue;
+        if (synchronized_tu) {
+          add(toks[i].line, "natto-thread-shared",
+              "thread_local in a synchronized-tu without a same-line comment "
+              "justifying this use; annotate the line or hoist the state");
+        } else {
+          add(toks[i].line, "natto-thread-shared",
+              "thread_local state keys data to worker threads; cells must "
+              "own their state so results do not depend on the thread "
+              "schedule");
+        }
       } else if (IsIdent(toks[i], "volatile")) {
         add(toks[i].line, "natto-thread-shared",
             "volatile shared state suggests cross-thread signaling; cells "
