@@ -53,6 +53,28 @@ FaultSchedule& FaultSchedule::DegradeLink(SimTime at, int site_a, int site_b,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::SlowReplica(SimTime at, int partition,
+                                          int replica, double factor,
+                                          SimDuration duration) {
+  events.push_back({at, FaultOp::kSlowReplica, partition, replica, 0, 0,
+                    duration, factor});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::StallReplica(SimTime at, int partition,
+                                           int replica, SimDuration duration) {
+  events.push_back(
+      {at, FaultOp::kStallReplica, partition, replica, 0, 0, duration, 0});
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::PartitionOneWay(SimTime at, int from_site,
+                                              int to_site) {
+  events.push_back(
+      {at, FaultOp::kPartitionOneWay, from_site, to_site, 0, 0, 0, 0});
+  return *this;
+}
+
 std::vector<FaultEvent> FaultSchedule::Sorted() const {
   std::vector<FaultEvent> sorted = events;
   std::stable_sort(sorted.begin(), sorted.end(),
@@ -193,6 +215,58 @@ bool ParseSchedule(const std::string& text, FaultSchedule* out,
                     "degrade wants all of loss=, delay=, for=");
       }
       schedule.DegradeLink(at, a, b, loss, delay, dur);
+    } else if (op == "slow") {
+      if (t.size() != 6 || !ParseIdx(t[2], 'p', &a) ||
+          !ParseIdx(t[3], 'r', &b)) {
+        return Fail(error, line_no,
+                    "slow wants: p<P> r<R> factor=<f> for=<dur>");
+      }
+      double factor = -1;
+      SimDuration dur = -1;
+      for (size_t i = 4; i < t.size(); ++i) {
+        if (t[i].rfind("factor=", 0) == 0) {
+          const std::string num = t[i].substr(7);
+          char* end = nullptr;
+          factor = std::strtod(num.c_str(), &end);
+          if (num.empty() || end == nullptr || *end != '\0' || factor < 1) {
+            return Fail(error, line_no,
+                        "bad factor in '" + t[i] + "' (want a number >= 1)");
+          }
+        } else if (t[i].rfind("for=", 0) == 0) {
+          if (!ParseDuration(t[i].substr(4), &dur)) {
+            return Fail(error, line_no, "bad duration in '" + t[i] + "'");
+          }
+        } else {
+          return Fail(error, line_no, "unknown key '" + t[i] + "'");
+        }
+      }
+      if (factor < 1 || dur <= 0) {
+        return Fail(error, line_no, "slow wants both factor= and for=");
+      }
+      schedule.SlowReplica(at, a, b, factor, dur);
+    } else if (op == "stall") {
+      if (t.size() != 5 || !ParseIdx(t[2], 'p', &a) ||
+          !ParseIdx(t[3], 'r', &b)) {
+        return Fail(error, line_no, "stall wants: p<P> r<R> for=<dur>");
+      }
+      SimDuration dur = -1;
+      if (t[4].rfind("for=", 0) == 0) {
+        if (!ParseDuration(t[4].substr(4), &dur)) {
+          return Fail(error, line_no, "bad duration in '" + t[4] + "'");
+        }
+      } else {
+        return Fail(error, line_no, "unknown key '" + t[4] + "'");
+      }
+      if (dur <= 0) {
+        return Fail(error, line_no, "stall wants a positive for=");
+      }
+      schedule.StallReplica(at, a, b, dur);
+    } else if (op == "partition-oneway") {
+      if (t.size() != 4 || !ParseIdx(t[2], 's', &a) ||
+          !ParseIdx(t[3], 's', &b)) {
+        return Fail(error, line_no, "partition-oneway wants: s<A> s<B>");
+      }
+      schedule.PartitionOneWay(at, a, b);
     } else {
       return Fail(error, line_no, "unknown op '" + op + "'");
     }
@@ -233,6 +307,16 @@ std::string FormatSchedule(const FaultSchedule& schedule) {
         out << "degrade s" << e.a << " s" << e.b << " loss=" << e.loss
             << " delay=" << secs(e.extra_delay) << " for=" << secs(e.duration);
         break;
+      case FaultOp::kSlowReplica:
+        out << "slow p" << e.a << " r" << e.b << " factor=" << e.factor
+            << " for=" << secs(e.duration);
+        break;
+      case FaultOp::kStallReplica:
+        out << "stall p" << e.a << " r" << e.b << " for=" << secs(e.duration);
+        break;
+      case FaultOp::kPartitionOneWay:
+        out << "partition-oneway s" << e.a << " s" << e.b;
+        break;
     }
     out << '\n';
   }
@@ -262,15 +346,19 @@ void FaultInjector::Arm() {
   }
 }
 
-void FaultInjector::SetReplicaCrashed(int partition, int replica,
-                                      bool crashed) {
+raft::RaftReplica* FaultInjector::Replica(int partition, int replica) {
   NATTO_CHECK(partition >= 0 && partition < static_cast<int>(groups_.size()))
       << "fault schedule names partition " << partition << " of "
       << groups_.size();
   raft::RaftGroup* g = groups_[static_cast<size_t>(partition)];
   NATTO_CHECK(replica >= 0 && replica < static_cast<int>(g->size()))
       << "fault schedule names replica " << replica << " of " << g->size();
-  raft::RaftReplica* r = g->replica(static_cast<size_t>(replica));
+  return g->replica(static_cast<size_t>(replica));
+}
+
+void FaultInjector::SetReplicaCrashed(int partition, int replica,
+                                      bool crashed) {
+  raft::RaftReplica* r = Replica(partition, replica);
   transport_->SetNodeCrashed(r->id(), crashed);
   r->SetCrashed(crashed);
 }
@@ -339,6 +427,22 @@ void FaultInjector::Apply(const FaultEvent& e) {
       Mark("fault_degrade");
       break;
     }
+    case FaultOp::kSlowReplica:
+      transport_->SetNodeSlow(Replica(e.a, e.b)->id(), e.factor,
+                              e.at + e.duration);
+      Count("slow");
+      Mark("fault_slow");
+      break;
+    case FaultOp::kStallReplica:
+      transport_->SetNodeStalled(Replica(e.a, e.b)->id(), e.at + e.duration);
+      Count("stall");
+      Mark("fault_stall");
+      break;
+    case FaultOp::kPartitionOneWay:
+      transport_->SetSitePartitionedOneWay(e.a, e.b, true);
+      Count("partition");
+      Mark("fault_partition_oneway");
+      break;
   }
 }
 

@@ -26,6 +26,9 @@ enum class FaultOp {
   kIsolateSite,     // a = site cut off from every other site
   kHealSite,        // a = site reconnected to every other site
   kDegradeLink,     // a,b = site pair; loss/extra_delay for `duration`
+  kSlowReplica,     // a=partition, b=replica; fail-slow stretch for `duration`
+  kStallReplica,    // a=partition, b=replica; gray stall for `duration`
+  kPartitionOneWay,  // a,b = directed site pair a->b to blackhole
 };
 
 struct FaultEvent {
@@ -35,7 +38,8 @@ struct FaultEvent {
   int b = -1;
   double loss = 0.0;          // kDegradeLink: added hard-drop probability
   SimDuration extra_delay = 0;  // kDegradeLink: added one-way delay
-  SimDuration duration = 0;     // kDegradeLink: overlay lifetime
+  SimDuration duration = 0;   // kDegradeLink/kSlow/kStall: fault lifetime
+  double factor = 0.0;        // kSlowReplica: service-time multiplier
 };
 
 /// A scripted fault schedule: a value type the experiment config carries.
@@ -54,6 +58,17 @@ struct FaultSchedule {
   FaultSchedule& HealSite(SimTime at, int site);
   FaultSchedule& DegradeLink(SimTime at, int site_a, int site_b, double loss,
                              SimDuration extra_delay, SimDuration duration);
+  /// Gray fail-slow: replica stays up but every message it services costs
+  /// `factor`x for `duration`.
+  FaultSchedule& SlowReplica(SimTime at, int partition, int replica,
+                             double factor, SimDuration duration);
+  /// Gray stall: replica freezes service-message processing (in and out)
+  /// for `duration` while its kernel keeps answering pings.
+  FaultSchedule& StallReplica(SimTime at, int partition, int replica,
+                              SimDuration duration);
+  /// Asymmetric blackhole on the directed path a->b only; heal with
+  /// HealSites (which clears both directions).
+  FaultSchedule& PartitionOneWay(SimTime at, int from_site, int to_site);
 
   /// Events ordered by (time, insertion order) — the injector arms them in
   /// this order so simultaneous faults fire deterministically.
@@ -69,6 +84,9 @@ struct FaultSchedule {
 ///   30s   isolate s2
 ///   36s   heal-site s2
 ///   40s   degrade s0 s1 loss=0.05 delay=30ms for=5s
+///   44s   slow p0 r0 factor=30 for=5s
+///   50s   stall p0 r0 for=2s
+///   54s   partition-oneway s0 s1
 ///
 /// Times and durations accept `<float>s` and `<float>ms` suffixes. Returns
 /// false with a diagnostic in `error` on malformed input.
@@ -103,6 +121,7 @@ class FaultInjector {
 
  private:
   void Apply(const FaultEvent& e);
+  raft::RaftReplica* Replica(int partition, int replica);
   void SetReplicaCrashed(int partition, int replica, bool crashed);
   void Count(const char* name);
   void Mark(const char* name);

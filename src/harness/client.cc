@@ -1,8 +1,10 @@
 #include "harness/client.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -45,6 +47,12 @@ Client::Client(sim::Simulator* simulator, txn::TxnEngine* engine,
   if (options_.route_origin) {
     reroutes_ = registry->GetCounter("client.reroutes");
   }
+  // Same gating for the hedging instruments: only gray-defense runs carry
+  // them, so default registries (and their goldens) are untouched.
+  if (options_.hedge_percentile > 0.0) {
+    hedges_ = registry->GetCounter("client.hedges");
+    hedge_wins_ = registry->GetCounter("client.hedge_wins");
+  }
 }
 
 void Client::Start() { ScheduleNext(); }
@@ -78,7 +86,8 @@ void Client::Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
     }
   }
   request.id = MakeTxnId(options_.client_id, next_seq_++);
-  if (options_.request_timeout <= 0) {
+  const bool hedging = options_.hedge_percentile > 0.0;
+  if (options_.request_timeout <= 0 && !hedging) {
     // Fault-free fast path: no completion token, no timer — the engine
     // callback chain is identical to the pre-timeout client.
     engine_->Execute(request,
@@ -89,22 +98,88 @@ void Client::Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
                      });
     return;
   }
+  // One token settles the whole attempt: primary outcome, hedge outcome and
+  // timeout race for it, first one wins, the others see *settled and drop
+  // their response on the floor (exactly-once toward stats and retries).
   auto settled = std::make_shared<bool>(false);
+  const bool high = txn::IsPrioritized(original_priority);
+  SimTime attempt_start = simulator_->Now();
   engine_->Execute(request,
                    [this, settled, request, first_start, attempt,
-                    original_priority](const txn::TxnResult& result) {
-                     if (*settled) return;  // timed out; late response
+                    original_priority, attempt_start,
+                    high](const txn::TxnResult& result) {
+                     if (*settled) return;  // lost the race; late response
                      *settled = true;
+                     RecordAttemptLatency(high,
+                                          simulator_->Now() - attempt_start);
                      HandleOutcome(result, request, first_start, attempt,
                                    original_priority);
                    });
-  simulator_->ScheduleAfter(
-      options_.request_timeout,
-      [this, settled, request, first_start, attempt, original_priority]() {
-        if (*settled) return;
-        *settled = true;
-        HandleTimeout(request, first_start, attempt, original_priority);
-      });
+  if (hedging) {
+    simulator_->ScheduleAfter(
+        HedgeDelay(high),
+        [this, settled, request, first_start, attempt, original_priority,
+         attempt_start, high]() mutable {
+          if (*settled) return;
+          // Re-issue under a fresh txn id (the engine keys execution state
+          // by id; the hedge is a second, independent transaction whose
+          // result we adopt) through the hedge route when wired.
+          txn::TxnRequest hedge = std::move(request);
+          hedge.id = MakeTxnId(options_.client_id, next_seq_++);
+          if (options_.hedge_route) {
+            hedge.origin_site = options_.hedge_route(hedge.origin_site);
+          }
+          if (hedges_ != nullptr) hedges_->Inc();
+          engine_->Execute(
+              hedge, [this, settled, hedge, first_start, attempt,
+                      original_priority, attempt_start,
+                      high](const txn::TxnResult& result) {
+                if (*settled) return;
+                *settled = true;
+                if (hedge_wins_ != nullptr) hedge_wins_->Inc();
+                RecordAttemptLatency(high,
+                                     simulator_->Now() - attempt_start);
+                HandleOutcome(result, hedge, first_start, attempt,
+                              original_priority);
+              });
+        });
+  }
+  if (options_.request_timeout > 0) {
+    simulator_->ScheduleAfter(
+        options_.request_timeout,
+        [this, settled, request, first_start, attempt, original_priority]() {
+          if (*settled) return;
+          *settled = true;
+          HandleTimeout(request, first_start, attempt, original_priority);
+        });
+  }
+}
+
+SimDuration Client::HedgeDelay(bool high) const {
+  const size_t pri = high ? 1 : 0;
+  const size_t n = hedge_count_[pri];
+  if (options_.hedge_min_samples > 0 &&
+      n < static_cast<size_t>(options_.hedge_min_samples)) {
+    return options_.hedge_min_delay;
+  }
+  // Nearest-rank percentile over the observation ring (same convention as
+  // harness::Percentile), floored so a streak of fast commits can't shrink
+  // the hedge delay into spraying duplicates at an idle cluster.
+  std::vector<SimDuration> window(hedge_obs_[pri], hedge_obs_[pri] + n);
+  std::sort(window.begin(), window.end());
+  size_t rank = static_cast<size_t>(
+      std::ceil(options_.hedge_percentile * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  if (rank >= n) rank = n - 1;
+  return std::max(window[rank], options_.hedge_min_delay);
+}
+
+void Client::RecordAttemptLatency(bool high, SimDuration latency) {
+  if (options_.hedge_percentile <= 0.0) return;
+  const size_t pri = high ? 1 : 0;
+  hedge_obs_[pri][hedge_next_[pri]] = latency;
+  hedge_next_[pri] = (hedge_next_[pri] + 1) % kHedgeWindow;
+  hedge_count_[pri] = std::min(hedge_count_[pri] + 1, kHedgeWindow);
 }
 
 void Client::HandleOutcome(const txn::TxnResult& result,
@@ -145,7 +220,11 @@ void Client::HandleOutcome(const txn::TxnResult& result,
       }
       RecordTimelineAbort(/*timeout=*/false);
       if (attempt >= options_.max_attempts) {
-        if (in_window) ++stats_->failed;
+        if (in_window) {
+          ++stats_->failed;
+          ++(txn::IsPrioritized(original_priority) ? stats_->failed_high
+                                                   : stats_->failed_low);
+        }
         return;
       }
       txn::TxnRequest retry = std::move(request);
@@ -171,7 +250,11 @@ void Client::HandleTimeout(txn::TxnRequest request, SimTime first_start,
   }
   RecordTimelineAbort(/*timeout=*/true);
   if (attempt >= options_.max_attempts) {
-    if (in_window) ++stats_->failed;
+    if (in_window) {
+      ++stats_->failed;
+      ++(txn::IsPrioritized(original_priority) ? stats_->failed_high
+                                               : stats_->failed_low);
+    }
     return;
   }
   txn::TxnRequest retry = std::move(request);

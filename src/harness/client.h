@@ -57,6 +57,31 @@ class Client {
     /// Width of the availability-timeline buckets recorded into
     /// RunStats::timeline (0 = off).
     SimDuration timeline_bucket = 0;
+
+    /// Hedged requests (tail-latency defense against gray failures): when
+    /// > 0, each attempt arms a hedge timer at this percentile of recently
+    /// observed settled-attempt latencies for the transaction's priority
+    /// (per-priority, so high-priority hedges track the high-priority
+    /// tail). If the primary hasn't settled when the timer fires, the
+    /// attempt is re-issued — fresh txn id, hedge-routed coordinator — and
+    /// the first outcome wins exactly-once: the loser's response is
+    /// dropped by a shared settled token, so stats and retries see one
+    /// outcome per attempt. The hedge may still execute server-side
+    /// (standard hedged-request caveat; the workloads' RMW transactions
+    /// are idempotent re-executions under a fresh id). Quantile in (0, 1],
+    /// e.g. 0.95. 0 (default) = off, byte-identical to the unhedged
+    /// client.
+    double hedge_percentile = 0.0;
+    /// Floor for the hedge delay, and the delay used until
+    /// `hedge_min_samples` latency observations exist.
+    SimDuration hedge_min_delay = Millis(100);
+    /// Observed-latency samples (per priority) required before the
+    /// adaptive percentile is trusted over hedge_min_delay.
+    int hedge_min_samples = 8;
+    /// Alternate-coordinator route for hedge attempts
+    /// (Cluster::HedgeOriginSite). Unset = hedge to the primary's origin
+    /// (still useful: the reissue dodges a lost message, not a bad site).
+    std::function<int(int)> hedge_route;
   };
 
   /// `registry` is optional; when given, the client registers one counter
@@ -80,11 +105,20 @@ class Client {
   static SimDuration BackoffDelay(const Options& options, SimTime first_start,
                                   int next_attempt);
 
+  /// The hedge delay the next attempt of priority class `high` would use:
+  /// the configured percentile over the observation window, floored at
+  /// hedge_min_delay (which also covers the cold-start window). Exposed
+  /// for tests.
+  SimDuration HedgeDelay(bool high) const;
+
  private:
   void ScheduleNext();
   void BeginTransaction();
   void Attempt(txn::TxnRequest request, SimTime first_start, int attempt,
                txn::Priority original_priority);
+  /// Records a settled attempt's latency into the per-priority hedge
+  /// observation window (no-op when hedging is off).
+  void RecordAttemptLatency(bool high, SimDuration latency);
   void HandleOutcome(const txn::TxnResult& result, txn::TxnRequest request,
                      SimTime first_start, int attempt,
                      txn::Priority original_priority);
@@ -111,6 +145,16 @@ class Client {
   /// Attempts whose origin was re-routed away from the home site; null
   /// when no registry was given.
   obs::Counter* reroutes_ = nullptr;
+  /// Hedge attempts issued / hedges whose outcome won the race; null when
+  /// no registry was given or hedging is off.
+  obs::Counter* hedges_ = nullptr;
+  obs::Counter* hedge_wins_ = nullptr;
+  /// Per-priority ring of recent settled-attempt latencies feeding the
+  /// adaptive hedge delay; [0] = low, [1] = high.
+  static constexpr size_t kHedgeWindow = 64;
+  SimDuration hedge_obs_[2][kHedgeWindow] = {};
+  size_t hedge_next_[2] = {0, 0};
+  size_t hedge_count_[2] = {0, 0};
 };
 
 }  // namespace natto::harness

@@ -58,10 +58,18 @@ RunStats RunOnce(const ExperimentConfig& config, const System& system,
       opts.backoff_base = config.backoff_base;
       opts.backoff_cap = config.backoff_cap;
       opts.timeline_bucket = config.timeline_bucket;
+      opts.hedge_percentile = config.hedge_percentile;
+      opts.hedge_min_delay = config.hedge_min_delay;
+      opts.hedge_min_samples = config.hedge_min_samples;
       if (cluster.fault_injector() != nullptr) {
         opts.route_origin = [&cluster](int site) {
           return cluster.RouteOriginSite(site);
         };
+        if (config.hedge_percentile > 0.0) {
+          opts.hedge_route = [&cluster](int site) {
+            return cluster.HedgeOriginSite(site);
+          };
+        }
       }
       clients.push_back(std::make_unique<Client>(
           cluster.simulator(), engine.get(), workload.get(), opts,
@@ -83,12 +91,14 @@ ExperimentResult AggregateRuns(const std::string& system_name,
                                const std::vector<RunStats>& runs) {
   ExperimentResult result;
   result.system = system_name;
-  std::vector<double> p95_high, p95_low, mean_high, mean_low, goodput_low,
-      goodput_total, abort_fraction;
+  std::vector<double> p95_high, p95_low, p99_high, p99_low, mean_high,
+      mean_low, goodput_low, goodput_total, abort_fraction;
   result.metrics.runs = 0;  // accumulator: MergeFrom sums the runs back in
   for (const RunStats& run : runs) {
     p95_high.push_back(Percentile(run.latencies_high_ms, 0.95));
     p95_low.push_back(Percentile(run.latencies_low_ms, 0.95));
+    p99_high.push_back(Percentile(run.latencies_high_ms, 0.99));
+    p99_low.push_back(Percentile(run.latencies_low_ms, 0.99));
     mean_high.push_back(Mean(run.latencies_high_ms));
     mean_low.push_back(Mean(run.latencies_low_ms));
     goodput_low.push_back(run.GoodputLow());
@@ -100,6 +110,10 @@ ExperimentResult AggregateRuns(const std::string& system_name,
                            static_cast<double>(attempts)
                      : 0);
     result.failed += run.failed;
+    result.failed_high += run.failed_high;
+    result.failed_low += run.failed_low;
+    result.committed_high += run.committed_high;
+    result.committed_low += run.committed_low;
     result.timeout_aborts += run.timeout_aborts;
     result.committed += committed;
     if (result.timeline.size() < run.timeline.size()) {
@@ -121,6 +135,8 @@ ExperimentResult AggregateRuns(const std::string& system_name,
   }
   result.p95_high_ms = Aggregated(p95_high);
   result.p95_low_ms = Aggregated(p95_low);
+  result.p99_high_ms = Aggregated(p99_high);
+  result.p99_low_ms = Aggregated(p99_low);
   result.mean_high_ms = Aggregated(mean_high);
   result.mean_low_ms = Aggregated(mean_low);
   result.goodput_low_tps = Aggregated(goodput_low);

@@ -44,6 +44,14 @@ struct ExperimentConfig {
   SimDuration backoff_cap = Seconds(2);
   SimDuration timeline_bucket = 0;
 
+  /// Client-side hedged requests (gray-failure defense, off by default;
+  /// see Client::Options). When hedge_percentile > 0 and the cluster has a
+  /// fault injector, hedges are routed through Cluster::HedgeOriginSite so
+  /// they dodge the primary coordinator site.
+  double hedge_percentile = 0.0;
+  SimDuration hedge_min_delay = Millis(100);
+  int hedge_min_samples = 8;
+
   txn::ClusterOptions cluster;  // transport/delay/skew knobs
 
   /// Initial value of unwritten keys (workload-specific).
@@ -55,6 +63,10 @@ struct ExperimentResult {
   std::string system;
   Aggregate p95_high_ms;
   Aggregate p95_low_ms;
+  /// Tail view for the gray-failure SLO reports (p99 over each run's
+  /// committed latencies, aggregated across repeats like the p95s).
+  Aggregate p99_high_ms;
+  Aggregate p99_low_ms;
   Aggregate mean_high_ms;
   Aggregate mean_low_ms;
   Aggregate goodput_low_tps;
@@ -64,6 +76,13 @@ struct ExperimentResult {
   /// exceeded 1.0 under contention and read 0 when everything aborted.)
   Aggregate abort_fraction;
   int64_t failed = 0;  // total across repeats
+  /// Per-priority split of `failed` and `committed` (totals across
+  /// repeats), for per-priority availability = committed / (committed +
+  /// failed) in the gray-failure reports.
+  int64_t failed_high = 0;
+  int64_t failed_low = 0;
+  int64_t committed_high = 0;
+  int64_t committed_low = 0;
   /// Committed transactions (high + low), total across repeats. Denominator
   /// for the wire-cost report (messages/txn, bytes/txn from `metrics`).
   int64_t committed = 0;

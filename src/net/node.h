@@ -40,6 +40,14 @@ class Node {
     transport_->Send(id_, to, bytes, std::move(fn));
   }
 
+  /// Sends kernel-level liveness traffic (echo probes). Pings cut through
+  /// `stall` gray faults in both directions — a frozen process's network
+  /// stack still answers — which is exactly why probe-based liveness alone
+  /// cannot detect a gray-failed peer.
+  void SendPing(NodeId to, size_t bytes, sim::EventFn fn) {
+    transport_->Send(id_, to, bytes, std::move(fn), MessageClass::kPing);
+  }
+
   /// Runs `fn` on this node after `delay`.
   void After(SimDuration delay, sim::EventFn fn) {
     transport_->simulator()->ScheduleAfter(delay, std::move(fn));

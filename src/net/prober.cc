@@ -28,11 +28,15 @@ void Prober::ProbeAll() {
     Node* t = target;
     int k = key;
     // Request: probe to target. The target replies with its local receive
-    // time; the response travels back to this proxy.
-    SendTo(t->id(), options_.probe_bytes, [this, t, k, send_local]() {
+    // time; the response travels back to this proxy. Both legs are kPing:
+    // the echo responder lives in the target's kernel, so a gray `stall`
+    // does not silence it (a `slow` fault still stretches its service time
+    // and therefore inflates the estimates — the gray poison the detector
+    // layer exists to catch).
+    SendPing(t->id(), options_.probe_bytes, [this, t, k, send_local]() {
       SimTime server_local = t->LocalNow();
-      t->SendTo(this->id(), options_.probe_bytes, [this, k, send_local,
-                                                   server_local]() {
+      t->SendPing(this->id(), options_.probe_bytes, [this, k, send_local,
+                                                     server_local]() {
         SimDuration one_way = server_local - send_local;
         auto it = estimators_.find(k);
         if (it != estimators_.end()) {

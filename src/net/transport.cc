@@ -98,6 +98,86 @@ bool Transport::IsSitePartitioned(int site_a, int site_b) const {
                          site_b] != 0;
 }
 
+void Transport::SetSitePartitionedOneWay(int from_site, int to_site,
+                                         bool partitioned) {
+  int n = matrix_->num_sites();
+  NATTO_CHECK(from_site >= 0 && from_site < n);
+  NATTO_CHECK(to_site >= 0 && to_site < n);
+  if (from_site == to_site) return;
+  if (partition_mask_.empty()) {
+    if (!partitioned) return;
+    partition_mask_.assign(static_cast<size_t>(n) * n, 0);
+  }
+  partition_mask_[static_cast<size_t>(from_site) * n + to_site] =
+      partitioned ? 1 : 0;
+  // Only the severed direction's open batch is flushed into the
+  // delivery-time drop check; the healthy reverse direction is untouched.
+  if (partitioned && !link_batches_.empty()) FlushLink(from_site, to_site);
+}
+
+void Transport::SetNodeSlow(NodeId node, double factor, SimTime until) {
+  NATTO_CHECK(node >= 0 && node < num_nodes());
+  NATTO_CHECK(factor >= 1.0);
+  if (node_degrade_.size() < node_sites_.size()) {
+    node_degrade_.resize(node_sites_.size());
+  }
+  node_degrade_[node].slow_factor = factor;
+  node_degrade_[node].slow_until = until;
+}
+
+void Transport::SetNodeStalled(NodeId node, SimTime until) {
+  NATTO_CHECK(node >= 0 && node < num_nodes());
+  if (node_degrade_.size() < node_sites_.size()) {
+    node_degrade_.resize(node_sites_.size());
+  }
+  node_degrade_[node].stall_until = until;
+}
+
+double Transport::NodeSlowFactor(NodeId node) const {
+  NATTO_DCHECK(node >= 0 && node < num_nodes());
+  if (static_cast<size_t>(node) >= node_degrade_.size()) return 1.0;
+  const NodeDegrade& d = node_degrade_[node];
+  return d.slow_until > simulator_->Now() ? d.slow_factor : 1.0;
+}
+
+SimTime Transport::NodeStallUntil(NodeId node) const {
+  NATTO_DCHECK(node >= 0 && node < num_nodes());
+  if (static_cast<size_t>(node) >= node_degrade_.size()) return 0;
+  SimTime until = node_degrade_[node].stall_until;
+  return until > simulator_->Now() ? until : 0;
+}
+
+SimTime Transport::ServiceDone(NodeId to, size_t bytes, SimTime arrival,
+                               SimTime now) {
+  bool queue = options_.node_cost_per_message > 0 ||
+               options_.node_cost_per_kib > 0;
+  SimDuration cost =
+      queue ? options_.node_cost_per_message +
+                  options_.node_cost_per_kib *
+                      static_cast<SimDuration>(bytes) / 1024
+            : 0;
+  if (!node_degrade_.empty() &&
+      static_cast<size_t>(to) < node_degrade_.size()) {
+    const NodeDegrade& d = node_degrade_[to];
+    if (d.slow_until > now) {
+      SimDuration base =
+          cost > 0 ? cost : options_.slow_default_service_cost;
+      cost = static_cast<SimDuration>(static_cast<double>(base) *
+                                      d.slow_factor);
+      queue = true;
+    } else if (!queue && node_free_at_[to] > arrival) {
+      // The slow window has expired but its backlog hasn't drained: keep
+      // new arrivals FIFO behind it instead of letting them overtake
+      // messages queued during the fault.
+      queue = true;
+    }
+  }
+  if (!queue) return arrival;
+  SimTime start = std::max(arrival, node_free_at_[to]);
+  node_free_at_[to] = start + cost;
+  return start + cost;
+}
+
 void Transport::SetLinkOverlay(int from_site, int to_site, double extra_loss,
                                SimDuration extra_delay, SimTime until) {
   int n = matrix_->num_sites();
@@ -181,6 +261,21 @@ Transport::Envelope* Transport::AllocEnvelope() {
 }
 
 void Transport::Deliver(Envelope* env) {
+  // Stall re-check before anything touches the envelope: a service message
+  // arriving at a stalled node sits in its receive queue until the stall
+  // ends (deferred, not dropped — it stays in flight and keeps its FIFO
+  // position via the kernel's equal-time tie break). Pings bypass the
+  // stall: the frozen process's kernel still answers them.
+  if (!node_degrade_.empty() && !env->ping &&
+      static_cast<size_t>(env->to) < node_degrade_.size()) {
+    SimTime stall_until = node_degrade_[env->to].stall_until;
+    if (stall_until > simulator_->Now()) {
+      ++stall_deferrals_;
+      if (stall_deferrals_metric_) stall_deferrals_metric_->Inc();
+      ScheduleWireDelivery(stall_until, env);
+      return;
+    }
+  }
   // Move the closure out and recycle first: a re-entrant Send from inside
   // `deliver` can then reuse this very envelope.
   sim::EventFn deliver = std::move(env->deliver);
@@ -341,21 +436,11 @@ void Transport::FlushLink(int from_site, int to_site) {
   // receiver still parses every message in the frame), and equal-time
   // deliveries keep their enqueue order through the kernel's FIFO tie
   // break.
-  const bool cpu_model = options_.node_cost_per_message > 0 ||
-                         options_.node_cost_per_kib > 0;
   Envelope* env = head;
   while (env != nullptr) {
     Envelope* next = env->next;
     env->next = nullptr;
-    SimTime done = arrival;
-    if (cpu_model) {
-      SimDuration cost = options_.node_cost_per_message +
-                         options_.node_cost_per_kib *
-                             static_cast<SimDuration>(env->bytes) / 1024;
-      SimTime start = std::max(arrival, node_free_at_[env->to]);
-      node_free_at_[env->to] = start + cost;
-      done = start + cost;
-    }
+    SimTime done = ServiceDone(env->to, env->bytes, arrival, now);
     ScheduleWireDelivery(done, env);
     env = next;
   }
@@ -379,7 +464,7 @@ void Transport::FlushBatchesTo(int site) {
 }
 
 void Transport::Send(NodeId from, NodeId to, size_t bytes,
-                     sim::EventFn deliver) {
+                     sim::EventFn deliver, MessageClass cls) {
   NATTO_DCHECK(from >= 0 && from < num_nodes());
   NATTO_DCHECK(to >= 0 && to < num_nodes());
   // A crashed endpoint means nothing enters the network: count the message
@@ -393,6 +478,27 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   int sa = node_sites_[from];
   int sb = node_sites_[to];
   SimTime now = simulator_->Now();
+
+  // A stalled sender emits nothing until its stall window ends: the whole
+  // send (fault checks, counters, wire model) replays at that instant, so a
+  // partition installed mid-stall still eats the message. Ping replies are
+  // exempt — the kernel answers even when the process is frozen. This is a
+  // sender-side process stall, not a wire hand-off, hence the direct
+  // re-entry instead of the batcher.
+  if (!node_degrade_.empty() && cls == MessageClass::kService &&
+      static_cast<size_t>(from) < node_degrade_.size()) {
+    SimTime stall_until = node_degrade_[from].stall_until;
+    if (stall_until > now) {
+      ++stall_deferrals_;
+      if (stall_deferrals_metric_) stall_deferrals_metric_->Inc();
+      simulator_->ScheduleAt(  // NOLINT(natto-batch-bypass)
+          stall_until,
+          [this, from, to, bytes, d = std::move(deliver), cls]() mutable {
+            Send(from, to, bytes, std::move(d), cls);
+          });
+      return;
+    }
+  }
 
   // Site-pair blackhole: nothing crosses a partitioned path.
   if (!partition_mask_.empty() && IsSitePartitioned(sa, sb)) {
@@ -438,6 +544,7 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     env->to_site = sb;
     env->to = to;
     env->bytes = bytes;
+    env->ping = cls == MessageClass::kPing;
     env->deliver = std::move(deliver);
     EnqueueBatched(sa, sb, env, framed);
     return;
@@ -491,22 +598,15 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
 
   SimTime arrival = depart + delay;
 
-  // Destination CPU queueing.
-  SimTime done = arrival;
-  if (options_.node_cost_per_message > 0 || options_.node_cost_per_kib > 0) {
-    SimDuration cost = options_.node_cost_per_message +
-                       options_.node_cost_per_kib *
-                           static_cast<SimDuration>(bytes) / 1024;
-    SimTime start = std::max(arrival, node_free_at_[to]);
-    node_free_at_[to] = start + cost;
-    done = start + cost;
-  }
+  // Destination CPU queueing (plus fail-slow stretch when active).
+  SimTime done = ServiceDone(to, bytes, arrival, now);
 
   Envelope* env = AllocEnvelope();
   env->from_site = sa;
   env->to_site = sb;
   env->to = to;
   env->bytes = bytes;
+  env->ping = cls == MessageClass::kPing;
   env->deliver = std::move(deliver);
   ScheduleWireDelivery(done, env);
 }
@@ -523,6 +623,7 @@ void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
   dropped_loss_metric_ = registry->GetCounter("net.dropped.loss");
   delivery_drops_metric_ = registry->GetCounter("net.dropped.in_flight");
   batches_sent_metric_ = registry->GetCounter("net.batches_sent");
+  stall_deferrals_metric_ = registry->GetCounter("net.stall_deferrals");
   msgs_per_batch_metric_ = registry->GetHistogram("net.msgs_per_batch");
   messages_sent_metric_->Inc(static_cast<int64_t>(messages_sent_));
   bytes_sent_metric_->Inc(static_cast<int64_t>(bytes_sent_));
@@ -534,6 +635,7 @@ void Transport::RegisterMetrics(obs::MetricsRegistry* registry) {
   dropped_loss_metric_->Inc(static_cast<int64_t>(dropped_loss_));
   delivery_drops_metric_->Inc(static_cast<int64_t>(delivery_drops_));
   batches_sent_metric_->Inc(static_cast<int64_t>(batches_sent_));
+  stall_deferrals_metric_->Inc(static_cast<int64_t>(stall_deferrals_));
 }
 
 }  // namespace natto::net

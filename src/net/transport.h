@@ -71,7 +71,22 @@ struct TransportOptions {
   /// bytes. Only applied when batching is on; the unbatched path charges
   /// exactly the caller-provided payload bytes, as before.
   size_t framing_bytes_per_message = 8;
+
+  /// Base per-message service cost assumed for a node under a `slow` gray
+  /// fault when the CPU cost model is otherwise disabled (both node_cost_*
+  /// knobs zero). The fail-slow stretch multiplies the node's real
+  /// per-message cost when one is configured, and this stand-in otherwise,
+  /// so `slow factor=K` bites even in delay-only topologies.
+  SimDuration slow_default_service_cost = Micros(100);
 };
+
+/// Wire-level class of a message. `kPing` models kernel-level liveness
+/// traffic (the prober's echo probes): a node under a `stall` gray fault
+/// stops processing service messages but its network stack still answers
+/// pings — the classic gray-failure signature that keeps naive detectors
+/// green. `slow` stretches both classes (a saturated host is slow for
+/// everyone).
+enum class MessageClass { kService, kPing };
 
 /// Simulated message transport between nodes placed at datacenter sites.
 /// Delivery of a message runs a caller-provided closure at the destination's
@@ -99,7 +114,8 @@ class Transport {
   /// pooled envelope: steady-state sends allocate nothing beyond what the
   /// closure itself captures (and closures up to EventFn::kInlineCapacity
   /// are stored inline), batched or not.
-  void Send(NodeId from, NodeId to, size_t bytes, sim::EventFn deliver);
+  void Send(NodeId from, NodeId to, size_t bytes, sim::EventFn deliver,
+            MessageClass cls = MessageClass::kService);
 
   /// True when link batching is configured (max_batch_bytes > 0).
   bool batching_enabled() const { return options_.max_batch_bytes > 0; }
@@ -126,6 +142,35 @@ class Transport {
   /// no-fault runs pay a single empty() test per send.
   void SetSitePartitioned(int site_a, int site_b, bool partitioned);
   bool IsSitePartitioned(int site_a, int site_b) const;
+
+  /// Installs (or heals) an asymmetric blackhole on the directed path
+  /// `from_site -> to_site` only; the reverse direction keeps flowing. The
+  /// half-open link is the canonical gray network fault: A's requests reach
+  /// B but B's replies vanish (or vice versa), so each end disagrees about
+  /// who is down. Healing the pair with SetSitePartitioned(..., false)
+  /// clears both directions.
+  void SetSitePartitionedOneWay(int from_site, int to_site, bool partitioned);
+
+  /// Fail-slow fault: until sim time `until`, every message serviced by
+  /// `node` costs `factor` times its normal per-message CPU cost (or
+  /// `factor` times options.slow_default_service_cost when the CPU model is
+  /// off), queueing FIFO behind the node's backlog. Models a degraded host
+  /// (thermal throttling, dying disk, noisy neighbor) that is up but
+  /// drastically slower. Expires lazily; the backlog then drains in order.
+  void SetNodeSlow(NodeId node, double factor, SimTime until);
+
+  /// Gray stall: until sim time `until`, `node` neither processes inbound
+  /// service messages nor emits its own sends — both are deferred (not
+  /// dropped) to the stall's end, preserving FIFO order. kPing traffic
+  /// passes through untouched: the stalled process's kernel still answers
+  /// echo probes, so probe-based liveness stays green while the service is
+  /// dead to the world.
+  void SetNodeStalled(NodeId node, SimTime until);
+
+  /// Current slow factor for `node` (1.0 when no slow fault is active).
+  double NodeSlowFactor(NodeId node) const;
+  /// End of `node`'s active stall window, or 0 when not stalled.
+  SimTime NodeStallUntil(NodeId node) const;
 
   /// Overlays a transient degradation on the directed link `from -> to`
   /// until sim time `until`: `extra_loss` is an additional hard-drop
@@ -176,6 +221,11 @@ class Transport {
   /// amortization factor benches report as msgs-per-wire-frame.
   uint64_t batches_sent() const { return batches_sent_; }
 
+  /// Service messages whose processing (or emission) was deferred by an
+  /// active `stall` gray fault. Deferred messages stay in flight — the
+  /// accounting invariant above is unchanged by stalls.
+  uint64_t stall_deferrals() const { return stall_deferrals_; }
+
   /// Drop attribution: dropped == dropped_crash + dropped_partition +
   /// dropped_loss (overlay hard drops; baseline packet loss is modeled as
   /// retransmission delay and counted under messages_lost instead).
@@ -197,6 +247,7 @@ class Transport {
     int to_site = 0;
     NodeId to = 0;
     size_t bytes = 0;
+    bool ping = false;
     sim::EventFn deliver;
     Envelope* next = nullptr;
   };
@@ -237,6 +288,13 @@ class Transport {
   /// Serialization start bookkeeping per directed site pair.
   SimTime& LinkFreeAt(int from_site, int to_site);
 
+  /// Destination CPU service completion for a message arriving at `arrival`:
+  /// applies the configured cost model, the fail-slow stretch while one is
+  /// active, and residual-backlog FIFO draining after a slow window ends.
+  /// Byte-identical to the legacy inline cost block when no node is
+  /// degraded.
+  SimTime ServiceDone(NodeId to, size_t bytes, SimTime arrival, SimTime now);
+
   double EffectiveLinkRate(int from_site, int to_site) const;
 
   sim::Simulator* simulator_;
@@ -254,8 +312,19 @@ class Transport {
   std::vector<LinkBatch> link_batches_;
 
   /// Site-pair blackhole mask, num_sites^2 row-major; empty until the first
-  /// SetSitePartitioned call (null-injector fast path).
+  /// SetSitePartitioned call (null-injector fast path). Directed: a one-way
+  /// partition sets only the [from][to] entry.
   std::vector<uint8_t> partition_mask_;
+
+  /// Per-node gray-failure state (fail-slow stretch + stall window), indexed
+  /// by NodeId; empty until the first SetNodeSlow/SetNodeStalled call so
+  /// no-fault runs pay one empty() test per send/deliver.
+  struct NodeDegrade {
+    double slow_factor = 1.0;
+    SimTime slow_until = 0;
+    SimTime stall_until = 0;
+  };
+  std::vector<NodeDegrade> node_degrade_;
 
   struct LinkOverlay {
     double extra_loss = 0.0;
@@ -281,6 +350,7 @@ class Transport {
   std::atomic<uint64_t> dropped_partition_{0};
   std::atomic<uint64_t> dropped_loss_{0};
   std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> stall_deferrals_{0};
 
   /// Envelope pool: chunked storage plus an intrusive free list, one pool
   /// per execution lane (lane 0 = main thread / serial kernel; 1 + site on
@@ -304,6 +374,7 @@ class Transport {
   obs::Counter* dropped_loss_metric_ = nullptr;
   obs::Counter* delivery_drops_metric_ = nullptr;
   obs::Counter* batches_sent_metric_ = nullptr;
+  obs::Counter* stall_deferrals_metric_ = nullptr;
   obs::Histogram* msgs_per_batch_metric_ = nullptr;
 };
 

@@ -74,6 +74,9 @@ Status RaftReplica::Propose(PayloadId payload,
   log_.push_back(LogEntry{term_, payload});
   uint64_t index = log_.size();
   if (on_committed) pending_callbacks_.emplace_back(index, std::move(on_committed));
+  if (options_.fail_away_commit_latency > 0) {
+    propose_times_.emplace_back(index, TrueNow());
+  }
   // Single-replica group commits immediately.
   if (peers_.size() == 1) {
     AdvanceCommit();
@@ -99,6 +102,36 @@ void RaftReplica::RegisterMetrics(obs::MetricsRegistry* registry) {
   NATTO_CHECK(registry != nullptr);
   entries_per_append_metric_ =
       registry->GetHistogram("raft.entries_per_append");
+  leader_transfers_metric_ = registry->GetCounter("raft.leader_transfers");
+}
+
+void RaftReplica::EnableSuspicion(net::FailureDetector* fd, int stream,
+                                  double phi_suspect) {
+  NATTO_CHECK(fd != nullptr);
+  NATTO_CHECK(fd_ == nullptr) << "EnableSuspicion is one-shot";
+  fd_ = fd;
+  fd_stream_ = stream;
+  phi_suspect_ = phi_suspect;
+  After(options_.heartbeat_interval, [this]() { SuspicionTick(); });
+}
+
+void RaftReplica::SuspicionTick() {
+  // The tick outlives role changes (a deposed leader becomes a suspecting
+  // follower again), so reschedule unconditionally first.
+  After(options_.heartbeat_interval, [this]() { SuspicionTick(); });
+  if (crashed_ || !timers_started_ || role_ != Role::kFollower) return;
+  if (leader_hint_ == -1) return;  // no leader to suspect; timers handle it
+  if (TrueNow() < suspicion_cooldown_until_) return;
+  // A few real inter-arrival samples first: the prior alone would make the
+  // very first post-election heartbeat gap a false positive.
+  if (fd_->samples(fd_stream_) < 4) return;
+  double phi = fd_->Phi(fd_stream_, TrueNow());
+  if (phi < phi_suspect_) return;
+  // The leader's heartbeats have gone improbably quiet (stall, crash, or a
+  // severed inbound path). Election timers would catch this too — in
+  // 300-600 ms; φ crosses the threshold in a few heartbeat intervals.
+  suspicion_cooldown_until_ = TrueNow() + 2 * options_.election_timeout_max;
+  StartElection();
 }
 
 void RaftReplica::BecomeFollower(uint64_t term) {
@@ -107,6 +140,8 @@ void RaftReplica::BecomeFollower(uint64_t term) {
   voted_for_ = -1;
   votes_received_ = 0;
   leader_hint_ = -1;
+  propose_times_.clear();
+  commit_latency_ewma_ = -1.0;
   // Leader-side callbacks for uncommitted entries will never fire on this
   // replica; drop them (engines treat missing callbacks as lost leadership,
   // which only matters in fault tests).
@@ -130,6 +165,113 @@ void RaftReplica::ResetElectionTimer() {
 }
 
 void RaftReplica::StartElection() {
+  if (options_.pre_vote) {
+    StartPreVote();
+  } else {
+    StartRealElection();
+  }
+}
+
+void RaftReplica::StartPreVote() {
+  // Poll the group with the term we would campaign under, without touching
+  // term_, voted_for_, or role: a pre-vote that fizzles (live leader, stale
+  // log, unreachable majority) leaves no trace on the group's state.
+  ++prevote_round_;
+  prevotes_received_ = 1;  // self
+  uint64_t solicit_term = term_ + 1;
+  uint64_t last_index = log_.size();
+  uint64_t last_term = log_.empty() ? 0 : log_.back().term;
+  uint64_t round = prevote_round_;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i == self_index_) continue;
+    RaftReplica* peer = peers_[i];
+    SendTo(peer->id(), options_.header_bytes,
+           [peer, solicit_term, last_index, last_term, self = self_index_,
+            round]() {
+             peer->HandlePreVote(solicit_term, last_index, last_term, self,
+                                 round);
+           });
+  }
+  ResetElectionTimer();  // retry the pre-vote if this round goes nowhere
+  if (prevotes_received_ >= Majority()) StartRealElection();
+}
+
+void RaftReplica::HandlePreVote(uint64_t term, uint64_t last_log_index,
+                                uint64_t last_log_term, size_t from_index,
+                                uint64_t round) {
+  if (crashed_) return;
+  bool granted = false;
+  if (term > term_) {
+    uint64_t my_last_term = log_.empty() ? 0 : log_.back().term;
+    bool up_to_date = last_log_term > my_last_term ||
+                      (last_log_term == my_last_term &&
+                       last_log_index >= log_.size());
+    // Leader stickiness: while in contact with a live leader (or being
+    // one), refuse — this is what stops an isolated replica's rejoin from
+    // deposing a healthy leader via term inflation.
+    bool leader_live =
+        role_ == Role::kLeader ||
+        (leader_hint_ != -1 &&
+         TrueNow() - last_heartbeat_seen_ < options_.election_timeout_min);
+    granted = up_to_date && !leader_live;
+  }
+  // No local state changes: a pre-vote is a question, not a vote.
+  RaftReplica* candidate = peers_[from_index];
+  SendTo(candidate->id(), options_.header_bytes,
+         [candidate, term, granted, round]() {
+           candidate->HandlePreVoteResponse(term, granted, round);
+         });
+}
+
+void RaftReplica::HandlePreVoteResponse(uint64_t term, bool granted,
+                                        uint64_t round) {
+  if (crashed_ || !granted) return;
+  if (role_ == Role::kLeader) return;
+  // Stale if a newer round started or our term moved past the solicited
+  // one (a real election happened meanwhile).
+  if (round != prevote_round_ || term != term_ + 1) return;
+  ++prevotes_received_;
+  if (prevotes_received_ >= Majority()) {
+    prevotes_received_ = 0;
+    StartRealElection();
+  }
+}
+
+void RaftReplica::HandleTimeoutNow(uint64_t term) {
+  if (crashed_ || term < term_ || role_ == Role::kLeader) return;
+  // The leader asked to be deposed: campaign immediately, skipping
+  // pre-vote and leader stickiness (both exist to protect a leader that
+  // wants to stay).
+  StartRealElection();
+}
+
+bool RaftReplica::TransferLeadership() {
+  if (crashed_ || role_ != Role::kLeader || peers_.size() == 1) return false;
+  // Best-caught-up follower with a fresh ack; it must hold every committed
+  // entry so the handoff cannot lose acknowledged writes.
+  SimDuration stale_after = 2 * options_.election_timeout_max;
+  size_t best = self_index_;
+  uint64_t best_match = 0;
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    if (i == self_index_) continue;
+    if (TrueNow() - last_ack_[i] > stale_after) continue;
+    uint64_t match = peer_state_[i].match_index;
+    if (match < commit_index_) continue;
+    if (best == self_index_ || match > best_match) {
+      best = i;
+      best_match = match;
+    }
+  }
+  if (best == self_index_) return false;
+  if (leader_transfers_metric_) leader_transfers_metric_->Inc();
+  RaftReplica* target = peers_[best];
+  uint64_t term = term_;
+  SendTo(target->id(), options_.header_bytes,
+         [target, term]() { target->HandleTimeoutNow(term); });
+  return true;
+}
+
+void RaftReplica::StartRealElection() {
   role_ = Role::kCandidate;
   ++term_;
   voted_for_ = static_cast<int>(self_index_);
@@ -226,6 +368,20 @@ void RaftReplica::HeartbeatTick() {
       return;
     }
   }
+  // Gray-failure fail-away: this leader is reachable and heartbeating, but
+  // its commits have gone slow (fail-slow host, half-open inbound path).
+  // Hand leadership to a healthy follower instead of waiting for clients
+  // to time out against us.
+  if (options_.fail_away_commit_latency > 0 && commit_latency_ewma_ >= 0 &&
+      commit_latency_ewma_ >=
+          static_cast<double>(options_.fail_away_commit_latency) &&
+      TrueNow() >= fail_away_cooldown_until_) {
+    if (TransferLeadership()) {
+      commit_latency_ewma_ = -1.0;
+      propose_times_.clear();
+      fail_away_cooldown_until_ = TrueNow() + 2 * options_.election_timeout_max;
+    }
+  }
   for (size_t i = 0; i < peers_.size(); ++i) {
     if (i == self_index_) continue;
     PeerState& ps = peer_state_[i];
@@ -284,6 +440,8 @@ void RaftReplica::StepDown() {
   role_ = Role::kFollower;
   votes_received_ = 0;
   leader_hint_ = -1;
+  propose_times_.clear();
+  commit_latency_ewma_ = -1.0;
   // voted_for_ is kept: stepping down does not entitle this node to a
   // second vote in the same term.
   pending_callbacks_.erase(
@@ -307,6 +465,9 @@ void RaftReplica::HandleAppendEntries(uint64_t term, uint64_t prev_index,
     if (role_ == Role::kCandidate) role_ = Role::kFollower;
     leader_hint_ = static_cast<int>(from_index);
     last_heartbeat_seen_ = TrueNow();
+    // Every accepted append is a leader heartbeat for the φ detector: under
+    // load the stream gets denser, so suspicion adapts to the real cadence.
+    if (fd_ != nullptr) fd_->Heartbeat(fd_stream_, TrueNow());
     ResetElectionTimer();
     // Consistency check on the entry preceding the batch.
     bool prev_ok =
@@ -396,6 +557,23 @@ void RaftReplica::AdvanceCommit() {
 }
 
 void RaftReplica::ApplyCommitted() {
+  // Fail-away bookkeeping: resolve propose timestamps for entries that just
+  // committed and fold them into the commit-latency EWMA.
+  if (!propose_times_.empty()) {
+    size_t keep = 0;
+    for (size_t i = 0; i < propose_times_.size(); ++i) {
+      if (propose_times_[i].first <= commit_index_) {
+        double sample =
+            static_cast<double>(TrueNow() - propose_times_[i].second);
+        commit_latency_ewma_ = commit_latency_ewma_ < 0
+                                   ? sample
+                                   : 0.8 * commit_latency_ewma_ + 0.2 * sample;
+      } else {
+        propose_times_[keep++] = propose_times_[i];
+      }
+    }
+    propose_times_.resize(keep);
+  }
   while (applied_index_ < commit_index_) {
     ++applied_index_;
     if (on_apply_) on_apply_(log_[static_cast<size_t>(applied_index_) - 1].payload);

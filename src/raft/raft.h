@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "net/failure_detector.h"
 #include "net/node.h"
 #include "obs/metrics.h"
 
@@ -44,6 +45,20 @@ class RaftReplica : public net::Node {
     /// simulated instant share an AppendEntries — and is byte-identical to
     /// builds without the knob.
     SimDuration group_commit_delay = 0;
+    /// Pre-vote (Raft thesis §4.2.3): before incrementing its term a
+    /// would-be candidate polls the group with the term it intends to use;
+    /// peers grant only if the candidate's log is current AND they have not
+    /// heard from a live leader within election_timeout_min. An isolated
+    /// replica therefore stops inflating its term, and its rejoin no longer
+    /// deposes a healthy leader. Off by default: enabling it changes
+    /// election message flow, so fault goldens opt in explicitly.
+    bool pre_vote = false;
+    /// Leader-side gray-failure fail-away: when > 0, the leader tracks an
+    /// EWMA of its propose->commit latency and, once the EWMA crosses this
+    /// threshold, hands leadership to its best-caught-up fresh follower via
+    /// TimeoutNow (leadership transfer, Raft thesis §3.10). Catches
+    /// fail-slow leaders that still heartbeat on time. 0 (default) = off.
+    SimDuration fail_away_commit_latency = 0;
   };
 
   RaftReplica(net::Transport* transport, int site, sim::NodeClock clock,
@@ -99,8 +114,30 @@ class RaftReplica : public net::Node {
 
   /// Mirrors replication stats into `registry`: `raft.entries_per_append`
   /// records the entry count of every non-empty AppendEntries this replica
-  /// ships as leader, making group-commit amortization observable.
+  /// ships as leader, and `raft.leader_transfers` counts deliberate
+  /// fail-away handoffs (distinct from timeout-driven elections).
   void RegisterMetrics(obs::MetricsRegistry* registry);
+
+  /// Wires φ-accrual suspicion of this replica's current leader: accepted
+  /// AppendEntries feed `stream` of `fd`, and a periodic follower-side
+  /// check (every heartbeat_interval) starts an election — pre-vote
+  /// protected when enabled — once suspicion reaches `phi_suspect`. This
+  /// reacts to a gray-stalled leader in a few heartbeat intervals instead
+  /// of a full election timeout. One-shot; only gray-defense runs call it
+  /// (the periodic check adds kernel events, so default runs must not).
+  void EnableSuspicion(net::FailureDetector* fd, int stream,
+                       double phi_suspect);
+
+  /// Leader-only: picks the best-caught-up follower with a fresh ack and
+  /// sends it TimeoutNow, making it start an immediate election (bypassing
+  /// pre-vote and leader stickiness — the leader itself asked to be
+  /// deposed). Returns false when no suitable target exists. The old
+  /// leader keeps serving until the new term's AppendEntries arrives.
+  bool TransferLeadership();
+
+  /// Current propose->commit latency EWMA in micros; < 0 until the first
+  /// commit sample. Only maintained when fail_away_commit_latency > 0.
+  double commit_latency_ewma() const { return commit_latency_ewma_; }
 
  private:
   enum class Role { kFollower, kCandidate, kLeader };
@@ -122,7 +159,12 @@ class RaftReplica : public net::Node {
   /// Relinquishes leadership within the current term (quorum loss), keeping
   /// voted_for_ so the node cannot vote twice in the term.
   void StepDown();
+  /// Election entry point: runs a pre-vote round first when enabled,
+  /// otherwise (or once the pre-vote wins) a real term-incrementing one.
   void StartElection();
+  void StartPreVote();
+  void StartRealElection();
+  void SuspicionTick();
   void BecomeLeader();
   void BroadcastAppend();
   void MaybeSendTo(size_t peer_index, bool force = false);
@@ -140,6 +182,11 @@ class RaftReplica : public net::Node {
   void HandleRequestVote(uint64_t term, uint64_t last_log_index,
                          uint64_t last_log_term, size_t from_index);
   void HandleVoteResponse(uint64_t term, bool granted, size_t from_index);
+  void HandlePreVote(uint64_t term, uint64_t last_log_index,
+                     uint64_t last_log_term, size_t from_index,
+                     uint64_t round);
+  void HandlePreVoteResponse(uint64_t term, bool granted, uint64_t round);
+  void HandleTimeoutNow(uint64_t term);
 
   Options options_;
   Rng rng_;
@@ -163,6 +210,7 @@ class RaftReplica : public net::Node {
   std::function<void(RaftReplica*)> on_became_leader_;
 
   obs::Histogram* entries_per_append_metric_ = nullptr;
+  obs::Counter* leader_transfers_metric_ = nullptr;
 
   bool timers_started_ = false;
   bool flush_scheduled_ = false;
@@ -172,6 +220,26 @@ class RaftReplica : public net::Node {
   SimTime last_heartbeat_seen_ = 0;
   // Leader-side ack freshness per peer, for the quorum-loss step-down check.
   std::vector<SimTime> last_ack_;
+
+  // Pre-vote round state: responses carry the round id back so retries
+  // within one (un-incremented) term never double-count.
+  int prevotes_received_ = 0;
+  uint64_t prevote_round_ = 0;
+
+  // Fail-away state (only maintained when fail_away_commit_latency > 0):
+  // outstanding propose timestamps by log index, the commit-latency EWMA in
+  // micros (< 0 until the first sample), and a cooldown so one slow window
+  // triggers one transfer, not a storm.
+  std::vector<std::pair<uint64_t, SimTime>> propose_times_;
+  double commit_latency_ewma_ = -1.0;
+  SimTime fail_away_cooldown_until_ = 0;
+
+  // φ-accrual suspicion of the current leader; null unless gray defense is
+  // enabled for this run.
+  net::FailureDetector* fd_ = nullptr;
+  int fd_stream_ = -1;
+  double phi_suspect_ = 8.0;
+  SimTime suspicion_cooldown_until_ = 0;
 };
 
 }  // namespace natto::raft

@@ -1,6 +1,7 @@
 #include "txn/cluster.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
@@ -76,6 +77,23 @@ Cluster::Cluster(net::LatencyMatrix matrix, Topology topology,
         &simulator_, transport_.get(), std::move(group_ptrs), &metrics_,
         tracer_.get(), options_.fault_schedule);
     fault_injector_->Arm();
+    if (options_.gray.enabled) {
+      // Gray defense rides on the chaos wiring: suspicion elections need
+      // the election timers armed above, so the detector only exists in
+      // fault runs (fault-free runs keep the exact pre-gray event stream).
+      failure_detector_ =
+          std::make_unique<net::FailureDetector>(options_.gray.detector);
+      failure_detector_->RegisterMetrics(&metrics_);
+      for (int p = 0; p < topology_.num_partitions(); ++p) {
+        raft::RaftGroup* g = groups_[static_cast<size_t>(p)].get();
+        for (size_t r = 0; r < g->size(); ++r) {
+          int stream = failure_detector_->AddStream(
+              "p" + std::to_string(p) + ".r" + std::to_string(r));
+          g->replica(r)->EnableSuspicion(failure_detector_.get(), stream,
+                                         options_.gray.phi_suspect);
+        }
+      }
+    }
   }
 }
 
@@ -120,6 +138,24 @@ int Cluster::RouteOriginSite(int site) const {
     if (t == site) continue;
     if (transport_->IsSitePartitioned(site, t)) continue;
     if (!coordinator_reachable(t)) continue;
+    SimDuration d = matrix_.OneWay(site, t);
+    if (best < 0 || d < best_d) {
+      best = t;
+      best_d = d;
+    }
+  }
+  return best >= 0 ? best : site;
+}
+
+int Cluster::HedgeOriginSite(int site) const {
+  int primary_coord = CoordinatorSite(site);
+  int best = -1;
+  SimDuration best_d = 0;
+  for (int t = 0; t < topology_.num_sites(); ++t) {
+    int coord = CoordinatorSite(t);
+    if (coord == primary_coord) continue;
+    if (transport_->IsSitePartitioned(site, t)) continue;
+    if (transport_->IsSitePartitioned(t, coord)) continue;
     SimDuration d = matrix_.OneWay(site, t);
     if (best < 0 || d < best_d) {
       best = t;

@@ -9,6 +9,7 @@
 #include "common/types.h"
 #include "fault/fault.h"
 #include "net/delay_model.h"
+#include "net/failure_detector.h"
 #include "net/latency_matrix.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
@@ -59,6 +60,23 @@ struct ClusterOptions {
   /// installed: a Propose that neither commits nor fails within this window
   /// is treated as lost to a leader failure.
   SimDuration replication_timeout = Millis(1500);
+
+  /// Gray-failure defense wiring (off by default: no detector, no streams,
+  /// no suspicion ticks — byte-identical to builds without the feature).
+  /// Takes effect only alongside a fault schedule, which is what arms
+  /// election timers; enabling it constructs a φ-accrual FailureDetector
+  /// with one stream per replica (fed by that replica's accepted
+  /// AppendEntries) and arms follower-side suspicion elections at
+  /// `phi_suspect`. Pair with ClusterOptions::raft.pre_vote and
+  /// fail_away_commit_latency for the full defense stack.
+  struct GrayDefense {
+    bool enabled = false;
+    /// Suspicion threshold: φ = 8 is ~1e-8 odds the heartbeat is merely
+    /// late, the classic accrual-detector operating point.
+    double phi_suspect = 8.0;
+    net::FailureDetector::Options detector;
+  };
+  GrayDefense gray;
 
   /// Simulation kernel threads (NATTO_SIM_THREADS). 1 (default) runs the
   /// exact serial kernel. >1 installs the parallel kernel in degenerate
@@ -121,6 +139,17 @@ class Cluster {
   /// the schedule is empty (null fast path).
   fault::FaultInjector* fault_injector() { return fault_injector_.get(); }
 
+  /// The φ-accrual detector watching every replica's leader heartbeats, or
+  /// nullptr unless `gray.enabled` (same null fast path as the injector).
+  net::FailureDetector* failure_detector() { return failure_detector_.get(); }
+
+  /// Hedge-attempt origin for a client at `site`: the nearest site served
+  /// by a *different* coordinator site than `site`'s own, skipping
+  /// partitioned routes — so the hedge dodges a gray coordinator instead of
+  /// queueing behind it twice. Falls back to `site` when every alternative
+  /// shares the coordinator or is unreachable.
+  int HedgeOriginSite(int site) const;
+
   /// Conservative PDES lookahead for this deployment: the minimum
   /// cross-site one-way delay in the latency matrix (over the topology's
   /// sites) scaled by the delay model's guaranteed minimum factor. Any
@@ -139,6 +168,7 @@ class Cluster {
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::unique_ptr<raft::RaftGroup>> groups_;
   std::unique_ptr<fault::FaultInjector> fault_injector_;
+  std::unique_ptr<net::FailureDetector> failure_detector_;
 };
 
 }  // namespace natto::txn

@@ -145,6 +145,68 @@ void RunChaosAndRender(const char* jobs, std::string* out,
   *out = table;
 }
 
+// Gray-fault determinism: the fail-slow / gray-stall / half-open-partition
+// verbs with the full defense stack armed (φ-accrual suspicion, pre-vote,
+// commit-latency fail-away, hedged requests) must be exactly as
+// reproducible as the fail-stop chaos run. The rendered check includes the
+// defense counters, so a nondeterministic hedge race or suspicion election
+// shows up as a byte diff even when the latency table happens to agree.
+void RunGrayChaosAndRender(
+    const char* jobs, std::string* out,
+    std::vector<sim::DsanTrail>* trails = nullptr,
+    const std::function<void(ExperimentConfig*)>& mutate = {}) {
+  ASSERT_EQ(setenv("NATTO_JOBS", jobs, /*overwrite=*/1), 0) << "setenv failed";
+  std::vector<System> systems = {MakeSystem(SystemKind::kCarouselFast),
+                                 MakeSystem(SystemKind::kNattoRecsf)};
+  ExperimentConfig config = TinyConfig(30);
+  if (mutate) mutate(&config);
+  if (trails != nullptr) config.cluster.dsan.enabled = true;
+  config.request_timeout = Millis(800);
+  config.backoff_base = Millis(25);
+  config.timeline_bucket = Seconds(1);
+  config.max_attempts = 8;
+  config.cluster.gray.enabled = true;
+  config.cluster.raft.pre_vote = true;
+  config.cluster.raft.fail_away_commit_latency = Millis(400);
+  config.hedge_percentile = 0.95;
+  config.cluster.fault_schedule
+      .SlowReplica(Seconds(1), 0, 0, /*factor=*/20.0, Millis(1500))
+      .StallReplica(Millis(2500), 0, 0, Millis(800))
+      .PartitionOneWay(Millis(3600), 0, 1)
+      .HealSites(Millis(4500), 0, 1);
+  std::vector<GridPoint> points;
+  points.push_back({config, TinyWorkload()});
+  auto grid = RunGrid(points, systems, /*jobs=*/0);
+  std::string table = RenderTable(points, grid);
+  char buf[160];
+  for (const ExperimentResult& r : grid[0]) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s failed=%lld/%lld hedges=%lld wins=%lld transfers=%lld "
+        "stalls=%lld timeline=",
+        r.system.c_str(), static_cast<long long>(r.failed_high),
+        static_cast<long long>(r.failed_low),
+        static_cast<long long>(r.metrics.counter("client.hedges")),
+        static_cast<long long>(r.metrics.counter("client.hedge_wins")),
+        static_cast<long long>(r.metrics.counter("raft.leader_transfers")),
+        static_cast<long long>(r.metrics.counter("net.stall_deferrals")));
+    table += buf;
+    for (const auto& bucket : r.timeline) {
+      std::snprintf(buf, sizeof(buf), " %lld/%lld",
+                    static_cast<long long>(bucket.committed),
+                    static_cast<long long>(bucket.aborted));
+      table += buf;
+    }
+    table += '\n';
+  }
+  if (trails != nullptr) {
+    for (const ExperimentResult& r : grid[0]) {
+      trails->insert(trails->end(), r.dsan.begin(), r.dsan.end());
+    }
+  }
+  *out = table;
+}
+
 // ---------------------------------------------------------------------------
 // Kernel-swap goldens
 // ---------------------------------------------------------------------------
@@ -330,6 +392,95 @@ TEST(ByteIdentityTest, SimThreads4IsByteIdenticalToSerialOnFailoverChaos) {
     EXPECT_FALSE(d.diverged)
         << "cell " << i << " diverged serial vs sim_threads=4: " << d.what;
   }
+}
+
+TEST(ByteIdentityTest, GrayChaosTablesAreByteIdentical) {
+  std::string serial, parallel;
+  RunGrayChaosAndRender("1", &serial);
+  RunGrayChaosAndRender("8", &parallel);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel)
+      << "NATTO_JOBS=8 rendered a different gray-chaos table than "
+         "NATTO_JOBS=1";
+  EXPECT_NE(serial.find("hedges="), std::string::npos);
+  CompareOrWriteGolden("gray_chaos_tiny.golden", serial);
+}
+
+TEST(ByteIdentityTest, DsanDigestsMatchSerialVsParallelOnGrayChaos) {
+  std::string serial, parallel;
+  std::vector<sim::DsanTrail> serial_trails, parallel_trails;
+  RunGrayChaosAndRender("1", &serial, &serial_trails);
+  RunGrayChaosAndRender("8", &parallel, &parallel_trails);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(serial, parallel);
+  // 2 systems x 2 repeats = 4 cells; slow-service queues, stall deferrals,
+  // suspicion elections and hedge races must fold into the same digest
+  // regardless of job count.
+  ASSERT_EQ(serial_trails.size(), 4u);
+  ASSERT_EQ(parallel_trails.size(), serial_trails.size());
+  for (size_t i = 0; i < serial_trails.size(); ++i) {
+    EXPECT_GT(serial_trails[i].events, 0u) << "cell " << i;
+    sim::DsanDivergence d =
+        sim::DiffTrails(serial_trails[i], parallel_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs NATTO_JOBS=8: " << d.what;
+  }
+}
+
+TEST(ByteIdentityTest, SimThreads4IsByteIdenticalToSerialOnGrayChaos) {
+  auto threaded = [](ExperimentConfig* c) { c->cluster.sim_threads = 4; };
+  std::string baseline, with_threads;
+  std::vector<sim::DsanTrail> base_trails, thread_trails;
+  RunGrayChaosAndRender("1", &baseline, &base_trails);
+  RunGrayChaosAndRender("8", &with_threads, &thread_trails, threaded);
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  EXPECT_EQ(with_threads, baseline)
+      << "sim_threads=4 + NATTO_JOBS=8 changed the gray-chaos table";
+  CompareOrWriteGolden("gray_chaos_tiny.golden", with_threads);
+  ASSERT_EQ(thread_trails.size(), base_trails.size());
+  for (size_t i = 0; i < base_trails.size(); ++i) {
+    sim::DsanDivergence d = sim::DiffTrails(base_trails[i], thread_trails[i]);
+    EXPECT_TRUE(d.comparable) << "cell " << i;
+    EXPECT_FALSE(d.diverged)
+        << "cell " << i << " diverged serial vs sim_threads=4: " << d.what;
+  }
+}
+
+// Zero-overhead proof for the gray-defense knobs: armed but untriggerable,
+// they must not move a byte of the fault-free fig7 golden. gray.enabled and
+// pre_vote are structurally inert without a fault schedule (no injector, no
+// raft timers); fail-away and hedging are armed with thresholds no
+// fault-free run can reach.
+TEST(ByteIdentityTest, InertGrayKnobsLeaveFig7GoldenUntouched) {
+  std::string rendered;
+  RunAndRender("1", &rendered, [](ExperimentConfig* c) {
+    c->cluster.gray.enabled = true;
+    c->cluster.gray.phi_suspect = 2.0;
+    c->cluster.raft.pre_vote = true;
+    c->cluster.raft.fail_away_commit_latency = Seconds(10);
+    c->hedge_percentile = 0.95;
+    c->hedge_min_delay = Seconds(30);
+    c->hedge_min_samples = 1 << 20;
+  });
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  CompareOrWriteGolden("fig7_ycsbt_tiny.golden", rendered);
+}
+
+// Same proof against the fail-stop chaos golden: a fail-away threshold far
+// above any observed commit latency and a hedge delay past the request
+// timeout never fire, so the run that minted the golden is reproduced
+// byte-for-byte with the defense machinery compiled in and armed.
+TEST(ByteIdentityTest, InertGrayKnobsLeaveFailoverChaosGoldenUntouched) {
+  std::string rendered;
+  RunChaosAndRender("1", &rendered, nullptr, [](ExperimentConfig* c) {
+    c->cluster.raft.fail_away_commit_latency = Seconds(10);
+    c->hedge_percentile = 0.95;
+    c->hedge_min_delay = Seconds(30);
+    c->hedge_min_samples = 1 << 20;
+  });
+  ASSERT_EQ(unsetenv("NATTO_JOBS"), 0);
+  CompareOrWriteGolden("failover_chaos_tiny.golden", rendered);
 }
 
 TEST(ByteIdentityTest, SerialParallelAndRerunTablesAreByteIdentical) {

@@ -94,6 +94,108 @@ TEST(FaultScheduleTest, FormatRoundTrips) {
   }
 }
 
+TEST(FaultScheduleTest, ParsesGrayFaultVerbs) {
+  const std::string text =
+      "2s   slow p0 r1 factor=30 for=5s\n"
+      "3.5s stall p1 r2 for=1500ms\n"
+      "4s   partition-oneway s0 s2\n";
+  fault::FaultSchedule s;
+  std::string error;
+  ASSERT_TRUE(fault::ParseSchedule(text, &s, &error)) << error;
+  ASSERT_EQ(s.events.size(), 3u);
+
+  EXPECT_EQ(s.events[0].op, fault::FaultOp::kSlowReplica);
+  EXPECT_EQ(s.events[0].at, Seconds(2));
+  EXPECT_EQ(s.events[0].a, 0);
+  EXPECT_EQ(s.events[0].b, 1);
+  EXPECT_DOUBLE_EQ(s.events[0].factor, 30.0);
+  EXPECT_EQ(s.events[0].duration, Seconds(5));
+
+  EXPECT_EQ(s.events[1].op, fault::FaultOp::kStallReplica);
+  EXPECT_EQ(s.events[1].at, Millis(3500));
+  EXPECT_EQ(s.events[1].a, 1);
+  EXPECT_EQ(s.events[1].b, 2);
+  EXPECT_EQ(s.events[1].duration, Millis(1500));
+
+  EXPECT_EQ(s.events[2].op, fault::FaultOp::kPartitionOneWay);
+  EXPECT_EQ(s.events[2].a, 0);
+  EXPECT_EQ(s.events[2].b, 2);
+}
+
+TEST(FaultScheduleTest, GrayVerbsFormatRoundTrip) {
+  fault::FaultSchedule s;
+  s.SlowReplica(Seconds(2), 0, 1, 30.0, Seconds(5))
+      .StallReplica(Millis(3500), 1, 2, Millis(1500))
+      .PartitionOneWay(Seconds(4), 0, 2)
+      .HealSites(Seconds(6), 0, 2);
+  std::string text = fault::FormatSchedule(s);
+  EXPECT_EQ(text,
+            "2s slow p0 r1 factor=30 for=5s\n"
+            "3.5s stall p1 r2 for=1.5s\n"
+            "4s partition-oneway s0 s2\n"
+            "6s heal s0 s2\n");
+
+  fault::FaultSchedule reparsed;
+  std::string error;
+  ASSERT_TRUE(fault::ParseSchedule(text, &reparsed, &error)) << error;
+  ASSERT_EQ(reparsed.events.size(), s.events.size());
+  for (size_t i = 0; i < s.events.size(); ++i) {
+    EXPECT_EQ(reparsed.events[i].op, s.events[i].op) << "event " << i;
+    EXPECT_EQ(reparsed.events[i].at, s.events[i].at) << "event " << i;
+    EXPECT_EQ(reparsed.events[i].a, s.events[i].a) << "event " << i;
+    EXPECT_EQ(reparsed.events[i].b, s.events[i].b) << "event " << i;
+    EXPECT_DOUBLE_EQ(reparsed.events[i].factor, s.events[i].factor);
+    EXPECT_EQ(reparsed.events[i].duration, s.events[i].duration);
+  }
+}
+
+TEST(FaultScheduleTest, RejectsMalformedGrayVerbsWithLineDiagnostics) {
+  fault::FaultSchedule s;
+  std::string error;
+
+  // Non-numeric factor, with the error naming the offending line.
+  EXPECT_FALSE(fault::ParseSchedule(
+      "# header\n1s slow p0 r0 factor=fast for=2s\n", &s, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  EXPECT_NE(error.find("bad factor"), std::string::npos) << error;
+
+  // A sub-unity factor would *speed up* the node; rejected outright.
+  EXPECT_FALSE(
+      fault::ParseSchedule("1s slow p0 r0 factor=0.5 for=2s\n", &s, &error));
+  EXPECT_NE(error.find("bad factor"), std::string::npos) << error;
+
+  // Unit-less durations are never guessed at.
+  EXPECT_FALSE(
+      fault::ParseSchedule("1s slow p0 r0 factor=2 for=5\n", &s, &error));
+  EXPECT_NE(error.find("bad duration"), std::string::npos) << error;
+
+  EXPECT_FALSE(
+      fault::ParseSchedule("1s slow p0 r0 factor=2 speed=3s\n", &s, &error));
+  EXPECT_NE(error.find("unknown key 'speed=3s'"), std::string::npos) << error;
+
+  // Right arity but a key is repeated instead of supplied.
+  EXPECT_FALSE(
+      fault::ParseSchedule("1s slow p0 r0 factor=2 factor=3\n", &s, &error));
+  EXPECT_NE(error.find("slow wants both factor= and for="), std::string::npos)
+      << error;
+
+  EXPECT_FALSE(fault::ParseSchedule("2s stall p0 r0 for=0s\n", &s, &error));
+  EXPECT_NE(error.find("stall wants a positive for="), std::string::npos)
+      << error;
+  EXPECT_FALSE(fault::ParseSchedule("2s stall p0 r0 for=abc\n", &s, &error));
+  EXPECT_NE(error.find("bad duration"), std::string::npos) << error;
+  EXPECT_FALSE(fault::ParseSchedule("2s stall p0 r0 until=3s\n", &s, &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos) << error;
+
+  // Wrong operand prefixes and missing operands.
+  EXPECT_FALSE(fault::ParseSchedule("2s partition-oneway s0\n", &s, &error));
+  EXPECT_NE(error.find("partition-oneway wants"), std::string::npos) << error;
+  EXPECT_FALSE(
+      fault::ParseSchedule("2s partition-oneway s0 p1\n", &s, &error));
+  EXPECT_FALSE(fault::ParseSchedule("1s slow s0 r0 factor=2 for=2s\n", &s,
+                                    &error));
+}
+
 TEST(FaultScheduleTest, RejectsMalformedInputWithLineDiagnostics) {
   fault::FaultSchedule s;
   std::string error;
@@ -230,6 +332,137 @@ TEST_F(TransportFaultTest, OverlayLossCollapsesMathisCapacity) {
   EXPECT_EQ(t.messages_sent(),
             t.messages_delivered() + t.messages_in_flight() +
                 t.delivery_drops());
+}
+
+// ---------------------------------------------------------------------------
+// Gray faults: fail-slow service stretch, gray stall, half-open partition
+// ---------------------------------------------------------------------------
+
+TEST_F(TransportFaultTest, SlowStretchesServiceFifoAndBacklogDrains) {
+  net::NodeId a = transport.AddNode(0);
+  net::NodeId b = transport.AddNode(1);
+  SimDuration base = matrix.OneWay(0, 1);  // 2 ms
+
+  // No CPU cost model configured: the slow fault falls back to the default
+  // stand-in (100 us) times the factor = 1 ms per serviced message.
+  EXPECT_DOUBLE_EQ(transport.NodeSlowFactor(b), 1.0);
+  transport.SetNodeSlow(b, 10.0, /*until=*/Millis(1));
+  EXPECT_DOUBLE_EQ(transport.NodeSlowFactor(b), 10.0);
+
+  std::vector<std::pair<int, SimTime>> arrivals;
+  for (int i = 0; i < 3; ++i) {
+    transport.Send(a, b, 64, [&arrivals, i, this]() {
+      arrivals.emplace_back(i, simulator.Now());
+    });
+  }
+  // Sent after the slow window expired, while the backlog is still
+  // draining: it must queue FIFO behind the stretched messages (no
+  // overtaking), at its normal (zero) service cost.
+  simulator.ScheduleAt(Millis(2) + Micros(500), [&]() {
+    transport.Send(a, b, 64, [&arrivals, this]() {
+      arrivals.emplace_back(3, simulator.Now());
+    });
+  });
+  // Sent once the backlog has fully drained: raw wire latency again.
+  simulator.ScheduleAt(Millis(4), [&]() {
+    transport.Send(a, b, 64, [&arrivals, this]() {
+      arrivals.emplace_back(4, simulator.Now());
+    });
+  });
+  simulator.Run();
+
+  // All three t=0 messages hit the wire together (arrival = 2 ms) and then
+  // drain through the node's FIFO service queue at 1 ms each.
+  ASSERT_EQ(arrivals.size(), 5u);
+  EXPECT_EQ(arrivals[0], (std::pair<int, SimTime>{0, base + Millis(1)}));
+  EXPECT_EQ(arrivals[1], (std::pair<int, SimTime>{1, base + Millis(2)}));
+  EXPECT_EQ(arrivals[2], (std::pair<int, SimTime>{2, base + Millis(3)}));
+  // Message 3 arrived at 4.5 ms < the backlog horizon (5 ms): deferred to
+  // the end of the backlog, keeping FIFO order through the equal-time tie
+  // break.
+  EXPECT_EQ(arrivals[3], (std::pair<int, SimTime>{3, base + Millis(3)}));
+  // Message 4 arrived at 6 ms, after the drain: no queueing left.
+  EXPECT_EQ(arrivals[4], (std::pair<int, SimTime>{4, Millis(4) + base}));
+  // The window expired: the factor reads 1.0 again.
+  EXPECT_DOUBLE_EQ(transport.NodeSlowFactor(b), 1.0);
+}
+
+TEST_F(TransportFaultTest, StallDefersServiceBothWaysButPingsPass) {
+  net::NodeId a = transport.AddNode(0);
+  net::NodeId b = transport.AddNode(1);
+  SimDuration base = matrix.OneWay(0, 1);  // 2 ms
+  const SimTime stall_end = Millis(10);
+
+  EXPECT_EQ(transport.NodeStallUntil(b), 0);
+  transport.SetNodeStalled(b, stall_end);
+  EXPECT_EQ(transport.NodeStallUntil(b), stall_end);
+
+  SimTime service_in = -1, ping_in = -1, service_out = -1, ping_out = -1;
+  // Inbound service traffic parks in the stalled node's receive queue until
+  // the stall ends; inbound pings are answered by the kernel on time.
+  transport.Send(a, b, 64, [&]() { service_in = simulator.Now(); });
+  transport.Send(a, b, 64, [&]() { ping_in = simulator.Now(); },
+                 net::MessageClass::kPing);
+  // The stalled process emits nothing itself: its own service sends replay
+  // at the stall's end (wire time added after), while its ping replies go
+  // out immediately.
+  simulator.ScheduleAt(Millis(1), [&]() {
+    transport.Send(b, a, 64, [&]() { service_out = simulator.Now(); });
+    transport.Send(b, a, 64, [&]() { ping_out = simulator.Now(); },
+                   net::MessageClass::kPing);
+  });
+  simulator.Run();
+
+  EXPECT_EQ(ping_in, base);
+  EXPECT_EQ(ping_out, Millis(1) + base);
+  EXPECT_EQ(service_in, stall_end);
+  EXPECT_EQ(service_out, stall_end + base);
+  // One receive-side deferral + one send-side deferral.
+  EXPECT_EQ(transport.stall_deferrals(), 2u);
+  // Deferred is not dropped: every message resolved to a delivery.
+  EXPECT_EQ(transport.messages_dropped(), 0u);
+  EXPECT_EQ(transport.messages_sent(),
+            transport.messages_delivered() + transport.messages_in_flight() +
+                transport.delivery_drops());
+  EXPECT_EQ(transport.NodeStallUntil(b), 0);  // expired
+}
+
+TEST_F(TransportFaultTest, OneWayPartitionSeversOneDirectionOnly) {
+  net::NodeId a = transport.AddNode(0);
+  net::NodeId b = transport.AddNode(1);
+
+  transport.SetSitePartitionedOneWay(0, 1, true);
+  // The directed mask is asymmetric: only 0 -> 1 reads as severed.
+  EXPECT_TRUE(transport.IsSitePartitioned(0, 1));
+  EXPECT_FALSE(transport.IsSitePartitioned(1, 0));
+
+  transport.Send(a, b, 64, deliver);  // severed direction: dropped at send
+  transport.Send(b, a, 64, deliver);  // reverse direction keeps flowing
+  simulator.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(transport.dropped_partition(), 1u);
+
+  // A message already in flight when the one-way partition lands is eaten
+  // by the delivery-time re-check — in the severed direction only.
+  transport.SetSitePartitioned(0, 1, false);
+  transport.Send(a, b, 64, deliver);
+  transport.Send(b, a, 64, deliver);
+  transport.SetSitePartitionedOneWay(0, 1, true);
+  simulator.Run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(transport.dropped_partition(), 2u);
+  EXPECT_EQ(transport.delivery_drops(), 1u);
+
+  // The symmetric heal clears both directions, matching the schedule
+  // grammar's `heal sA sB` semantics for one-way partitions.
+  transport.SetSitePartitioned(0, 1, false);
+  EXPECT_FALSE(transport.IsSitePartitioned(0, 1));
+  transport.Send(a, b, 64, deliver);
+  simulator.Run();
+  EXPECT_EQ(delivered, 3);
+  EXPECT_EQ(transport.messages_sent(),
+            transport.messages_delivered() + transport.messages_in_flight() +
+                transport.delivery_drops());
 }
 
 // ---------------------------------------------------------------------------

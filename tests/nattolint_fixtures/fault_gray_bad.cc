@@ -1,0 +1,59 @@
+// Fixture: the bug classes a gray-fault injector could smuggle into
+// src/fault/ — wall-clock stall deadlines, jittered slow factors from an
+// ambient engine, a static schedule cache, nondeterministic iteration over
+// per-node fault state, a parse cursor mutated inside a check, and fault
+// verbs read from the environment (6 violations when linted under
+// src/fault/; natto-batch-bypass must stay quiet — that rule is net-only).
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Simulator {
+  void ScheduleAt(long at, void (*fn)());
+};
+
+long StallDeadline() {
+  // Stall expiry must come from sim time, never the host clock.
+  auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}
+
+double JitteredSlowFactor(double base) {
+  // Slow factors must draw from the seeded run Rng, not an ambient engine.
+  std::mt19937 gen(42);
+  return base + gen() % 3;
+}
+
+const std::map<long, std::string>& ScheduleCache() {
+  static std::map<long, std::string> parsed;  // mutable static cache
+  return parsed;
+}
+
+double TotalSlowdown(const std::unordered_map<int, double>& slow_factors) {
+  double total = 0;
+  for (const auto& [node, factor] : slow_factors) total += factor;
+  return total;
+}
+
+int ParseFactor(const std::vector<std::string>& tokens, int cursor) {
+  NATTO_CHECK(cursor++ < static_cast<int>(tokens.size()));
+  return cursor;
+}
+
+const char* AmbientSchedule() { return std::getenv("NATTO_FAULTS"); }
+
+// --- none of these are violations ---
+
+void ApplyAt(Simulator* simulator, long at, void (*fn)()) {
+  // Direct ScheduleAt is the injector's sanctioned path: the batch-bypass
+  // rule protects src/net's flush queue, not fault application.
+  simulator->ScheduleAt(at, fn);
+}
+
+const char* SanctionedEnvRead() {
+  return std::getenv("NATTO_WRITE_GOLDEN");  // NOLINT(natto-env-read)
+}

@@ -79,6 +79,29 @@ TEST(NattolintWallclock, FaultDirectoryIsNotExempt) {
   EXPECT_EQ(CountByRule(rng)["natto-ambient-rng"], 4);
 }
 
+TEST(NattolintFault, GrayFaultInjectorIdiomsAreCovered) {
+  // One fixture shaped like the gray-fault injector itself: every bug class
+  // the fault grammar / slow-stall machinery could smuggle in fires exactly
+  // once under a src/fault/ pseudo-path, and the injector's sanctioned
+  // idioms (direct ScheduleAt for fault application, a NOLINT'd golden-knob
+  // env read) stay quiet.
+  auto vs = nattolint::LintContent("src/fault/fixture.cc",
+                                   ReadFixture("fault_gray_bad.cc"), {});
+  auto by_rule = CountByRule(vs);
+  EXPECT_EQ(by_rule["natto-wallclock"], 1) << "steady_clock stall deadline";
+  EXPECT_EQ(by_rule["natto-ambient-rng"], 1) << "mt19937 slow-factor jitter";
+  EXPECT_EQ(by_rule["natto-mutable-static"], 1) << "static schedule cache";
+  EXPECT_EQ(by_rule["natto-unordered-iter"], 1)
+      << "range-for over per-node slow factors";
+  EXPECT_EQ(by_rule["natto-check-side-effect"], 1)
+      << "parse cursor mutated inside NATTO_CHECK";
+  EXPECT_EQ(by_rule["natto-env-read"], 1)
+      << "fault schedule from the environment; the NOLINT'd read is exempt";
+  EXPECT_EQ(by_rule["natto-batch-bypass"], 0)
+      << "ScheduleAt is net-only; fault application uses it by design";
+  EXPECT_EQ(static_cast<int>(vs.size()), 6);
+}
+
 // ---------------------------------------------------------------------------
 // Rule 2: natto-ambient-rng
 // ---------------------------------------------------------------------------

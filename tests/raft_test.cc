@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "raft/group.h"
@@ -302,6 +303,199 @@ TEST_F(RaftFixture, ProposeTimeoutFiresWhenAcceptingLeaderDies) {
   simulator.RunUntil(Millis(600));
   EXPECT_FALSE(committed);
   EXPECT_TRUE(timed_out);
+}
+
+// Pre-vote regression (Raft thesis §4.2.3): an isolated replica keeps
+// pre-voting at term+1 without ever incrementing its real term, so its
+// rejoin cannot depose the healthy leader — no election fires at all, and
+// the group stays at term 1 throughout.
+TEST_F(RaftFixture, PreVoteIsolatedReplicaRejoinsWithoutDeposingLeader) {
+  RaftReplica::Options opts;
+  opts.pre_vote = true;
+  auto g = std::make_unique<RaftGroup>(&transport, std::vector<int>{0, 1, 2},
+                                       opts, rng);
+  g->StartTimers();
+  int elections = 0;
+  g->SetOnLeaderChange([&](RaftReplica*) { ++elections; });
+  simulator.RunUntil(Seconds(1));
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+
+  // Cut the site-2 follower off in both directions for many election
+  // timeouts' worth of simulated time.
+  transport.SetSitePartitioned(2, 0, true);
+  transport.SetSitePartitioned(2, 1, true);
+  simulator.RunUntil(Seconds(8));
+  // Its pre-votes all fizzled; without pre-vote this term would be inflated
+  // by a dozen futile elections.
+  EXPECT_EQ(g->replica(2)->term(), 1u);
+  EXPECT_FALSE(g->replica(2)->IsLeader());
+
+  transport.SetSitePartitioned(2, 0, false);
+  transport.SetSitePartitioned(2, 1, false);
+  simulator.RunUntil(Seconds(10));
+  // Rejoin is a non-event: same leader, same term, zero elections.
+  EXPECT_TRUE(g->replica(0)->IsLeader());
+  EXPECT_EQ(g->replica(0)->term(), 1u);
+  EXPECT_EQ(elections, 0);
+
+  // The group still commits (the rejoined replica catches up).
+  bool committed = false;
+  ASSERT_TRUE(g->leader()->Propose(5, [&]() { committed = true; }).ok());
+  simulator.RunUntil(Seconds(11));
+  EXPECT_TRUE(committed);
+}
+
+// A peer that has heard from a live leader within election_timeout_min
+// refuses pre-votes (leader stickiness), so a single disruptive replica
+// cannot even collect a pre-vote majority while the leader is healthy.
+TEST_F(RaftFixture, PreVoteDeniedWhileLeaderIsLive) {
+  RaftReplica::Options opts;
+  opts.pre_vote = true;
+  auto g = std::make_unique<RaftGroup>(&transport, std::vector<int>{0, 1, 2},
+                                       opts, rng);
+  g->StartTimers();
+  simulator.RunUntil(Seconds(1));
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+  uint64_t term_before = g->replica(0)->term();
+
+  // Sever only leader <-> follower-1: follower 1's election timer fires
+  // and it pre-votes at term+1, but follower 2 still hears the live leader
+  // inside election_timeout_min and denies (leader stickiness), so no
+  // majority forms and nobody's term moves.
+  transport.SetSitePartitioned(0, 1, true);
+  simulator.RunUntil(Seconds(4));
+  EXPECT_TRUE(g->replica(0)->IsLeader());
+  EXPECT_EQ(g->replica(0)->term(), term_before);
+  EXPECT_EQ(g->replica(1)->term(), term_before);
+  EXPECT_FALSE(g->replica(1)->IsLeader());
+
+  transport.SetSitePartitioned(0, 1, false);
+  simulator.RunUntil(Seconds(5));
+  EXPECT_TRUE(g->replica(0)->IsLeader());
+  EXPECT_EQ(g->replica(0)->term(), term_before);
+}
+
+// Deliberate leadership transfer: the leader picks a caught-up follower,
+// sends TimeoutNow, and the follower wins an immediate election without
+// losing any committed entry.
+TEST_F(RaftFixture, TransferLeadershipHandsOffWithoutLosingCommits) {
+  auto g = MakeGroup({0, 1, 2});
+  obs::MetricsRegistry registry;
+  for (size_t r = 0; r < g->size(); ++r) {
+    g->replica(r)->RegisterMetrics(&registry);
+  }
+  g->StartTimers();
+  bool committed = false;
+  ASSERT_TRUE(g->leader()->Propose(1, [&]() { committed = true; }).ok());
+  simulator.RunUntil(Seconds(1));
+  ASSERT_TRUE(committed);
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+
+  EXPECT_TRUE(g->replica(0)->TransferLeadership());
+  simulator.RunUntil(Seconds(3));
+
+  int leaders = 0;
+  RaftReplica* new_leader = nullptr;
+  for (size_t r = 0; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) {
+      ++leaders;
+      new_leader = g->replica(r);
+    }
+  }
+  ASSERT_EQ(leaders, 1);
+  ASSERT_NE(new_leader, g->replica(0));
+  EXPECT_GT(new_leader->term(), 1u);
+  // The transfer target held every committed entry.
+  EXPECT_GE(new_leader->log_size(), 1u);
+  EXPECT_EQ(registry.Snapshot().counter("raft.leader_transfers"), 1u);
+
+  // The group tracked the handoff and commits flow through the new leader.
+  EXPECT_EQ(g->leader(), new_leader);
+  bool recommitted = false;
+  ASSERT_TRUE(new_leader->Propose(2, [&]() { recommitted = true; }).ok());
+  simulator.RunUntil(Seconds(5));
+  EXPECT_TRUE(recommitted);
+}
+
+// Gray fail-slow leader: the node heartbeats on time (so no election
+// timeout ever fires) but services every inbound message at 400x cost, so
+// its propose->commit latency EWMA crosses the fail-away threshold and it
+// hands leadership to a healthy follower on its own.
+TEST_F(RaftFixture, FailAwayTransfersOffFailSlowLeader) {
+  RaftReplica::Options opts;
+  // Pre-vote rides along as in the real defense stack: the deposed slow
+  // node's backlog delays the new leader's heartbeats past its election
+  // timeout, and without pre-vote it would bump its term and take the
+  // lease right back.
+  opts.pre_vote = true;
+  // Well above a healthy leader's commit latency on AzureFive (sites 0/1/2
+  // are 67-136 ms RTT apart, so a healthy commit EWMA settles near 70-140
+  // ms depending on which site leads) but far below the saturated gray
+  // leader's seconds-long commits. A threshold inside the healthy band
+  // would make the replacement leader fail away too and churn terms.
+  opts.fail_away_commit_latency = Millis(400);
+  auto g = std::make_unique<RaftGroup>(&transport, std::vector<int>{0, 1, 2},
+                                       opts, rng);
+  obs::MetricsRegistry registry;
+  for (size_t r = 0; r < g->size(); ++r) {
+    g->replica(r)->RegisterMetrics(&registry);
+  }
+  g->StartTimers();
+  simulator.RunUntil(Seconds(1));
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+
+  // 400 x 100 us default service cost = 40 ms per message serviced by the
+  // leader; append responses queue behind each other and commit latency
+  // climbs far past the 400 ms threshold.
+  transport.SetNodeSlow(g->replica(0)->id(), 400.0, Seconds(30));
+  int commits = 0;
+  for (int i = 0; i < 60; ++i) {
+    simulator.ScheduleAt(Seconds(1) + Millis(50) * i, [&]() {
+      g->Propose(9, [&]() { ++commits; }, [](bool) {});
+    });
+  }
+  simulator.RunUntil(Seconds(8));
+
+  EXPECT_FALSE(g->replica(0)->IsLeader());
+  EXPECT_GE(registry.Snapshot().counter("raft.leader_transfers"), 1u);
+  int leaders = 0;
+  for (size_t r = 1; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_GT(commits, 0);
+}
+
+// φ-accrual suspicion: followers feed the detector from accepted
+// AppendEntries; when the leader gray-stalls (pings fine, service frozen)
+// their suspicion crosses the threshold and they elect a replacement.
+TEST_F(RaftFixture, SuspicionElectsAwayFromGrayStalledLeader) {
+  RaftReplica::Options opts;
+  opts.pre_vote = true;
+  auto g = std::make_unique<RaftGroup>(&transport, std::vector<int>{0, 1, 2},
+                                       opts, rng);
+  net::FailureDetector fd{net::FailureDetector::Options{}};
+  for (size_t r = 0; r < g->size(); ++r) {
+    int stream = fd.AddStream("r" + std::to_string(r));
+    g->replica(r)->EnableSuspicion(&fd, stream, 8.0);
+  }
+  g->StartTimers();
+  int elections = 0;
+  g->SetOnLeaderChange([&](RaftReplica*) { ++elections; });
+  simulator.RunUntil(Seconds(2));
+  ASSERT_TRUE(g->replica(0)->IsLeader());
+  ASSERT_EQ(elections, 0);
+
+  transport.SetNodeStalled(g->replica(0)->id(), Seconds(2) + Seconds(2));
+  simulator.RunUntil(Seconds(6));
+
+  int leaders = 0;
+  for (size_t r = 0; r < g->size(); ++r) {
+    if (g->replica(r)->IsLeader()) ++leaders;
+  }
+  EXPECT_EQ(leaders, 1);
+  EXPECT_FALSE(g->replica(0)->IsLeader());
+  EXPECT_GE(elections, 1);
 }
 
 TEST_F(RaftFixture, QuiescentWithoutTimersAfterCommit) {
