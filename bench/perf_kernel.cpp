@@ -2,7 +2,7 @@
 // kernel throughput is measured and comparable against the previous one
 // (see EXPERIMENTS.md "Perf regression").
 //
-// Three suites, each repeated `--reps` times (default 5) with p50/p99 wall
+// Five suites, each repeated `--reps` times (default 5) with p50/p99 wall
 // times reported:
 //   schedule_fire   K self-rescheduling timers with mixed deterministic
 //                   delays — the Simulator schedule/pop hot loop in
@@ -22,6 +22,13 @@
 //                   wall number only measures time-slicing), and a dsan
 //                   digest-equality probe (the two modes must fold the
 //                   exact same (time, seq, parent) stream).
+//   fig14_site_parallel  the saturated Fig 14 cell (LocalTriangle, Retwis
+//                   uniform, 25 us/message server CPU) run end to end:
+//                   serial kernel vs NATTO_SIM_THREADS=4 site-parallel.
+//                   Same speedup/model/identity reporting as
+//                   parallel_windows, but with the real engine stack on the
+//                   per-site lanes. `--check-parallel-speedup=X` gates CI
+//                   on both suites' modeled speedup and output identity.
 //
 // Allocation accounting: this TU replaces global operator new/delete with
 // counting forwarders to malloc/free. The schedule_fire and transport_echo
@@ -58,6 +65,7 @@
 #include "sim/dsan.h"
 #include "sim/parallel_kernel.h"
 #include "sim/simulator.h"
+#include "workload/retwis.h"
 #include "workload/ycsbt.h"
 
 // ---------------------------------------------------------------------------
@@ -124,7 +132,7 @@ struct SuiteResult {
   /// suite does not measure allocations (the e2e cell allocates by design:
   /// transactions carry vectors).
   double steady_allocs_per_event = -1.0;
-  /// parallel_windows only (0 / -1 = not measured). `speedup_4t` is the
+  /// Site-parallel suites only (0 / -1 = not measured). `speedup_4t` is the
   /// headline capability number: the observed wall ratio when the host has
   /// >= 4 cores to actually run the workers, otherwise the modeled ratio
   /// (per-thread-CPU critical path; see ParallelPhaseStats). Both inputs
@@ -134,12 +142,18 @@ struct SuiteResult {
   double speedup_4t_modeled = 0.0;
   unsigned host_cpus = 0;
   int digests_match = -1;
+  uint64_t windows = 0;
+  uint64_t serialized_fires = 0;
 };
 
 struct Options {
   bool quick = false;
   int reps = 5;
   bool check_steady_allocs = false;
+  /// When > 0, exit nonzero unless every site-parallel suite's *modeled*
+  /// 4-thread speedup clears this bar with matching digests (the CI gate
+  /// for the site-parallel kernel's capability claim).
+  double check_parallel_speedup = 0.0;
   std::string out_path = "BENCH_kernel.json";
 };
 
@@ -445,6 +459,8 @@ SuiteResult RunParallelWindows(const Options& opt) {
     sim::ParallelPhaseStats stats;
     double eps = RunParallelWindowsOnce(4, total_events, nullptr, &stats);
     parallel_eps.push_back(eps);
+    r.windows = stats.windows;
+    r.serialized_fires = stats.serialized_fires;
     parallel_wall_ms.push_back(static_cast<double>(total_events) / eps * 1e3);
     // Modeled 4-core wall: per window, the slowest site's execution CPU
     // (the other three run concurrently) plus the serial merge. Window
@@ -479,6 +495,113 @@ SuiteResult RunParallelWindows(const Options& opt) {
 }
 
 // ---------------------------------------------------------------------------
+// Suite 5: fig14 site-parallel end-to-end cell
+// ---------------------------------------------------------------------------
+
+/// The saturated Fig 14 cell — three datacenters (LocalTriangle), Retwis
+/// with uniform keys, 25 us/message server CPU so leaders are
+/// message-processing-bound (Sec 5.6) — run twice per rep with the same
+/// seed: the serial kernel vs NATTO_SIM_THREADS=4 site-parallel windows.
+/// The full engine stack (clients, coordinators, servers, raft) executes
+/// on per-site lanes here; this is the end-to-end counterpart of the
+/// synthetic parallel_windows suite. Reports:
+///   - wall speedup (meaningful only on >= 4-cpu hosts), and
+///   - a modeled >= num_sites-core speedup from the kernel's per-thread CPU
+///     clocks: the parallel run's windowed execution CPU is replaced by the
+///     per-window critical path (slowest site) plus the serial merge, while
+///     everything the kernel serializes (global-lane fires, dispatch)
+///     stays at serial cost:
+///       modeled_wall = serial_wall - exec_cpu + exec_critical + merge
+///   - an identity probe: both runs of a seed must produce byte-identical
+///     committed counts and metric snapshots (reported as digests_match).
+SuiteResult RunFig14SiteParallel(const Options& opt) {
+  harness::ExperimentConfig config;
+  config.matrix = net::LatencyMatrix::LocalTriangle();
+  config.num_partitions = 6;
+  config.num_replicas = 3;
+  // Offered rate just past the 25 us/message CPU capacity knee: queues are
+  // genuinely growing (what "peak throughput" sweeps walk into), per-window
+  // event density is high, and the cell still simulates in tens of seconds.
+  // Sizing is deliberately identical in quick and full mode — saturation is
+  // the point of the suite — only the rep count differs.
+  config.input_rate_tps = 11000;
+  config.duration = Seconds(2);
+  config.warmup = Millis(500);
+  config.cooldown = Millis(500);
+  config.drain = Seconds(1);
+  config.cluster.transport.node_cost_per_message = Micros(25);
+  harness::System system = harness::MakeSystem(harness::SystemKind::kNattoRecsf);
+  auto workload_factory = []() {
+    workload::RetwisWorkload::Options o;
+    o.uniform_keys = true;
+    return std::make_unique<workload::RetwisWorkload>(o);
+  };
+  auto render = [](const harness::RunStats& s) {
+    return std::to_string(s.committed_high) + "/" +
+           std::to_string(s.committed_low) + "/" +
+           std::to_string(s.aborted_attempts) + "\n" + s.metrics.ToJson();
+  };
+
+  SuiteResult r;
+  r.name = "fig14_site_parallel";
+  r.digests_match = 1;
+  std::vector<double> serial_ns, parallel_ns, modeled_ns;
+  int64_t committed = 0;
+  // Each rep costs two full saturated cells; the event stream is seeded and
+  // deterministic, so extra quick-mode reps only re-measure wall noise.
+  const int reps = opt.quick ? std::min(opt.reps, 2) : opt.reps;
+  for (int rep = 0; rep < reps; ++rep) {
+    const uint64_t seed = 4000 + static_cast<uint64_t>(rep);
+
+    config.cluster.sim_threads = 1;
+    config.cluster.parallel_phase_stats = nullptr;
+    auto s0 = Clock::now();  // NOLINT(natto-wallclock)
+    harness::RunStats serial =
+        harness::RunOnce(config, system, workload_factory, seed);
+    auto s1 = Clock::now();  // NOLINT(natto-wallclock)
+    serial_ns.push_back(ElapsedNs(s0, s1));
+
+    sim::ParallelPhaseStats stats;
+    config.cluster.sim_threads = 4;
+    config.cluster.parallel_phase_stats = &stats;
+    auto p0 = Clock::now();  // NOLINT(natto-wallclock)
+    harness::RunStats parallel =
+        harness::RunOnce(config, system, workload_factory, seed);
+    auto p1 = Clock::now();  // NOLINT(natto-wallclock)
+    parallel_ns.push_back(ElapsedNs(p0, p1));
+
+    if (stats.windows == 0) {
+      std::fprintf(stderr,
+                   "fig14_site_parallel ran zero windows — the cell fell "
+                   "back to degenerate mode, the speedup claim is vacuous\n");
+      std::exit(1);
+    }
+    r.windows = stats.windows;
+    r.serialized_fires = stats.serialized_fires;
+    double modeled_s = ElapsedNs(s0, s1) / 1e9 - stats.exec_cpu_seconds +
+                       stats.exec_critical_cpu_seconds +
+                       stats.merge_cpu_seconds;
+    modeled_ns.push_back(std::max(modeled_s, 1e-9) * 1e9);
+
+    committed = serial.committed_high + serial.committed_low;
+    if (render(serial) != render(parallel)) r.digests_match = 0;
+  }
+  if (committed == 0) {
+    std::fprintf(stderr, "fig14_site_parallel committed nothing\n");
+    std::exit(1);
+  }
+
+  r.events_per_rep = static_cast<uint64_t>(committed);
+  r.wall_ms_p50 = Pct(parallel_ns, 50) / 1e6;
+  r.wall_ms_p99 = Pct(parallel_ns, 99) / 1e6;
+  r.speedup_4t_wall = Pct(serial_ns, 50) / Pct(parallel_ns, 50);
+  r.speedup_4t_modeled = Pct(serial_ns, 50) / Pct(modeled_ns, 50);
+  r.host_cpus = std::thread::hardware_concurrency();
+  r.speedup_4t = r.host_cpus >= 4 ? r.speedup_4t_wall : r.speedup_4t_modeled;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
 // JSON output
 // ---------------------------------------------------------------------------
 
@@ -507,6 +630,10 @@ void WriteJson(const Options& opt, const std::vector<SuiteResult>& results) {
       std::fprintf(f, "      \"speedup_4t_modeled\": %.3f,\n",
                    r.speedup_4t_modeled);
       std::fprintf(f, "      \"host_cpus\": %u,\n", r.host_cpus);
+      std::fprintf(f, "      \"windows\": %llu,\n",
+                   static_cast<unsigned long long>(r.windows));
+      std::fprintf(f, "      \"serialized_fires\": %llu,\n",
+                   static_cast<unsigned long long>(r.serialized_fires));
       std::fprintf(f, "      \"digests_match\": %s,\n",
                    r.digests_match == 1 ? "true" : "false");
     }
@@ -529,12 +656,15 @@ int Main(int argc, char** argv) {
     } else if (arg.rfind("--reps=", 0) == 0) {
       opt.reps = std::atoi(arg.c_str() + 7);
       if (opt.reps < 1) opt.reps = 1;
+    } else if (arg.rfind("--check-parallel-speedup=", 0) == 0) {
+      opt.check_parallel_speedup = std::atof(arg.c_str() + 25);
     } else if (arg.rfind("--out=", 0) == 0) {
       opt.out_path = arg.substr(6);
     } else {
       std::fprintf(stderr,
                    "usage: perf_kernel [--quick] [--reps=N] [--out=PATH] "
-                   "[--check-steady-allocs]\n");
+                   "[--check-steady-allocs] "
+                   "[--check-parallel-speedup=X]\n");
       return 2;
     }
   }
@@ -544,6 +674,7 @@ int Main(int argc, char** argv) {
   results.push_back(RunTransportEcho(opt));
   results.push_back(RunFig7Cell(opt));
   results.push_back(RunParallelWindows(opt));
+  results.push_back(RunFig14SiteParallel(opt));
 
   std::printf("%-18s %14s %12s %12s %14s %10s\n", "suite", "events/rep",
               "wall p50 ms", "wall p99 ms", "events/sec", "allocs/ev");
@@ -573,6 +704,25 @@ int Main(int argc, char** argv) {
       }
     }
     std::fprintf(stderr, "steady-state allocation check passed\n");
+  }
+  if (opt.check_parallel_speedup > 0.0) {
+    for (const SuiteResult& r : results) {
+      if (r.speedup_4t <= 0.0) continue;  // not a site-parallel suite
+      if (r.digests_match != 1) {
+        std::fprintf(stderr, "FAIL: %s serial/parallel outputs DIVERGED\n",
+                     r.name.c_str());
+        return 1;
+      }
+      if (r.speedup_4t_modeled < opt.check_parallel_speedup) {
+        std::fprintf(stderr,
+                     "FAIL: %s modeled 4-thread speedup %.2fx < %.2fx\n",
+                     r.name.c_str(), r.speedup_4t_modeled,
+                     opt.check_parallel_speedup);
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "site-parallel speedup check passed (>= %.2fx)\n",
+                 opt.check_parallel_speedup);
   }
   return 0;
 }

@@ -40,6 +40,7 @@ CarouselServer::CarouselServer(CarouselEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
+      payload_ids_(engine->NewPayloadAllocator()),
       kv_(engine->cluster()->options().default_value) {
   obs::MetricsRegistry* m = engine->cluster()->metrics();
   const std::string prefix =
@@ -107,7 +108,7 @@ void CarouselServer::HandleReadPrepare(const WireTxn& txn) {
   }
   auto* co = engine_->coordinator_by_node(coord);
   engine_->cluster()->group(partition_)->Propose(
-      engine_->NextPayloadId(),
+      payload_ids_.Next(),
       [this, co, coord, id, partition]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, "prepare", partition, TrueNow());
@@ -140,7 +141,7 @@ void CarouselServer::HandleCommit(TxnId id,
   // The commit decision is already fixed at the coordinator, so the write
   // data must eventually replicate even across leader changes.
   engine_->cluster()->group(partition_)->ProposeWithRetry(
-      engine_->NextPayloadId(), [this, id, writes = std::move(writes)]() {
+      payload_ids_.Next(), [this, id, writes = std::move(writes)]() {
         for (const auto& [k, v] : writes) kv_.Apply(k, v, id);
         prepared_.Remove(id);
         finished_.insert(id);
@@ -163,6 +164,7 @@ CarouselFastReplica::CarouselFastReplica(CarouselEngine* engine, int partition,
       engine_(engine),
       partition_(partition),
       replica_(replica),
+      payload_ids_(engine->NewPayloadAllocator()),
       kv_(engine->cluster()->options().default_value) {
   obs::MetricsRegistry* m = engine->cluster()->metrics();
   const std::string prefix = "carousel.replica.p" + std::to_string(partition) +
@@ -270,7 +272,7 @@ void CarouselFastReplica::HandleSlowPrepare(
     tr->SpanBegin(id, "slow_prepare", partition_, TrueNow());
   }
   engine_->cluster()->group(partition_)->Propose(
-      engine_->NextPayloadId(),
+      payload_ids_.Next(),
       [this, vote, id, partition]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, "slow_prepare", partition, TrueNow());
@@ -311,7 +313,8 @@ void CarouselFastReplica::HandleAbort(TxnId id) {
 CarouselCoordinator::CarouselCoordinator(CarouselEngine* engine, int site,
                                          sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {
+      engine_(engine),
+      payload_ids_(engine->NewPayloadAllocator()) {
   obs::MetricsRegistry* m = engine->cluster()->metrics();
   const std::string prefix = "carousel.coord.s" + std::to_string(site) + ".";
   slow_path_starts_ = m->GetCounter(prefix + "slow_path_starts");
@@ -439,7 +442,7 @@ void CarouselCoordinator::HandleCommitRequest(
         engine_->cluster()->topology().PartitionLedAt(site());
     NATTO_CHECK(local_partition >= 0);
     engine_->cluster()->group(local_partition)->Propose(
-        engine_->NextPayloadId(),
+        payload_ids_.Next(),
         [this, id]() {
           auto it2 = txns_.find(id);
           if (it2 == txns_.end()) return;
@@ -732,6 +735,16 @@ Value CarouselEngine::DebugValue(Key key) {
   int p = cluster_->topology().PartitionOfKey(key);
   if (options_.fast_path) return fast_replicas_[p][0]->kv()->Get(key).value;
   return servers_[p]->kv()->Get(key).value;
+}
+
+uint64_t CarouselEngine::payload_ids_issued() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) total += s->payload_ids_.issued();
+  for (const auto& partition : fast_replicas_) {
+    for (const auto& r : partition) total += r->payload_ids_.issued();
+  }
+  for (const auto& c : coordinators_) total += c->payload_ids_.issued();
+  return total;
 }
 
 CarouselCoordinator* CarouselEngine::coordinator_by_node(net::NodeId node) {

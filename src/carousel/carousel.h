@@ -12,6 +12,7 @@
 #include "net/node.h"
 #include "obs/abort_cause.h"
 #include "obs/metrics.h"
+#include "raft/raft.h"
 #include "store/kv_store.h"
 #include "store/prepared_set.h"
 #include "txn/cluster.h"
@@ -61,6 +62,7 @@ class CarouselServer : public net::Node {
 
   CarouselEngine* engine_;
   int partition_;
+  raft::PayloadIdAllocator payload_ids_;
   store::KvStore kv_;
   store::PreparedSet prepared_;
   std::unordered_set<TxnId> finished_;  // tombstones for late arrivals
@@ -95,9 +97,12 @@ class CarouselFastReplica : public net::Node {
   store::KvStore* kv() { return &kv_; }
 
  private:
+  friend class CarouselEngine;
+
   CarouselEngine* engine_;
   int partition_;
   int replica_;
+  raft::PayloadIdAllocator payload_ids_;
   store::KvStore kv_;
   store::PreparedSet prepared_;
   std::unordered_set<TxnId> finished_;
@@ -178,6 +183,7 @@ class CarouselCoordinator : public net::Node {
               obs::AbortCause cause);
 
   CarouselEngine* engine_;
+  raft::PayloadIdAllocator payload_ids_;
   std::unordered_map<TxnId, TxnState> txns_;
   std::unordered_set<TxnId> decided_;  // ignore late messages
 
@@ -255,14 +261,24 @@ class CarouselEngine : public txn::TxnEngine {
   /// uses a distinct range so mixed-engine Raft logs stay readable.
   static constexpr uint64_t kPayloadIdBase = 1;
 
-  /// Issues a replication payload id unique within this engine instance.
-  /// Must be per-instance (not a process-wide static): two engines in one
-  /// process would otherwise interleave ids, and concurrent engines would
-  /// race on the shared counter.
-  uint64_t NextPayloadId() { return next_payload_id_++; }
+  /// Hands the next dense payload-id stripe to a proposing node (servers,
+  /// fast replicas and coordinators call this from their constructors, on
+  /// the main thread). Per-node striping replaces the old engine-wide
+  /// `next_id++` counter, which proposers on different site lanes would
+  /// race on under the site-parallel kernel. Must stay per-instance (not a
+  /// process-wide static): two engines in one process would otherwise share
+  /// stripes.
+  raft::PayloadIdAllocator NewPayloadAllocator() {
+    return raft::PayloadIdAllocator(kPayloadIdBase, payload_stripes_++);
+  }
 
-  /// Next id to be issued (test hook for the instance-isolation invariant).
-  uint64_t next_payload_id() const { return next_payload_id_; }
+  /// Stripes handed out so far (test hook for the isolation invariant).
+  uint32_t payload_stripes() const { return payload_stripes_; }
+
+  /// Total replication payload ids issued across this engine's proposers
+  /// (test hook: equal work on equal configs issues equal totals, and a
+  /// fresh engine always starts at zero).
+  uint64_t payload_ids_issued() const;
 
  private:
   friend class CarouselServer;
@@ -279,7 +295,7 @@ class CarouselEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<CarouselGateway>> gateways_;          // per site
   std::unordered_map<net::NodeId, CarouselCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, CarouselGateway*> gateway_by_node_;
-  uint64_t next_payload_id_ = kPayloadIdBase;
+  uint32_t payload_stripes_ = 0;
 };
 
 }  // namespace natto::carousel

@@ -60,11 +60,17 @@ void Client::Start() { ScheduleNext(); }
 void Client::ScheduleNext() {
   double gap_sec = rng_.Exponential(options_.rate_tps);
   auto gap = static_cast<SimDuration>(gap_sec * 1e6);
-  simulator_->ScheduleAfter(gap, [this]() {
-    if (simulator_->Now() >= options_.stop_generating_at) return;
-    BeginTransaction();
-    ScheduleNext();
-  });
+  // Explicitly routed to the origin site's lane (not inherited): the whole
+  // per-client event chain — arrivals, gateway calls, engine callbacks,
+  // retry/hedge timers — then runs on one lane, and arrivals don't land on
+  // the global queue, where at saturation rates they would truncate every
+  // site-parallel window to the next arrival gap.
+  simulator_->ScheduleAtSite(
+      options_.origin_site, simulator_->Now() + gap, [this]() {
+        if (simulator_->Now() >= options_.stop_generating_at) return;
+        BeginTransaction();
+        ScheduleNext();
+      });
 }
 
 void Client::BeginTransaction() {
@@ -191,28 +197,41 @@ void Client::HandleOutcome(const txn::TxnResult& result,
     case txn::TxnOutcome::kCommitted: {
       double latency_ms = ToMillis(simulator_->Now() - first_start);
       if (in_window) {
-        if (txn::IsPrioritized(original_priority)) {
-          stats_->latencies_high_ms.push_back(latency_ms);
-          ++stats_->committed_high;
-        } else {
-          stats_->latencies_low_ms.push_back(latency_ms);
-          ++stats_->committed_low;
-        }
-        stats_->latencies_by_level_ms[txn::PriorityLevel(original_priority)]
-            .push_back(latency_ms);
+        // RunStats is shared by every client in the run and its vectors and
+        // plain counters are neither thread-safe nor order-insensitive
+        // (Mean() sums doubles in push order), so clients on different site
+        // lanes record through DeferOrdered. Serial runs execute inline.
+        const bool high = txn::IsPrioritized(original_priority);
+        const int level = txn::PriorityLevel(original_priority);
+        simulator_->DeferOrdered([stats = stats_, latency_ms, high, level]() {
+          if (high) {
+            stats->latencies_high_ms.push_back(latency_ms);
+            ++stats->committed_high;
+          } else {
+            stats->latencies_low_ms.push_back(latency_ms);
+            ++stats->committed_low;
+          }
+          stats->latencies_by_level_ms[level].push_back(latency_ms);
+        });
       }
       RecordTimelineCommit(latency_ms);
       return;
     }
     case txn::TxnOutcome::kUserAborted: {
-      if (in_window) ++stats_->user_aborted;
+      if (in_window) {
+        simulator_->DeferOrdered(
+            [stats = stats_]() { ++stats->user_aborted; });
+      }
       if (abort_cause_[0] != nullptr) {
         abort_cause_[static_cast<int>(obs::AbortCause::kUserAbort)]->Inc();
       }
       return;
     }
     case txn::TxnOutcome::kAborted: {
-      if (in_window) ++stats_->aborted_attempts;
+      if (in_window) {
+        simulator_->DeferOrdered(
+            [stats = stats_]() { ++stats->aborted_attempts; });
+      }
       // Counted outside the measurement window too: the registry records
       // system behavior over the whole run, not the sampled window.
       if (abort_cause_[0] != nullptr) {
@@ -221,9 +240,11 @@ void Client::HandleOutcome(const txn::TxnResult& result,
       RecordTimelineAbort(/*timeout=*/false);
       if (attempt >= options_.max_attempts) {
         if (in_window) {
-          ++stats_->failed;
-          ++(txn::IsPrioritized(original_priority) ? stats_->failed_high
-                                                   : stats_->failed_low);
+          const bool high = txn::IsPrioritized(original_priority);
+          simulator_->DeferOrdered([stats = stats_, high]() {
+            ++stats->failed;
+            ++(high ? stats->failed_high : stats->failed_low);
+          });
         }
         return;
       }
@@ -243,17 +264,21 @@ void Client::HandleTimeout(txn::TxnRequest request, SimTime first_start,
                            int attempt, txn::Priority original_priority) {
   bool in_window = first_start >= options_.measure_start &&
                    first_start < options_.measure_end;
-  if (in_window) ++stats_->aborted_attempts;
-  ++stats_->timeout_aborts;
+  simulator_->DeferOrdered([stats = stats_, in_window]() {
+    if (in_window) ++stats->aborted_attempts;
+    ++stats->timeout_aborts;
+  });
   if (abort_cause_[0] != nullptr) {
     abort_cause_[static_cast<int>(obs::AbortCause::kTimeout)]->Inc();
   }
   RecordTimelineAbort(/*timeout=*/true);
   if (attempt >= options_.max_attempts) {
     if (in_window) {
-      ++stats_->failed;
-      ++(txn::IsPrioritized(original_priority) ? stats_->failed_high
-                                               : stats_->failed_low);
+      const bool high = txn::IsPrioritized(original_priority);
+      simulator_->DeferOrdered([stats = stats_, high]() {
+        ++stats->failed;
+        ++(high ? stats->failed_high : stats->failed_low);
+      });
     }
     return;
   }
@@ -302,20 +327,26 @@ SimDuration Client::BackoffDelay(const Options& options, SimTime first_start,
 
 void Client::RecordTimelineCommit(double latency_ms) {
   if (options_.timeline_bucket <= 0) return;
+  // The bucket index is computed now (lane-local clock); only the shared
+  // timeline mutation is deferred.
   size_t idx = static_cast<size_t>(simulator_->Now() /
                                    options_.timeline_bucket);
-  if (stats_->timeline.size() <= idx) stats_->timeline.resize(idx + 1);
-  ++stats_->timeline[idx].committed;
-  stats_->timeline[idx].latencies_ms.push_back(latency_ms);
+  simulator_->DeferOrdered([stats = stats_, idx, latency_ms]() {
+    if (stats->timeline.size() <= idx) stats->timeline.resize(idx + 1);
+    ++stats->timeline[idx].committed;
+    stats->timeline[idx].latencies_ms.push_back(latency_ms);
+  });
 }
 
 void Client::RecordTimelineAbort(bool timeout) {
   if (options_.timeline_bucket <= 0) return;
   size_t idx = static_cast<size_t>(simulator_->Now() /
                                    options_.timeline_bucket);
-  if (stats_->timeline.size() <= idx) stats_->timeline.resize(idx + 1);
-  ++stats_->timeline[idx].aborted;
-  if (timeout) ++stats_->timeline[idx].timeouts;
+  simulator_->DeferOrdered([stats = stats_, idx, timeout]() {
+    if (stats->timeline.size() <= idx) stats->timeline.resize(idx + 1);
+    ++stats->timeline[idx].aborted;
+    if (timeout) ++stats->timeline[idx].timeouts;
+  });
 }
 
 }  // namespace natto::harness

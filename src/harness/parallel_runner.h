@@ -28,7 +28,7 @@ int DefaultJobs();
 /// bit-identical for any job count. Tasks must be mutually independent:
 /// every cell builds its own Simulator/Cluster/engine and shares no mutable
 /// state with its siblings (the engines are instance-isolated for exactly
-/// this reason — see each engine's NextPayloadId()).
+/// this reason — see each engine's NewPayloadAllocator()).
 class ParallelRunner {
  public:
   /// jobs <= 0 selects DefaultJobs().

@@ -72,6 +72,7 @@ NattoServer::NattoServer(NattoEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
+      payload_ids_(engine->NewPayloadAllocator()),
       kv_(engine->cluster()->options().default_value) {
   obs::MetricsRegistry* reg = engine->cluster()->metrics();
   const std::string prefix =
@@ -359,7 +360,7 @@ void NattoServer::PrepareNow(TxnState st, bool conditional,
   // replication completes so it reflects the *current* conditional state:
   // a condition may resolve (or fail) while the prepare is replicating.
   engine_->cluster()->group(partition_)->Propose(
-      engine_->NextPayloadId(),
+      payload_ids_.Next(),
       [this, id, version, coord, span_name]() {
         if (obs::Tracer* tr = engine_->cluster()->tracer()) {
           tr->SpanEnd(id, span_name, partition_, TrueNow());
@@ -452,12 +453,12 @@ void NattoServer::HandleCommit(TxnId id,
     // coordinator, so make the writes visible before replicating them.
     complete(writes);
     engine_->cluster()->group(partition_)->ProposeWithRetry(
-        engine_->NextPayloadId(), []() {});
+        payload_ids_.Next(), []() {});
   } else {
     // The coordinator already reported the commit, so the write data must
     // eventually replicate even across leader changes.
     engine_->cluster()->group(partition_)->ProposeWithRetry(
-        engine_->NextPayloadId(),
+        payload_ids_.Next(),
         [complete, writes = std::move(writes)]() { complete(writes); });
   }
 }
@@ -655,7 +656,8 @@ void NattoServer::ForwardReadsRemote(const TxnState& high,
 NattoCoordinator::NattoCoordinator(NattoEngine* engine, int site,
                                    sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {}
+      engine_(engine),
+      payload_ids_(engine->NewPayloadAllocator()) {}
 
 void NattoCoordinator::HandleBegin(const NattoWireTxn& txn,
                                    std::vector<int> participants) {
@@ -753,7 +755,7 @@ void NattoCoordinator::HandleRound2(TxnId id,
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
   engine_->cluster()->group(local_partition)->Propose(
-      engine_->NextPayloadId(),
+      payload_ids_.Next(),
       [this, id, generation]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
@@ -1193,6 +1195,13 @@ SimDuration NattoEngine::MajorityReplicationDelay(int partition) const {
 Value NattoEngine::DebugValue(Key key) {
   int p = cluster_->topology().PartitionOfKey(key);
   return servers_[p]->kv()->Get(key).value;
+}
+
+uint64_t NattoEngine::payload_ids_issued() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) total += s->payload_ids_.issued();
+  for (const auto& c : coordinators_) total += c->payload_ids_.issued();
+  return total;
 }
 
 NattoServer::Stats NattoEngine::TotalStats() const {

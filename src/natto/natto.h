@@ -11,6 +11,7 @@
 #include "net/node.h"
 #include "net/prober.h"
 #include "obs/abort_cause.h"
+#include "raft/raft.h"
 #include "obs/metrics.h"
 #include "store/kv_store.h"
 #include "store/prepared_set.h"
@@ -172,6 +173,7 @@ class NattoServer : public net::Node {
 
   NattoEngine* engine_;
   int partition_;
+  raft::PayloadIdAllocator payload_ids_;
   store::KvStore kv_;
   store::PreparedSet prepared_;
 
@@ -265,6 +267,7 @@ class NattoCoordinator : public net::Node {
                   const std::vector<std::pair<Key, Value>>& writes);
 
   NattoEngine* engine_;
+  raft::PayloadIdAllocator payload_ids_;
   std::unordered_map<TxnId, TxnState> txns_;
   /// Committed write data kept briefly for RECSF requests.
   std::unordered_map<TxnId, std::vector<std::pair<Key, Value>>> committed_writes_;
@@ -379,14 +382,23 @@ class NattoEngine : public txn::TxnEngine {
   /// families so mixed-engine Raft logs stay readable).
   static constexpr uint64_t kPayloadIdBase = 2'000'000'000ull;
 
-  /// Issues a replication payload id unique within this engine instance.
-  /// Must be per-instance (not a process-wide static): two engines in one
-  /// process would otherwise interleave ids, and concurrent engines would
-  /// race on the shared counter.
-  uint64_t NextPayloadId() { return next_payload_id_++; }
+  /// Hands the next dense payload-id stripe to a proposing node (servers and
+  /// coordinators call this from their constructors, on the main thread).
+  /// Per-node striping replaces the old engine-wide `next_id++` counter,
+  /// which proposers on different site lanes would race on under the
+  /// site-parallel kernel. Must stay per-instance (not a process-wide
+  /// static): two engines in one process would otherwise share stripes.
+  raft::PayloadIdAllocator NewPayloadAllocator() {
+    return raft::PayloadIdAllocator(kPayloadIdBase, payload_stripes_++);
+  }
 
-  /// Next id to be issued (test hook for the instance-isolation invariant).
-  uint64_t next_payload_id() const { return next_payload_id_; }
+  /// Stripes handed out so far (test hook for the isolation invariant).
+  uint32_t payload_stripes() const { return payload_stripes_; }
+
+  /// Total replication payload ids issued across this engine's proposers
+  /// (test hook: equal work on equal configs issues equal totals, and a
+  /// fresh engine always starts at zero).
+  uint64_t payload_ids_issued() const;
 
  private:
   txn::Cluster* cluster_;
@@ -397,7 +409,7 @@ class NattoEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<NattoGateway>> gateways_;
   std::unordered_map<net::NodeId, NattoCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, NattoGateway*> gateway_by_node_;
-  uint64_t next_payload_id_ = kPayloadIdBase;
+  uint32_t payload_stripes_ = 0;
 };
 
 }  // namespace natto::core

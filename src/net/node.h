@@ -48,16 +48,23 @@ class Node {
     transport_->Send(id_, to, bytes, std::move(fn), MessageClass::kPing);
   }
 
-  /// Runs `fn` on this node after `delay`.
+  /// Runs `fn` on this node after `delay`. The event is routed to this
+  /// node's site lane, so node timers stay site-confined under the parallel
+  /// kernel even when armed from the main thread (e.g. a refresh loop
+  /// started at construction).
   void After(SimDuration delay, sim::EventFn fn) {
-    transport_->simulator()->ScheduleAfter(delay, std::move(fn));
+    sim::Simulator* s = transport_->simulator();
+    s->ScheduleAtSite(site_, s->Now() + (delay < 0 ? 0 : delay),
+                      std::move(fn));
   }
 
   /// Runs `fn` when this node's local clock reads `local_time` (immediately
-  /// if that instant has passed).
+  /// if that instant has passed). Site-routed like After().
   void AtLocalTime(SimTime local_time, sim::EventFn fn) {
     SimTime true_time = clock_.ToTrueTime(local_time);
-    transport_->simulator()->ScheduleAt(true_time, std::move(fn));
+    sim::Simulator* s = transport_->simulator();
+    if (true_time < s->Now()) true_time = s->Now();
+    transport_->simulator()->ScheduleAtSite(site_, true_time, std::move(fn));
   }
 
   Transport* transport() { return transport_; }

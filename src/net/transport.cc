@@ -31,16 +31,21 @@ Transport::Transport(sim::Simulator* simulator, const LatencyMatrix* matrix,
   }
   if (simulator_->site_parallel()) {
     // Under the site-parallel kernel Send/Deliver run concurrently on
-    // worker lanes; every stateful wire model (batch FIFOs, link/node
-    // serialization clocks, the loss/jitter RNG — min_scale_factor() == 1
-    // iff the model never draws) would race or diverge from serial order.
+    // worker lanes; every stateful wire model touched at send time (batch
+    // FIFOs, link serialization clocks, the loss/jitter RNG —
+    // min_scale_factor() == 1 iff the model never draws) would race or
+    // diverge from serial order. The node CPU-cost model is the exception:
+    // in deferred mode its state is per receiver and touched only at
+    // delivery on the receiver's own lane, so it is site-confined.
+    bool node_cpu_ok = options_.deferred_node_service ||
+                       (options_.node_cost_per_message == 0 &&
+                        options_.node_cost_per_kib == 0);
     NATTO_CHECK(!batching_enabled() && options_.packet_loss == 0.0 &&
-                options_.link_bandwidth_bytes_per_sec == 0.0 &&
-                options_.node_cost_per_message == 0 &&
-                options_.node_cost_per_kib == 0 &&
+                options_.link_bandwidth_bytes_per_sec == 0.0 && node_cpu_ok &&
                 delay_model_->min_scale_factor() == 1.0)
         << "site-parallel simulation requires the stateless transport fast "
-           "path (no batching, loss, capacity, CPU cost, or random delays)";
+           "path (no batching, loss, capacity, or random delays; CPU cost "
+           "only with deferred_node_service)";
   }
 }
 
@@ -276,6 +281,19 @@ void Transport::Deliver(Envelope* env) {
       return;
     }
   }
+  // Deferred service: destination CPU queueing applies here, at wire
+  // arrival on the receiver's lane, instead of at send time. node_free_at_
+  // is then only ever touched by the owning site's lane (site-parallel
+  // safe), with arrival order as the FIFO discipline.
+  if (options_.deferred_node_service && !env->serviced) {
+    env->serviced = true;
+    SimTime now = simulator_->Now();
+    SimTime done = ServiceDone(env->to, env->bytes, now, now);
+    if (done > now) {
+      ScheduleWireDelivery(done, env);
+      return;
+    }
+  }
   // Move the closure out and recycle first: a re-entrant Send from inside
   // `deliver` can then reuse this very envelope.
   sim::EventFn deliver = std::move(env->deliver);
@@ -440,7 +458,9 @@ void Transport::FlushLink(int from_site, int to_site) {
   while (env != nullptr) {
     Envelope* next = env->next;
     env->next = nullptr;
-    SimTime done = ServiceDone(env->to, env->bytes, arrival, now);
+    SimTime done = options_.deferred_node_service
+                       ? arrival
+                       : ServiceDone(env->to, env->bytes, arrival, now);
     ScheduleWireDelivery(done, env);
     env = next;
   }
@@ -545,6 +565,7 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
     env->to = to;
     env->bytes = bytes;
     env->ping = cls == MessageClass::kPing;
+    env->serviced = false;
     env->deliver = std::move(deliver);
     EnqueueBatched(sa, sb, env, framed);
     return;
@@ -598,8 +619,11 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
 
   SimTime arrival = depart + delay;
 
-  // Destination CPU queueing (plus fail-slow stretch when active).
-  SimTime done = ServiceDone(to, bytes, arrival, now);
+  // Destination CPU queueing (plus fail-slow stretch when active); in
+  // deferred mode it is applied by Deliver() on the receiver's lane.
+  SimTime done = options_.deferred_node_service
+                     ? arrival
+                     : ServiceDone(to, bytes, arrival, now);
 
   Envelope* env = AllocEnvelope();
   env->from_site = sa;
@@ -607,6 +631,7 @@ void Transport::Send(NodeId from, NodeId to, size_t bytes,
   env->to = to;
   env->bytes = bytes;
   env->ping = cls == MessageClass::kPing;
+  env->serviced = false;
   env->deliver = std::move(deliver);
   ScheduleWireDelivery(done, env);
 }

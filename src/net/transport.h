@@ -53,6 +53,19 @@ struct TransportOptions {
   /// Additional CPU cost per KiB of message payload.
   SimDuration node_cost_per_kib = 0;
 
+  /// Applies the destination CPU cost model at wire-arrival time on the
+  /// receiver's side instead of at send time. Semantically the FIFO service
+  /// discipline is then ordered by arrival rather than by send: the
+  /// receiver's `node_free_at_` clock is only ever read and written by
+  /// events on the receiver's site lane, which is what lets the
+  /// site-parallel kernel run the CPU-cost model without cross-site state.
+  /// The two modes produce (slightly) different event timings, so a given
+  /// configuration must pick one mode for all runs; txn::Cluster enables
+  /// this exactly for site-parallel-eligible configurations, at every
+  /// thread count, keeping serial and parallel runs of one config
+  /// byte-identical.
+  bool deferred_node_service = false;
+
   /// Link batching (RPC formation, after Motr's rpc/formation.c): when > 0,
   /// messages on the same directed site pair coalesce into one wire batch.
   /// A batch flushes when its framed bytes reach this threshold, when
@@ -248,6 +261,9 @@ class Transport {
     NodeId to = 0;
     size_t bytes = 0;
     bool ping = false;
+    /// Deferred-service mode: destination CPU queueing already applied (the
+    /// envelope is on its second, post-service delivery hop).
+    bool serviced = false;
     sim::EventFn deliver;
     Envelope* next = nullptr;
   };

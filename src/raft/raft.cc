@@ -419,7 +419,12 @@ void RaftReplica::MaybeSendTo(size_t peer_index, bool force) {
   uint64_t prev_term =
       prev_index == 0 ? 0 : log_[static_cast<size_t>(prev_index) - 1].term;
   if (!entries.empty() && entries_per_append_metric_ != nullptr) {
-    entries_per_append_metric_->Record(static_cast<double>(entries.size()));
+    // Histogram::Record is not thread-safe and its running sum is
+    // order-sensitive; leaders on different site lanes share the registry.
+    obs::Histogram* metric = entries_per_append_metric_;
+    auto value = static_cast<double>(entries.size());
+    transport()->simulator()->DeferOrdered(
+        [metric, value] { metric->Record(value); });
   }
   ps.sent_index += entries.size();
   ps.last_send = TrueNow();

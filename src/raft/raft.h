@@ -17,6 +17,32 @@ namespace natto::raft {
 /// data (prepare results, write data) keyed by this id.
 using PayloadId = uint64_t;
 
+/// Issues replication payload ids for one proposing node. Each allocator
+/// owns a disjoint stripe of its engine family's id space —
+/// `family_base + (stripe << 32) + seq` — so proposers on different site
+/// lanes allocate without touching a shared engine counter (an engine-wide
+/// `next_id++` would race across lanes under the site-parallel kernel and
+/// make id values depend on thread interleaving). Ids stay unique within an
+/// engine as long as each stripe issues fewer than 2^32 ids and the engine
+/// assigns stripes densely from 0. Ids are opaque to Raft and never
+/// iterated in id order, so the striped values are deterministic at any
+/// NATTO_SIM_THREADS: each node's seq depends only on its own event order.
+class PayloadIdAllocator {
+ public:
+  PayloadIdAllocator() = default;
+  PayloadIdAllocator(uint64_t family_base, uint32_t stripe)
+      : base_(family_base + (static_cast<uint64_t>(stripe) << 32)) {}
+
+  PayloadId Next() { return base_ + issued_++; }
+
+  /// Ids handed out so far (test hook for the stripe-isolation invariant).
+  uint64_t issued() const { return issued_; }
+
+ private:
+  uint64_t base_ = 0;
+  uint64_t issued_ = 0;
+};
+
 struct LogEntry {
   uint64_t term = 0;
   PayloadId payload = 0;

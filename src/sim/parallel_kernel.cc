@@ -40,10 +40,11 @@ double ThreadCpuSeconds() {
          1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
-/// One schedule/cancel made by a worker-lane callback, replayed serially at
-/// the barrier to assign canonical seqs and update shared tombstones.
+/// One schedule/cancel/side-effect made by a worker-lane callback, replayed
+/// serially at the barrier to assign canonical seqs, update shared
+/// tombstones, and apply DeferOrdered closures in canonical order.
 struct WorkerOp {
-  enum Kind : uint8_t { kSchedule, kCancel };
+  enum Kind : uint8_t { kSchedule, kCancel, kSideEffect };
   Kind kind;
   /// kSchedule only: event was pushed live into the owning site's queue
   /// (same site, fires inside the window) rather than deferred.
@@ -51,7 +52,9 @@ struct WorkerOp {
   uint64_t id;  // kSchedule: provisional id; kCancel: tombstone key
   int dst_site;
   SimTime time;
-  uint32_t deferred_index;  // into ParallelSiteContext::deferred_fns
+  /// kSchedule (deferred) and kSideEffect: index into
+  /// ParallelSiteContext::deferred_fns.
+  uint32_t deferred_index;
 };
 
 /// One event processed by a worker, in site-local (== serial restricted to
@@ -157,6 +160,8 @@ Simulator::EventId Simulator::ParallelSchedule(int site, SimTime t,
 
 bool Simulator::ParallelCancel(EventId id) { return parallel_->Cancel(id); }
 
+void Simulator::ParallelDefer(Callback fn) { parallel_->Defer(std::move(fn)); }
+
 void Simulator::SetParallelPhaseStats(ParallelPhaseStats* stats) {
   if (parallel_ != nullptr && parallel_->site_parallel()) {
     parallel_->phase_stats_ = stats;
@@ -222,7 +227,25 @@ bool ParallelKernel::Cancel(uint64_t id) {
   return MainCancel(id);
 }
 
+void ParallelKernel::Defer(EventFn fn) {
+  if (tls_ctx == nullptr) {
+    // Main thread: serialized fires (and code between runs) already execute
+    // in serial order, so the side effect applies immediately — identical
+    // to the serial kernel. This also covers nested DeferOrdered calls from
+    // a replaying side effect.
+    fn();
+    return;
+  }
+  ParallelSiteContext& ctx = *tls_ctx;
+  auto idx = static_cast<uint32_t>(ctx.deferred_fns.size());
+  ctx.deferred_fns.push_back(std::move(fn));
+  ctx.ops.push_back(WorkerOp{WorkerOp::kSideEffect, false, 0, 0, 0, idx});
+}
+
 uint64_t ParallelKernel::MainSchedule(int site, SimTime t, EventFn fn) {
+  NATTO_DCHECK(!merging_)
+      << "DeferOrdered callbacks must not schedule events (the merge replay "
+         "is assigning canonical seqs)";
   NATTO_DCHECK(t >= sim_->now_)
       << "ScheduleAt in the past: t=" << t << " Now()=" << sim_->now_;
   if (t < sim_->now_) t = sim_->now_;
@@ -242,6 +265,9 @@ uint64_t ParallelKernel::MainSchedule(int site, SimTime t, EventFn fn) {
 }
 
 bool ParallelKernel::MainCancel(uint64_t id) {
+  NATTO_DCHECK(!merging_)
+      << "DeferOrdered callbacks must not cancel events (the merge replay "
+         "owns the tombstone set)";
   uint64_t key = id;
   if ((key & kProvBit) != 0 && key != Simulator::kNoParent) {
     auto it = prov2canon_.find(key);
@@ -555,6 +581,7 @@ void ParallelKernel::MergeWindow() {
       ctx->merge_head_id = ResolveId(ctx->log[ctx->cursor].id);
     }
   }
+  merging_ = true;
   for (;;) {
     ParallelSiteContext* pick = nullptr;
     for (auto& ctx : sites_) {
@@ -601,6 +628,11 @@ void ParallelKernel::MergeWindow() {
               DeferredPush{op.dst_site, op.time, seq, pick_id,
                            std::move(pick->deferred_fns[op.deferred_index])});
         }
+      } else if (op.kind == WorkerOp::kSideEffect) {
+        // DeferOrdered side effect: applied here, at its event's canonical
+        // position and in its event's op order — the exact moment the
+        // serial kernel would have run it inline.
+        pick->deferred_fns[op.deferred_index]();
       } else {
         bool inserted = sim_->cancelled_.insert(ResolveId(op.id)).second;
         NATTO_DCHECK(inserted);
@@ -611,6 +643,7 @@ void ParallelKernel::MergeWindow() {
       pick->merge_head_id = ResolveId(pick->log[pick->cursor].id);
     }
   }
+  merging_ = false;
 
   // Deferred schedules land with canonical seqs, already in serial push
   // order (the replay above assigned seqs in merge order), and at times

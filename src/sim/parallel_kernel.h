@@ -93,6 +93,7 @@ class ParallelKernel {
   int Lane() const;
   uint64_t Schedule(int site, SimTime t, EventFn fn);
   bool Cancel(uint64_t id);
+  void Defer(EventFn fn);
   void RunUntilTime(SimTime limit, bool settle);
 
   uint64_t MainSchedule(int site, SimTime t, EventFn fn);
@@ -120,6 +121,11 @@ class ParallelKernel {
   /// Site a main-thread kInheritSite schedule routes to: the owning site
   /// during a serialized site fire, kGlobalSite otherwise.
   int main_site_ = Simulator::kGlobalSite;
+  /// True while MergeWindow replays worker ops and deferred side effects.
+  /// DeferOrdered closures must not schedule or cancel; the replay loop
+  /// assigns canonical seqs, and an interleaved allocation would diverge
+  /// from serial numbering (NATTO_DCHECKed in MainSchedule/MainCancel).
+  bool merging_ = false;
   /// Exclusive upper bound of the in-flight window; stable while workers
   /// run (written by the main thread before the dispatch mutex handoff).
   SimTime window_end_ = 0;

@@ -33,6 +33,14 @@ Simulator::EventId Simulator::ScheduleAfter(SimDuration delay, Callback cb) {
   return ScheduleAt(Now() + delay, std::move(cb));
 }
 
+void Simulator::DeferOrdered(Callback fn) {
+  if (parallel_ != nullptr) {
+    ParallelDefer(std::move(fn));
+    return;
+  }
+  fn();
+}
+
 bool Simulator::Cancel(EventId id) {
   if (parallel_ != nullptr) return ParallelCancel(id);
   if (id >= next_seq_) return false;

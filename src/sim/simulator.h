@@ -89,6 +89,20 @@ class Simulator {
   /// to zero (a message can never arrive in the past).
   EventId ScheduleAfter(SimDuration delay, Callback cb);
 
+  /// Runs `fn` in exact serial order with respect to every event and every
+  /// other DeferOrdered call. On the serial kernel (and from main-thread
+  /// serialized fires under the parallel kernel) this is an immediate
+  /// inline call; from a worker-lane callback the closure is recorded and
+  /// replayed at the window barrier at its event's canonical position.
+  ///
+  /// Use this for order-sensitive side effects on state shared across
+  /// sites: histogram records, floating-point accumulations, vector
+  /// appends. Contract: the closure must capture by value, must not
+  /// schedule or cancel events, must not draw from instrumented RNGs, and
+  /// the state it touches must only ever be mutated through DeferOrdered
+  /// (all three violations trip NATTO_DCHECKs in the merge).
+  void DeferOrdered(Callback fn);
+
   /// Cancels a pending event: it will be discarded unexecuted (without
   /// advancing the clock) when its time arrives. Returns false if `id` was
   /// never issued or is already cancelled. Cancelling an id whose event
@@ -161,6 +175,7 @@ class Simulator {
   size_t ParallelPending() const;
   EventId ParallelSchedule(int site, SimTime t, Callback cb);
   bool ParallelCancel(EventId id);
+  void ParallelDefer(Callback fn);
   void ParallelRun(SimTime limit, bool settle);
 
   SimTime now_ = 0;

@@ -35,6 +35,7 @@ SpannerServer::SpannerServer(SpannerEngine* engine, int partition, int site,
     : net::Node(engine->cluster()->transport(), site, clock),
       engine_(engine),
       partition_(partition),
+      payload_ids_(engine->NewPayloadAllocator()),
       kv_(engine->cluster()->options().default_value) {
   obs::MetricsRegistry* m = engine->cluster()->metrics();
   const std::string prefix = "spanner.p" + std::to_string(partition) + ".";
@@ -268,7 +269,7 @@ void SpannerServer::FinishPrepare(TxnId id) {
     return;
   }
   engine_->cluster()->group(partition_)->Propose(
-      engine_->NextPayloadId(), vote,
+      payload_ids_.Next(), vote,
       [this, id, coord = lt.meta.coordinator](bool timed_out) {
         // Prepare record lost to a leader failure: vote no and let the
         // coordinator's abort clean up our lock/txn state.
@@ -297,7 +298,7 @@ void SpannerServer::HandleCommit(TxnId id) {
   // The decision is already fixed, so the commit record must eventually
   // replicate even across leader changes.
   engine_->cluster()->group(partition_)->ProposeWithRetry(
-      engine_->NextPayloadId(), [this, id]() {
+      payload_ids_.Next(), [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
         for (const auto& [k, v] : it2->second.writes) kv_.Apply(k, v, id);
@@ -320,7 +321,8 @@ void SpannerServer::HandleAbort(TxnId id) {
 SpannerCoordinator::SpannerCoordinator(SpannerEngine* engine, int site,
                                        sim::NodeClock clock)
     : net::Node(engine->cluster()->transport(), site, clock),
-      engine_(engine) {
+      engine_(engine),
+      payload_ids_(engine->NewPayloadAllocator()) {
   obs::MetricsRegistry* m = engine->cluster()->metrics();
   const std::string prefix = "spanner.coord.s" + std::to_string(site) + ".";
   wounds_received_ = m->GetCounter(prefix + "wounds_received");
@@ -445,7 +447,7 @@ void SpannerCoordinator::MaybeCommit(TxnId id) {
   int local_partition = engine_->cluster()->topology().PartitionLedAt(site());
   NATTO_CHECK(local_partition >= 0);
   engine_->cluster()->group(local_partition)->Propose(
-      engine_->NextPayloadId(),
+      payload_ids_.Next(),
       [this, id]() {
         auto it2 = txns_.find(id);
         if (it2 == txns_.end()) return;
@@ -680,6 +682,13 @@ SpannerGateway* SpannerEngine::gateway_by_node(net::NodeId node) {
 Value SpannerEngine::DebugValue(Key key) {
   int p = cluster_->topology().PartitionOfKey(key);
   return servers_[p]->kv()->Get(key).value;
+}
+
+uint64_t SpannerEngine::payload_ids_issued() const {
+  uint64_t total = 0;
+  for (const auto& s : servers_) total += s->payload_ids_.issued();
+  for (const auto& c : coordinators_) total += c->payload_ids_.issued();
+  return total;
 }
 
 }  // namespace natto::spanner

@@ -10,6 +10,7 @@
 #include "net/node.h"
 #include "obs/abort_cause.h"
 #include "obs/metrics.h"
+#include "raft/raft.h"
 #include "store/kv_store.h"
 #include "store/lock_table.h"
 #include "txn/cluster.h"
@@ -66,6 +67,8 @@ class SpannerServer : public net::Node {
   const store::LockTable& locks() const { return locks_; }
 
  private:
+  friend class SpannerEngine;
+
   struct LocalTxn {
     SpannerTxnMeta meta;
     int outstanding_grants = 0;
@@ -98,6 +101,7 @@ class SpannerServer : public net::Node {
 
   SpannerEngine* engine_;
   int partition_;
+  raft::PayloadIdAllocator payload_ids_;
   store::KvStore kv_;
   store::LockTable locks_;
   std::unordered_map<TxnId, LocalTxn> txns_;
@@ -124,6 +128,8 @@ class SpannerCoordinator : public net::Node {
   void HandleWound(TxnId id);
 
  private:
+  friend class SpannerEngine;
+
   struct TxnState {
     SpannerTxnMeta meta;
     /// Messages can overtake HandleBegin under network jitter; state is
@@ -148,6 +154,7 @@ class SpannerCoordinator : public net::Node {
               obs::AbortCause cause);
 
   SpannerEngine* engine_;
+  raft::PayloadIdAllocator payload_ids_;
   std::unordered_map<TxnId, TxnState> txns_;
   std::unordered_set<TxnId> early_wounds_;
   std::unordered_set<TxnId> decided_;
@@ -211,14 +218,23 @@ class SpannerEngine : public txn::TxnEngine {
   /// families so mixed-engine Raft logs stay readable).
   static constexpr uint64_t kPayloadIdBase = 1'000'000'000ull;
 
-  /// Issues a replication payload id unique within this engine instance.
-  /// Must be per-instance (not a process-wide static): two engines in one
-  /// process would otherwise interleave ids, and concurrent engines would
-  /// race on the shared counter.
-  uint64_t NextPayloadId() { return next_payload_id_++; }
+  /// Hands the next dense payload-id stripe to a proposing node (servers
+  /// and coordinators call this from their constructors, on the main
+  /// thread). Per-node striping replaces the old engine-wide `next_id++`
+  /// counter, which proposers on different site lanes would race on under
+  /// the site-parallel kernel. Must stay per-instance (not a process-wide
+  /// static): two engines in one process would otherwise share stripes.
+  raft::PayloadIdAllocator NewPayloadAllocator() {
+    return raft::PayloadIdAllocator(kPayloadIdBase, payload_stripes_++);
+  }
 
-  /// Next id to be issued (test hook for the instance-isolation invariant).
-  uint64_t next_payload_id() const { return next_payload_id_; }
+  /// Stripes handed out so far (test hook for the isolation invariant).
+  uint32_t payload_stripes() const { return payload_stripes_; }
+
+  /// Total replication payload ids issued across this engine's proposers
+  /// (test hook: equal work on equal configs issues equal totals, and a
+  /// fresh engine always starts at zero).
+  uint64_t payload_ids_issued() const;
 
  private:
   txn::Cluster* cluster_;
@@ -228,7 +244,7 @@ class SpannerEngine : public txn::TxnEngine {
   std::vector<std::unique_ptr<SpannerGateway>> gateways_;
   std::unordered_map<net::NodeId, SpannerCoordinator*> coord_by_node_;
   std::unordered_map<net::NodeId, SpannerGateway*> gateway_by_node_;
-  uint64_t next_payload_id_ = kPayloadIdBase;
+  uint32_t payload_stripes_ = 0;
 };
 
 }  // namespace natto::spanner

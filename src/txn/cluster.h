@@ -79,13 +79,23 @@ struct ClusterOptions {
   GrayDefense gray;
 
   /// Simulation kernel threads (NATTO_SIM_THREADS). 1 (default) runs the
-  /// exact serial kernel. >1 installs the parallel kernel in degenerate
-  /// (all-global) mode: output stays byte-identical by construction while
-  /// the windowed dispatch path is exercised end-to-end. True site-parallel
-  /// windows are currently kernel-level only (perf_kernel, the parallel
-  /// kernel tests) — the cluster's engine stack is not yet site-confined;
-  /// ConservativeLookahead() is what site confinement will plug in.
+  /// exact serial kernel. >1 installs the parallel kernel: site-parallel
+  /// windows (num_sites = topology sites, lookahead =
+  /// ConservativeLookahead()) when the configuration is eligible — see
+  /// Cluster::SiteParallelEligible() — and degenerate (all-global) mode
+  /// otherwise, where every event stays in the global queue and the
+  /// windowed dispatch path still runs end-to-end. Both modes are
+  /// byte-identical to serial at any thread count: site-parallel by the
+  /// kernel's barrier merge (DESIGN.md §4.11), degenerate by construction.
   int sim_threads = 1;
+
+  /// Optional self-profiling sink for the site-parallel kernel (see
+  /// ParallelPhaseStats in sim/parallel_kernel.h; used by perf_kernel's
+  /// fig14_site_parallel suite to model multi-core wall time from
+  /// per-thread CPU clocks). Attached only when sim_threads > 1 actually
+  /// engages site-parallel windows; purely observational — never alters
+  /// the event stream. Must outlive the cluster.
+  sim::ParallelPhaseStats* parallel_phase_stats = nullptr;
 
   uint64_t seed = 1;
 };
@@ -155,6 +165,17 @@ class Cluster {
   /// sites) scaled by the delay model's guaranteed minimum factor. Any
   /// event on one site can influence another site no sooner than this.
   SimDuration ConservativeLookahead() const;
+
+  /// Whether this deployment's *configuration* supports site-parallel
+  /// windows. A pure function of the config — never of sim_threads — so a
+  /// serial run and a parallel run of the same config make identical
+  /// decisions (notably TransportOptions::deferred_node_service) and stay
+  /// byte-identical. Eligible = fault-free (empty fault schedule, no gray
+  /// wiring), no tracer, deterministic constant delays, stateless wire (no
+  /// batching, loss, or capacity), at least two sites, and a positive
+  /// lookahead. Ineligible configs run degenerate mode under sim_threads>1,
+  /// which is byte-identical by construction.
+  bool SiteParallelEligible() const;
 
  private:
   net::LatencyMatrix matrix_;

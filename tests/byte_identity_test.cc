@@ -18,6 +18,8 @@
 #include "harness/experiment.h"
 #include "harness/systems.h"
 #include "sim/dsan.h"
+#include "txn/cluster.h"
+#include "txn/topology.h"
 #include "workload/ycsbt.h"
 
 namespace natto::harness {
@@ -348,10 +350,27 @@ TEST(ByteIdentityTest, DsanDigestsMatchSerialVsParallelOnFailoverChaos) {
   }
 }
 
-// NATTO_SIM_THREADS=4 installs the parallel simulation kernel (degenerate
-// mode for the cluster's engine stack, DESIGN.md §4.11); the contract is
-// byte-identity at any thread count, alone and combined with the NATTO_JOBS
-// cell fan-out, down to the dsan digest trails.
+// NATTO_SIM_THREADS=4 installs the parallel simulation kernel (DESIGN.md
+// §4.11). The fig7 tiny config is site-parallel eligible — the engine stack
+// genuinely executes on per-site lanes — so matching the pre-parallel golden
+// here proves site confinement end to end; the chaos configs below fall back
+// to degenerate mode (fault schedules are global actors) and must be just as
+// byte-identical. The contract is byte-identity at any thread count, alone
+// and combined with the NATTO_JOBS cell fan-out, down to the dsan digest
+// trails.
+TEST(ByteIdentityTest, Fig7TinyConfigIsSiteParallelEligible) {
+  // Guards the golden tests below against going vacuous: if an eligibility
+  // rule tightens and the fig7 config silently falls back to degenerate
+  // mode, the sim_threads runs would no longer prove site confinement.
+  ExperimentConfig config = TinyConfig(20);
+  config.cluster.sim_threads = 4;
+  txn::Topology topology = txn::Topology::Spread(
+      config.num_partitions, config.num_replicas, config.matrix.num_sites());
+  txn::Cluster probe(config.matrix, topology, config.cluster);
+  EXPECT_TRUE(probe.SiteParallelEligible());
+  EXPECT_TRUE(probe.simulator()->site_parallel());
+}
+
 TEST(ByteIdentityTest, SimThreads4IsByteIdenticalToSerialOnFig7Tiny) {
   auto threaded = [](ExperimentConfig* c) { c->cluster.sim_threads = 4; };
   std::string baseline, with_threads, with_threads_and_jobs;

@@ -102,19 +102,48 @@ TEST(ClusterTest, ConservativeLookaheadTracksMinLinkAndDelayModel) {
   EXPECT_EQ(single.ConservativeLookahead(), 0);
 }
 
-TEST(ClusterTest, SimThreadsInstallsDegenerateParallelKernel) {
-  // sim_threads > 1 installs the kernel in degenerate mode: dispatch runs
-  // through it (site_parallel() stays false) and engine output is
-  // byte-identical — byte_identity_test pins the full-table guarantee.
+TEST(ClusterTest, SimThreadsEngagesSiteParallelWhenEligible) {
+  // An eligible config (fault-free, constant delays, stateless wire, >= 2
+  // sites) under sim_threads > 1 runs the site-parallel kernel — and still
+  // produces the exact serial event stream (byte_identity_test pins the
+  // full-table guarantee; this pins the mode decision and one commit time).
   ClusterOptions o = NoSkew();
   o.sim_threads = 4;
   Cluster c(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), o);
+  ASSERT_TRUE(c.SiteParallelEligible());
+  EXPECT_TRUE(c.simulator()->site_parallel());
+  SimTime done = 0;
+  (void)c.group(0)->leader()->Propose(1,
+                                      [&]() { done = c.simulator()->Now(); });
+  c.simulator()->RunUntil(Seconds(2));
+  ClusterOptions serial = NoSkew();
+  Cluster s(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), serial);
+  EXPECT_FALSE(s.simulator()->site_parallel());
+  SimTime done_serial = 0;
+  (void)s.group(0)->leader()->Propose(
+      1, [&]() { done_serial = s.simulator()->Now(); });
+  s.simulator()->RunUntil(Seconds(2));
+  EXPECT_GT(done, 0);
+  EXPECT_EQ(done, done_serial);
+}
+
+TEST(ClusterTest, SimThreadsFallsBackToDegenerateWhenIneligible) {
+  // Randomized delays make the config ineligible (per-message RNG draws are
+  // cross-site state): the kernel installs in degenerate mode — dispatch
+  // runs through it but every event stays in the global queue — and output
+  // is byte-identical to serial by construction.
+  ClusterOptions o = NoSkew();
+  o.sim_threads = 4;
+  o.delay_variance_ratio = 0.2;
+  Cluster c(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), o);
+  EXPECT_FALSE(c.SiteParallelEligible());
   EXPECT_FALSE(c.simulator()->site_parallel());
   SimTime done = 0;
   (void)c.group(0)->leader()->Propose(1,
                                       [&]() { done = c.simulator()->Now(); });
   c.simulator()->RunUntil(Seconds(2));
   ClusterOptions serial = NoSkew();
+  serial.delay_variance_ratio = 0.2;
   Cluster s(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), serial);
   SimTime done_serial = 0;
   (void)s.group(0)->leader()->Propose(
@@ -123,6 +152,19 @@ TEST(ClusterTest, SimThreadsInstallsDegenerateParallelKernel) {
   EXPECT_GT(done, 0);
   EXPECT_EQ(done, done_serial);
 }
+
+#ifndef NDEBUG
+TEST(ClusterTest, MisSitedScheduleTripsDcheckUnderSiteParallel) {
+  // Naming a site the topology does not have is a lane-ownership bug; the
+  // kernel's MainSchedule DCHECK catches it at schedule time (debug builds
+  // only — NATTO_DCHECK compiles out under NDEBUG).
+  ClusterOptions o = NoSkew();
+  o.sim_threads = 2;
+  Cluster c(net::LatencyMatrix::AzureFive(), Topology::Spread(3, 3, 5), o);
+  ASSERT_TRUE(c.simulator()->site_parallel());
+  EXPECT_DEATH(c.simulator()->ScheduleAtSite(99, Millis(1), []() {}), "");
+}
+#endif
 
 TEST(ClusterTest, RejectsTopologyLargerThanMatrix) {
   EXPECT_DEATH(

@@ -1,0 +1,26 @@
+// Fixture for natto-site-bypass: engine/raft translation units scheduling
+// directly on the simulator instead of routing through the site-lane APIs.
+// Scanned, never compiled.
+
+void EngineTimers(Sim* simulator_, Node* node_) {
+  // Fires: a raw absolute-time schedule bypasses the owning site's lane.
+  simulator_->ScheduleAt(Millis(10), []() {});
+
+  // Fires: qualified access is still a bypass.
+  node_->engine()->simulator()->ScheduleAt(Millis(20), []() {});
+
+  // Clean: relative timers inherit the executing lane by construction.
+  simulator_->ScheduleAfter(Millis(5), []() {});
+
+  // Clean: naming the owning lane is the sanctioned cross-site form.
+  simulator_->ScheduleAtSite(2, Millis(30), []() {});
+
+  // Clean: Node::After is the site-routed engine idiom.
+  node_->After(Millis(1), []() {});
+
+  // Clean: a justified global-lane schedule is suppressed explicitly.
+  simulator_->ScheduleAt(Millis(40), []() {});  // NOLINT(natto-site-bypass)
+
+  // NOLINTNEXTLINE(natto-site-bypass)
+  simulator_->ScheduleAt(Millis(50), []() {});
+}

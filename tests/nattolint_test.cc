@@ -220,6 +220,45 @@ TEST(NattolintBatchBypass, HeadersAreExempt) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 6b: natto-site-bypass
+// ---------------------------------------------------------------------------
+
+TEST(NattolintSiteBypass, FlagsDirectScheduleAtInEngineAndRaftDirs) {
+  // The rule guards every directory whose actors run on per-site lanes:
+  // the four engine families and the raft layer.
+  for (const char* dir :
+       {"src/carousel", "src/spanner", "src/tapir", "src/natto", "src/raft"}) {
+    auto vs = nattolint::LintContent(std::string(dir) + "/fixture.cc",
+                                     ReadFixture("site_bypass_bad.cc"), {});
+    auto by_rule = CountByRule(vs);
+    EXPECT_EQ(by_rule["natto-site-bypass"], 2)
+        << dir
+        << ": two unsuppressed ->ScheduleAt(; ScheduleAfter, ScheduleAtSite, "
+           "Node::After and the NOLINT escapes must not fire";
+    EXPECT_EQ(static_cast<int>(vs.size()), 2) << dir;
+  }
+}
+
+TEST(NattolintSiteBypass, OtherDirectoriesAreExempt) {
+  // The transport has its own rule (natto-batch-bypass), the fault injector
+  // is a sanctioned global actor, and the harness routes explicitly.
+  for (const char* path : {"src/net/fixture_site.cc", "src/fault/fixture.cc",
+                           "src/harness/fixture.cc", "src/txn/fixture.cc"}) {
+    auto vs = nattolint::LintContent(path, ReadFixture("site_bypass_bad.cc"),
+                                     {});
+    EXPECT_EQ(CountByRule(vs)["natto-site-bypass"], 0) << path;
+  }
+}
+
+TEST(NattolintSiteBypass, HeadersAreExempt) {
+  // net/node.h's After/AtLocalTime are the sanctioned forwarding shims; the
+  // rule targets protocol translation units.
+  auto vs = nattolint::LintContent("src/raft/fixture.h",
+                                   ReadFixture("site_bypass_bad.cc"), {});
+  EXPECT_EQ(CountByRule(vs)["natto-site-bypass"], 0);
+}
+
+// ---------------------------------------------------------------------------
 // Rule 7: natto-pointer-key
 // ---------------------------------------------------------------------------
 
@@ -382,9 +421,9 @@ TEST(NattolintFormat, OutputIsStablySortedAcrossRulesAndPaths) {
 // Rule registry
 // ---------------------------------------------------------------------------
 
-TEST(NattolintRules, RegistryListsAllTenRulesWithDocs) {
+TEST(NattolintRules, RegistryListsAllElevenRulesWithDocs) {
   const auto& rules = nattolint::Rules();
-  ASSERT_EQ(rules.size(), 10u);
+  ASSERT_EQ(rules.size(), 11u);
   std::set<std::string> names;
   for (const auto& r : rules) {
     names.insert(r.name);
@@ -395,8 +434,8 @@ TEST(NattolintRules, RegistryListsAllTenRulesWithDocs) {
   for (const char* expected :
        {"natto-wallclock", "natto-ambient-rng", "natto-mutable-static",
         "natto-unordered-iter", "natto-check-side-effect",
-        "natto-batch-bypass", "natto-pointer-key", "natto-pointer-repr",
-        "natto-env-read", "natto-thread-shared"}) {
+        "natto-batch-bypass", "natto-site-bypass", "natto-pointer-key",
+        "natto-pointer-repr", "natto-env-read", "natto-thread-shared"}) {
     EXPECT_TRUE(names.count(expected)) << "missing rule " << expected;
   }
 }

@@ -87,37 +87,54 @@ void DriveTxns(txn::Cluster* cluster, Engine* engine, int n) {
 }
 
 /// Two engines of the same family in one process must consume payload ids
-/// independently from the family's base. Against the old process-wide static
-/// counters this fails: the second engine continues where the first left
-/// off, so equal work would end at unequal counter values.
+/// independently. Against the old process-wide static counters this fails:
+/// the second engine continues where the first left off, so equal work would
+/// end at unequal issue totals.
 TEST(EngineIsolationTest, TwoCarouselEnginesInOneProcessDoNotShareIds) {
   auto cluster1 = MakeCluster(7);
   carousel::CarouselEngine engine1(cluster1.get(), carousel::CarouselOptions{});
-  EXPECT_EQ(engine1.next_payload_id(), carousel::CarouselEngine::kPayloadIdBase);
+  EXPECT_EQ(engine1.payload_ids_issued(), 0ull);
   DriveTxns(cluster1.get(), &engine1, 3);
-  ASSERT_GT(engine1.next_payload_id(),
-            carousel::CarouselEngine::kPayloadIdBase);
+  ASSERT_GT(engine1.payload_ids_issued(), 0ull);
 
-  // A fresh engine starts at the base again, unaffected by engine1...
+  // A fresh engine starts from zero again, unaffected by engine1...
   auto cluster2 = MakeCluster(7);
   carousel::CarouselEngine engine2(cluster2.get(), carousel::CarouselOptions{});
-  EXPECT_EQ(engine2.next_payload_id(), carousel::CarouselEngine::kPayloadIdBase);
+  EXPECT_EQ(engine2.payload_ids_issued(), 0ull);
+  EXPECT_EQ(engine1.payload_stripes(), engine2.payload_stripes());
 
-  // ...and identical work consumes an identical id range.
+  // ...and identical work issues an identical number of ids.
   DriveTxns(cluster2.get(), &engine2, 3);
-  EXPECT_EQ(engine1.next_payload_id(), engine2.next_payload_id());
+  EXPECT_EQ(engine1.payload_ids_issued(), engine2.payload_ids_issued());
 }
 
+/// Families anchor their per-node stripes at distinct bases, and stripes
+/// within a family are disjoint (each stripe can issue < 2^32 ids before
+/// touching the next stripe's range).
 TEST(EngineIsolationTest, EngineFamiliesKeepDistinctIdRangesPerInstance) {
+  EXPECT_EQ(raft::PayloadIdAllocator(carousel::CarouselEngine::kPayloadIdBase,
+                                     /*stripe=*/0)
+                .Next(),
+            1ull);
+  EXPECT_EQ(raft::PayloadIdAllocator(spanner::SpannerEngine::kPayloadIdBase,
+                                     /*stripe=*/0)
+                .Next(),
+            1'000'000'000ull);
+  EXPECT_EQ(raft::PayloadIdAllocator(core::NattoEngine::kPayloadIdBase,
+                                     /*stripe=*/0)
+                .Next(),
+            2'000'000'000ull);
+  // Stripe 1 starts 2^32 past stripe 0 — no overlap between proposers.
+  EXPECT_EQ(raft::PayloadIdAllocator(carousel::CarouselEngine::kPayloadIdBase,
+                                     /*stripe=*/1)
+                .Next(),
+            1ull + (1ull << 32));
+
+  // Engines hand each proposing node its own stripe at construction.
   auto c1 = MakeCluster();
-  auto c2 = MakeCluster();
-  auto c3 = MakeCluster();
   carousel::CarouselEngine carousel_engine(c1.get(), {});
-  spanner::SpannerEngine spanner_engine(c2.get(), {});
-  core::NattoEngine natto_engine(c3.get(), core::NattoOptions::Recsf());
-  EXPECT_EQ(carousel_engine.next_payload_id(), 1ull);
-  EXPECT_EQ(spanner_engine.next_payload_id(), 1'000'000'000ull);
-  EXPECT_EQ(natto_engine.next_payload_id(), 2'000'000'000ull);
+  EXPECT_GT(carousel_engine.payload_stripes(), 0u);
+  EXPECT_EQ(carousel_engine.payload_ids_issued(), 0ull);
 }
 
 // ---------------------------------------------------------------------------

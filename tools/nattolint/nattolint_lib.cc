@@ -412,6 +412,10 @@ const std::vector<RuleDoc>& Rules() {
       {"natto-batch-bypass",
        "direct ->ScheduleAt(/->ScheduleAtSite( in src/net translation units "
        "bypasses the link batching flush queue"},
+      {"natto-site-bypass",
+       "direct ->ScheduleAt( in engine/raft translation units bypasses "
+       "site-lane routing (net::Node::After / ScheduleAtSite); NOLINT only "
+       "for justified global-lane schedules"},
       {"natto-pointer-key",
        "ordered std::map/std::set keyed by a pointer; iteration follows "
        "allocation addresses, which differ run to run"},
@@ -463,6 +467,16 @@ std::vector<Violation> LintContent(
       !(HasSuffix(norm, "/common/rng.h") || norm == "common/rng.h");
   const bool batch_applies =
       is_tu && (PathContainsDir(norm, "src/net") || HasPrefix(norm, "net/"));
+  // Engine protocol code and the raft layer run on per-site lanes under the
+  // site-parallel kernel; their timers must route through net::Node::After /
+  // AtLocalTime (site-routed) or name a lane with ScheduleAtSite.
+  const bool site_applies =
+      is_tu &&
+      (PathContainsDir(norm, "src/carousel") || HasPrefix(norm, "carousel/") ||
+       PathContainsDir(norm, "src/spanner") || HasPrefix(norm, "spanner/") ||
+       PathContainsDir(norm, "src/tapir") || HasPrefix(norm, "tapir/") ||
+       PathContainsDir(norm, "src/natto") || HasPrefix(norm, "natto/") ||
+       PathContainsDir(norm, "src/raft") || HasPrefix(norm, "raft/"));
   const bool env_applies = !PathContainsDir(norm, "tools");
   const bool thread_applies =
       is_tu && (PathContainsDir(norm, "src") || HasPrefix(norm, "src/"));
@@ -696,6 +710,19 @@ std::vector<Violation> LintContent(
             "schedules directly via ->" + toks[i + 1].text +
                 "(; src/net code must go through the link batching flush "
                 "queue");
+      }
+    }
+  }
+
+  // --- natto-site-bypass ---------------------------------------------------
+  if (site_applies) {
+    for (size_t i = 0; i + 2 < n; ++i) {
+      if (IsPunct(toks[i], "->") && IsIdent(toks[i + 1], "ScheduleAt") &&
+          IsPunct(toks[i + 2], "(")) {
+        add(toks[i + 1].line, "natto-site-bypass",
+            "schedules directly via ->ScheduleAt(; engine and raft timers "
+            "must route through net::Node::After/AtLocalTime or name the "
+            "owning lane with ScheduleAtSite");
       }
     }
   }

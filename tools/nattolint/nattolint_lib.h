@@ -26,6 +26,11 @@
 ///   natto-batch-bypass       direct `->ScheduleAt(` in src/net translation
 ///                            units, which bypasses the link-batching flush
 ///                            queue
+///   natto-site-bypass        direct `->ScheduleAt(` in engine/raft
+///                            translation units, which bypasses site-lane
+///                            routing (Node::After / ScheduleAtSite);
+///                            NOLINT only for justified global-lane
+///                            schedules
 ///   natto-pointer-key        ordered std::map/std::set keyed by a pointer
 ///                            type: iteration follows allocation addresses,
 ///                            which differ run to run

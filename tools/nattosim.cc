@@ -262,6 +262,9 @@ int main(int argc, char** argv) {
   }
 
   ExperimentConfig config;
+  // Env-var defaults first (NATTO_SIM_THREADS and friends, the same knobs
+  // the benches honor); the explicit flags below override them.
+  ApplyEnvOverrides(&config);
   if (flags.matrix == "azure") {
     config.matrix = net::LatencyMatrix::AzureFive();
   } else if (flags.matrix == "hybrid") {
